@@ -1,0 +1,721 @@
+package repro
+
+// One benchmark per figure of the DAC'93 paper, plus the ablations named
+// in DESIGN.md §4. The paper reports no absolute numbers — its
+// evaluation is architectural — so these benchmarks measure the cost of
+// each reproduced capability and the comparisons whose *shape* the paper
+// implies (compiled vs interpreted simulation, parallel vs serial
+// branches, dynamic vs static flows).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/baseline/staticflow"
+	"repro/internal/baseline/trace"
+	"repro/internal/cad/cosmos"
+	"repro/internal/cad/extract"
+	"repro/internal/cad/layout"
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/sim"
+	"repro/internal/encap"
+	"repro/internal/flow"
+	"repro/internal/hercules"
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+func mustB(b *testing.B, err error) {
+	b.Helper()
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func session(b *testing.B) *hercules.Session {
+	b.Helper()
+	s := hercules.NewSession("bench")
+	mustB(b, s.Bootstrap())
+	return s
+}
+
+// ---- Fig. 1: the task schema -----------------------------------------------
+
+func BenchmarkFig1SchemaBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := schema.ParseString(schema.Fig1Text)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() == 0 {
+			b.Fatal("empty schema")
+		}
+	}
+}
+
+func BenchmarkFig1SchemaQueries(b *testing.B) {
+	s := schema.Fig1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Consumers("Netlist")
+		_ = s.ConcreteSubtypes("Netlist")
+		_ = s.ToolsProducing("Layout")
+	}
+}
+
+// ---- Fig. 2: compiled vs event-driven simulation ----------------------------
+
+func benchVectors(nl *netlist.Netlist, n int) *sim.Stimuli {
+	ins := nl.Inputs()
+	st := sim.NewStimuli("bench", 100000000, ins...)
+	for v := 0; v < n; v++ {
+		bits := make([]bool, len(ins))
+		for i := range bits {
+			bits[i] = (v>>uint(i%8))&1 == 1
+		}
+		st.Vectors = append(st.Vectors, bits)
+	}
+	return st
+}
+
+func BenchmarkFig2CompiledSimulator(b *testing.B) {
+	nl := netlist.RippleAdder(8)
+	for _, vectors := range []int{16, 256} {
+		st := benchVectors(nl, vectors)
+		b.Run(fmt.Sprintf("event-driven/vectors=%d", vectors), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := sim.New(nl, models.Default())
+				mustB(b, err)
+				_, err = s.Run(st)
+				mustB(b, err)
+			}
+		})
+		b.Run(fmt.Sprintf("compiled/vectors=%d", vectors), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := cosmos.Compile(nl)
+				mustB(b, err)
+				_, err = p.RunVectors(st)
+				mustB(b, err)
+			}
+		})
+		b.Run(fmt.Sprintf("compiled-amortized/vectors=%d", vectors), func(b *testing.B) {
+			p, err := cosmos.Compile(nl)
+			mustB(b, err)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err = p.RunVectors(st)
+				mustB(b, err)
+			}
+		})
+	}
+	// Switch-level compilation of the extracted transistor netlist — the
+	// original COSMOS scenario.
+	b.Run("switch-compile-extracted", func(b *testing.B) {
+		lay, err := layout.Generate(netlist.FullAdder(), nil)
+		mustB(b, err)
+		res, err := extract.Extract(lay)
+		mustB(b, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cosmos.Compile(res.Netlist); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Fig. 3: flow representations -------------------------------------------
+
+func fig3Flow(b *testing.B) *flow.Flow {
+	b.Helper()
+	f := flow.New(schema.Full(), nil)
+	lay := f.MustAdd("PlacedLayout")
+	mustB(b, f.ExpandDown(lay, false))
+	netN, _ := f.Node(lay).Dep("Netlist")
+	mustB(b, f.Specialize(netN, "EditedNetlist"))
+	mustB(b, f.ExpandDown(netN, false))
+	return f
+}
+
+func BenchmarkFig3Representations(b *testing.B) {
+	f := fig3Flow(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Render()
+		if _, err := f.Bipartite(); err != nil {
+			b.Fatal(err)
+		}
+		_ = f.LispForm()
+	}
+}
+
+// ---- Fig. 4: expansion operations -------------------------------------------
+
+func BenchmarkFig4Expand(b *testing.B) {
+	s := schema.Full()
+	for i := 0; i < b.N; i++ {
+		f := flow.New(s, nil)
+		perf := f.MustAdd("Performance")
+		mustB(b, f.ExpandDown(perf, false))
+		cct, _ := f.Node(perf).Dep("Circuit")
+		mustB(b, f.ExpandDown(cct, false))
+		netN, _ := f.Node(cct).Dep("Netlist")
+		mustB(b, f.Specialize(netN, "ExtractedNetlist"))
+		mustB(b, f.ExpandDown(netN, false))
+		mustB(b, f.Validate())
+	}
+}
+
+// ---- Fig. 5: complex flow with reuse and multiple outputs --------------------
+
+func buildFig5(b *testing.B, s *hercules.Session) *flow.Flow {
+	b.Helper()
+	f := s.NewFlow()
+	net := f.MustAdd("ExtractedNetlist")
+	mustB(b, f.ExpandDown(net, false))
+	extrN, _ := f.Node(net).Dep("fd")
+	layN, _ := f.Node(net).Dep("Layout")
+	mustB(b, f.Specialize(layN, "EditedLayout"))
+	mustB(b, f.ExpandDown(layN, false))
+	layToolN, _ := f.Node(layN).Dep("fd")
+	stats := f.MustAdd("ExtractionStatistics")
+	mustB(b, f.Connect(stats, "fd", extrN))
+	mustB(b, f.Connect(stats, "Layout", layN))
+	ver, err := f.ExpandUp(net, "Verification", "Netlist/subject")
+	mustB(b, err)
+	mustB(b, f.Connect(ver, "Netlist/reference", net))
+	mustB(b, f.ExpandDown(ver, false))
+	verToolN, _ := f.Node(ver).Dep("fd")
+	mustB(b, f.Bind(extrN, s.Must("extractor")))
+	mustB(b, f.Bind(layToolN, s.Must("layEd.fulladder")))
+	mustB(b, f.Bind(verToolN, s.Must("verifier")))
+	return f
+}
+
+func BenchmarkFig5ComplexFlow(b *testing.B) {
+	s := session(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := buildFig5(b, s)
+		res, err := s.Run(f)
+		mustB(b, err)
+		if res.TasksRun != 3 { // layout + shared extraction + verification
+			b.Fatalf("TasksRun = %d", res.TasksRun)
+		}
+	}
+}
+
+// ---- Fig. 6: parallel branches ----------------------------------------------
+
+func BenchmarkFig6ParallelBranches(b *testing.B) {
+	const branches = 8
+	const delay = 2 * time.Millisecond
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("machines=%d", workers), func(b *testing.B) {
+			s := session(b)
+			s.Engine.SetTaskDelay(delay)
+			s.Engine.SetWorkers(workers)
+			build := func() *flow.Flow {
+				f := s.NewFlow()
+				for j := 0; j < branches; j++ {
+					n := f.MustAdd("EditedNetlist")
+					mustB(b, f.ExpandDown(n, false))
+					tn, _ := f.Node(n).Dep("fd")
+					mustB(b, f.Bind(tn, s.Must("netEd.fulladder")))
+				}
+				return f
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := s.Run(build())
+				mustB(b, err)
+			}
+		})
+	}
+}
+
+// ---- Fig. 7: views -----------------------------------------------------------
+
+func BenchmarkFig7Views(b *testing.B) {
+	inv := netlist.Inverter()
+	for i := 0; i < b.N; i++ {
+		x, err := netlist.ToTransistor(inv)
+		mustB(b, err)
+		l, err := layout.Generate(inv, nil)
+		mustB(b, err)
+		_ = x
+		_ = l
+	}
+}
+
+// ---- Fig. 8: synthesis + verification -----------------------------------------
+
+func BenchmarkFig8SynthesisVerify(b *testing.B) {
+	s := session(b)
+	// Netlist once.
+	f := s.NewFlow()
+	netN := f.MustAdd("EditedNetlist")
+	mustB(b, f.ExpandDown(netN, false))
+	tn, _ := f.Node(netN).Dep("fd")
+	mustB(b, f.Bind(tn, s.Must("netEd.fulladder")))
+	res, err := s.Run(f)
+	mustB(b, err)
+	netInst, err := res.One(netN)
+	mustB(b, err)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Synthesis.
+		f2 := s.NewFlow()
+		lay := f2.MustAdd("PlacedLayout")
+		mustB(b, f2.ExpandDown(lay, false))
+		placerN, _ := f2.Node(lay).Dep("fd")
+		n2, _ := f2.Node(lay).Dep("Netlist")
+		opts, _ := f2.Node(lay).Dep("PlacementOptions")
+		mustB(b, f2.Bind(n2, netInst))
+		mustB(b, f2.Bind(placerN, s.Must("placer")))
+		mustB(b, f2.Bind(opts, s.Must("popts.default")))
+		sres, err := s.Run(f2)
+		mustB(b, err)
+		layInst, err := sres.One(lay)
+		mustB(b, err)
+		// Verification.
+		f3 := s.NewFlow()
+		layB := f3.MustAdd("Layout")
+		mustB(b, f3.Bind(layB, layInst))
+		xnet, err := f3.ExpandUp(layB, "ExtractedNetlist", "Layout")
+		mustB(b, err)
+		mustB(b, f3.ExpandDown(xnet, false))
+		extrN, _ := f3.Node(xnet).Dep("fd")
+		ver, err := f3.ExpandUp(xnet, "Verification", "Netlist/subject")
+		mustB(b, err)
+		mustB(b, f3.ExpandDown(ver, false))
+		refN, _ := f3.Node(ver).Dep("Netlist/reference")
+		verToolN, _ := f3.Node(ver).Dep("fd")
+		mustB(b, f3.Bind(refN, netInst))
+		mustB(b, f3.Bind(extrN, s.Must("extractor")))
+		mustB(b, f3.Bind(verToolN, s.Must("verifier")))
+		_, err = s.Run(f3)
+		mustB(b, err)
+	}
+}
+
+// ---- Fig. 9: browser -----------------------------------------------------------
+
+func populatedSession(b *testing.B, edits int) (*hercules.Session, history.ID) {
+	b.Helper()
+	s := session(b)
+	f := s.NewFlow()
+	n := f.MustAdd("EditedNetlist")
+	mustB(b, f.ExpandDown(n, false))
+	tn, _ := f.Node(n).Dep("fd")
+	mustB(b, f.Bind(tn, s.Must("netEd.fulladder")))
+	res, err := s.Run(f)
+	mustB(b, err)
+	cur, err := res.One(n)
+	mustB(b, err)
+	for i := 0; i < edits; i++ {
+		f := s.NewFlow()
+		n := f.MustAdd("EditedNetlist")
+		mustB(b, f.ExpandDown(n, false))
+		mustB(b, f.ExpandOptional(n, "Netlist"))
+		tn, _ := f.Node(n).Dep("fd")
+		bn, _ := f.Node(n).Dep("Netlist")
+		mustB(b, f.Bind(tn, s.Must("netEd.retouch")))
+		mustB(b, f.Bind(bn, cur))
+		res, err := s.Run(f)
+		mustB(b, err)
+		cur, err = res.One(n)
+		mustB(b, err)
+	}
+	return s, cur
+}
+
+func BenchmarkFig9Browser(b *testing.B) {
+	s, _ := populatedSession(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Browse(history.Filter{Type: "Netlist", User: "bench"})
+	}
+}
+
+// ---- Fig. 10: backward chaining -------------------------------------------------
+
+func BenchmarkFig10History(b *testing.B) {
+	for _, depth := range []int{16, 128} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			s, tip := populatedSession(b, depth)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.DB.Backchain(tip, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- history scaling ------------------------------------------------------------
+
+// BenchmarkHistoryScaling measures the paper's central queries as the
+// derivation database grows (the cost that a CAD framework pays for
+// replacing version management with derivation meta-data).
+func BenchmarkHistoryScaling(b *testing.B) {
+	for _, size := range []int{100, 1000} {
+		s, tip := populatedSession(b, size)
+		b.Run(fmt.Sprintf("browse/instances=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.Browse(history.Filter{Type: "Netlist"})
+			}
+		})
+		b.Run(fmt.Sprintf("backchain/instances=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.DB.Backchain(tip, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stale-check/instances=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.DB.OutOfDate(tip); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("pattern-query/instances=%d", size), func(b *testing.B) {
+			p := history.Pattern{
+				Nodes: []history.PatternNode{
+					{Ref: "new", Type: "EditedNetlist"},
+					{Ref: "old", Type: "Netlist", Bound: tip},
+				},
+				Edges: []history.PatternEdge{{Parent: "new", Child: "old", Key: "Netlist"}},
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.DB.MatchPattern(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Fig. 11: version tree vs flow trace ------------------------------------------
+
+func BenchmarkFig11VersionTreeVsFlowTrace(b *testing.B) {
+	s, tip := populatedSession(b, 64)
+	b.Run("version-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.DB.VersionTree(tip); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flow-trace", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.DB.FlowTrace(tip); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- consistency maintenance ---------------------------------------------------
+
+func BenchmarkRetrace(b *testing.B) {
+	s := session(b)
+	f, err := s.Catalogs.StartFromPlan("simulate-netlist")
+	mustB(b, err)
+	bindLeafB(b, s, f, "Simulator", "sim")
+	bindLeafB(b, s, f, "Stimuli", "stim.exhaustive3")
+	bindLeafB(b, s, f, "NetlistEditor", "netEd.fulladder")
+	bindLeafB(b, s, f, "DeviceModelEditor", "dmEd.default")
+	res, err := s.Run(f)
+	mustB(b, err)
+	var perf history.ID
+	for _, root := range f.Roots() {
+		for _, id := range res.Created[root] {
+			if s.DB.Get(id).Type == "Performance" {
+				perf = id
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Make the current target stale with a fresh edit.
+		net, err := s.DB.DerivedWith(perf, "Netlist")
+		mustB(b, err)
+		newest, err := s.DB.NewestVersion(net[0])
+		mustB(b, err)
+		editB(b, s, newest)
+		b.StartTimer()
+		rr, err := s.Retrace(perf)
+		mustB(b, err)
+		if rr.Fresh {
+			b.Fatal("expected stale target")
+		}
+		perf = rr.NewTarget(perf)
+	}
+}
+
+func bindLeafB(b *testing.B, s *hercules.Session, f *flow.Flow, typeName, key string) {
+	b.Helper()
+	for _, id := range f.Leaves() {
+		if f.Node(id).Type == typeName && !f.Node(id).IsBound() {
+			mustB(b, f.Bind(id, s.Must(key)))
+			return
+		}
+	}
+	b.Fatalf("no unbound %s leaf", typeName)
+}
+
+func editB(b *testing.B, s *hercules.Session, base history.ID) history.ID {
+	b.Helper()
+	f := s.NewFlow()
+	n := f.MustAdd("EditedNetlist")
+	mustB(b, f.ExpandDown(n, false))
+	mustB(b, f.ExpandOptional(n, "Netlist"))
+	tn, _ := f.Node(n).Dep("fd")
+	bn, _ := f.Node(n).Dep("Netlist")
+	mustB(b, f.Bind(tn, s.Must("netEd.retouch")))
+	mustB(b, f.Bind(bn, base))
+	res, err := s.Run(f)
+	mustB(b, err)
+	id, err := res.One(n)
+	mustB(b, err)
+	return id
+}
+
+// ---- §3.4: the four approaches ----------------------------------------------------
+
+func BenchmarkApproaches(b *testing.B) {
+	s := session(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Catalogs.StartFromGoal("Performance"); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Catalogs.StartFromTool(s.Must("sim")); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Catalogs.StartFromData(s.Must("stim.exhaustive3")); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Catalogs.StartFromPlan("simulate-netlist"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- baseline comparison ------------------------------------------------------------
+
+func BenchmarkBaselineComparison(b *testing.B) {
+	reg := encap.StandardRegistry()
+	sch := schema.Full()
+	static := &staticflow.Flow{Name: "extract", Steps: []staticflow.Step{
+		{Name: "draw", ToolType: "LayoutEditor", Tool: []byte("generate fulladder"),
+			Inputs: map[string]string{}, Output: "lay", Produces: "EditedLayout"},
+		{Name: "extract", ToolType: "Extractor",
+			Inputs: map[string]string{"Layout": "lay"}, Output: "net", Produces: "ExtractedNetlist"},
+	}}
+	b.Run("static-flow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := staticflow.Start(static, sch, reg, nil)
+			mustB(b, e.RunAll())
+		}
+	})
+	b.Run("dynamic-flow", func(b *testing.B) {
+		s := session(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := s.NewFlow()
+			n := f.MustAdd("ExtractedNetlist")
+			mustB(b, f.ExpandDown(n, false))
+			extrN, _ := f.Node(n).Dep("fd")
+			layN, _ := f.Node(n).Dep("Layout")
+			mustB(b, f.Specialize(layN, "EditedLayout"))
+			mustB(b, f.ExpandDown(layN, false))
+			ltn, _ := f.Node(layN).Dep("fd")
+			mustB(b, f.Bind(extrN, s.Must("extractor")))
+			mustB(b, f.Bind(ltn, s.Must("layEd.fulladder")))
+			_, err := s.Run(f)
+			mustB(b, err)
+		}
+	})
+	b.Run("trace-replay", func(b *testing.B) {
+		s := session(b)
+		f := s.NewFlow()
+		n := f.MustAdd("ExtractedNetlist")
+		mustB(b, f.ExpandDown(n, false))
+		extrN, _ := f.Node(n).Dep("fd")
+		layN, _ := f.Node(n).Dep("Layout")
+		mustB(b, f.Specialize(layN, "EditedLayout"))
+		mustB(b, f.ExpandDown(layN, false))
+		ltn, _ := f.Node(layN).Dep("fd")
+		mustB(b, f.Bind(extrN, s.Must("extractor")))
+		mustB(b, f.Bind(ltn, s.Must("layEd.fulladder")))
+		res, err := s.Run(f)
+		mustB(b, err)
+		target, err := res.One(n)
+		mustB(b, err)
+		tr, err := trace.Capture(s.DB, target)
+		mustB(b, err)
+		tools := map[string][]byte{}
+		for _, ev := range tr.Events {
+			if ev.ToolType == "" {
+				continue
+			}
+			if in := s.DB.Get(history.ID(ev.Tool)); in != nil && in.Data != "" {
+				if bts, ok := s.Store.Get(in.Data); ok {
+					tools[string(ev.Tool)] = bts
+				}
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.Replay(s.Schema, s.Registry, nil, tools); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- ablations -----------------------------------------------------------------------
+
+// BenchmarkAblationGoalOnlyExpansion compares constructing the Fig. 5
+// structure with the full operation set (reuse via Connect, upward
+// expansion) against the paper's older goal-only task trees [7], which
+// must duplicate shared entities: the tree variant builds more nodes and
+// later runs more tasks.
+func BenchmarkAblationGoalOnlyExpansion(b *testing.B) {
+	s := schema.Full()
+	b.Run("dynamic-dag", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := flow.New(s, nil)
+			net := f.MustAdd("ExtractedNetlist")
+			mustB(b, f.ExpandDown(net, false))
+			extrN, _ := f.Node(net).Dep("fd")
+			layN, _ := f.Node(net).Dep("Layout")
+			stats := f.MustAdd("ExtractionStatistics")
+			mustB(b, f.Connect(stats, "fd", extrN))
+			mustB(b, f.Connect(stats, "Layout", layN))
+			ver, err := f.ExpandUp(net, "Verification", "Netlist/subject")
+			mustB(b, err)
+			mustB(b, f.Connect(ver, "Netlist/reference", net))
+			mustB(b, f.ExpandDown(ver, false))
+			if f.Len() >= 9 {
+				b.Fatalf("DAG should share nodes; len=%d", f.Len())
+			}
+		}
+	})
+	b.Run("goal-only-trees", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Task trees: one tree per goal, no sharing — every goal
+			// re-expands its whole support.
+			total := 0
+			for _, goal := range []string{"ExtractedNetlist", "ExtractionStatistics", "Verification"} {
+				f := flow.New(s, nil)
+				g := f.MustAdd(goal)
+				mustB(b, f.ExpandDown(g, false))
+				if goal == "Verification" {
+					for _, key := range []string{"Netlist/reference", "Netlist/subject"} {
+						c, _ := f.Node(g).Dep(key)
+						mustB(b, f.Specialize(c, "ExtractedNetlist"))
+						mustB(b, f.ExpandDown(c, false))
+					}
+				}
+				total += f.Len()
+			}
+			if total <= 9 {
+				b.Fatalf("trees should duplicate; total=%d", total)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationVersioning compares answering "what versions exist?"
+// from derivation meta-data (the paper's approach: zero extra storage)
+// against maintaining a separate version index updated on every edit.
+func BenchmarkAblationVersioning(b *testing.B) {
+	s, tip := populatedSession(b, 64)
+	b.Run("derived-from-history", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.DB.VersionsOf(tip); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("explicit-index", func(b *testing.B) {
+		// The alternative design: a separate parent->children index kept
+		// alongside the database. Query is O(1) per node but the index
+		// must be maintained and can drift; we measure its build cost
+		// per lookup batch for honesty.
+		for i := 0; i < b.N; i++ {
+			index := make(map[history.ID][]history.ID)
+			for _, in := range s.DB.All() {
+				for _, x := range in.Inputs {
+					index[x.Inst] = append(index[x.Inst], in.ID)
+				}
+			}
+			_ = index[tip]
+		}
+	})
+}
+
+// BenchmarkAblationSharedTasks measures multi-output task sharing
+// (Fig. 5): with sharing, the netlist and statistics cost one extraction;
+// without (separate constructions), two.
+func BenchmarkAblationSharedTasks(b *testing.B) {
+	b.Run("shared", func(b *testing.B) {
+		s := session(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := s.NewFlow()
+			net := f.MustAdd("ExtractedNetlist")
+			mustB(b, f.ExpandDown(net, false))
+			extrN, _ := f.Node(net).Dep("fd")
+			layN, _ := f.Node(net).Dep("Layout")
+			mustB(b, f.Specialize(layN, "EditedLayout"))
+			mustB(b, f.ExpandDown(layN, false))
+			ltn, _ := f.Node(layN).Dep("fd")
+			stats := f.MustAdd("ExtractionStatistics")
+			mustB(b, f.Connect(stats, "fd", extrN))
+			mustB(b, f.Connect(stats, "Layout", layN))
+			mustB(b, f.Bind(extrN, s.Must("extractor")))
+			mustB(b, f.Bind(ltn, s.Must("layEd.fulladder")))
+			res, err := s.Run(f)
+			mustB(b, err)
+			if res.TasksRun != 2 {
+				b.Fatalf("TasksRun = %d, want 2", res.TasksRun)
+			}
+		}
+	})
+	b.Run("duplicated", func(b *testing.B) {
+		s := session(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := s.NewFlow()
+			lay := f.MustAdd("EditedLayout")
+			mustB(b, f.ExpandDown(lay, false))
+			ltn, _ := f.Node(lay).Dep("fd")
+			mustB(b, f.Bind(ltn, s.Must("layEd.fulladder")))
+			net := f.MustAdd("ExtractedNetlist")
+			mustB(b, f.Connect(net, "Layout", lay))
+			mustB(b, f.ExpandDown(net, false))
+			extr1, _ := f.Node(net).Dep("fd")
+			stats := f.MustAdd("ExtractionStatistics")
+			mustB(b, f.Connect(stats, "Layout", lay))
+			mustB(b, f.ExpandDown(stats, false))
+			extr2, _ := f.Node(stats).Dep("fd")
+			mustB(b, f.Bind(extr1, s.Must("extractor")))
+			mustB(b, f.Bind(extr2, s.Must("extractor")))
+			res, err := s.Run(f)
+			mustB(b, err)
+			if res.TasksRun != 3 {
+				b.Fatalf("TasksRun = %d, want 3 (duplicated extraction)", res.TasksRun)
+			}
+		}
+	})
+}

@@ -1,0 +1,687 @@
+// Command flowbench regenerates every figure of the DAC'93 paper as a
+// runnable scenario and prints the measurements EXPERIMENTS.md records.
+// The paper's evaluation is qualitative (eleven figures, no tables);
+// each section below reproduces one figure's content and, where the
+// claim is quantitative in spirit ("parallel branches can be executed in
+// parallel", "a compiled simulator is executed on different stimuli"),
+// measures it.
+//
+// Usage:
+//
+//	flowbench            # all figures
+//	flowbench fig6 fig11 # selected figures
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/baseline/staticflow"
+	"repro/internal/baseline/trace"
+	"repro/internal/cad/cosmos"
+	"repro/internal/cad/extract"
+	"repro/internal/cad/layout"
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/sim"
+	"repro/internal/encap"
+	"repro/internal/flow"
+	"repro/internal/hercules"
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+var sections = []struct {
+	name string
+	desc string
+	run  func()
+}{
+	{"fig1", "the example task schema", fig1},
+	{"fig2", "a tool created during design (compiled simulator)", fig2},
+	{"fig3", "three representations of one flow", fig3},
+	{"fig4", "expansions of a flow, with specialization", fig4},
+	{"fig5", "complex flow: reuse, multiple outputs", fig5},
+	{"fig6", "parallel execution of disjoint branches", fig6},
+	{"fig7", "three views of an inverter cell", fig7},
+	{"fig8", "view synthesis and verification flows", fig8},
+	{"fig9", "browser filters over the design history", fig9},
+	{"fig10", "backward chaining through the history", fig10},
+	{"fig11", "version tree vs flow trace", fig11},
+	{"retrace", "consistency maintenance by automatic retracing", retraceSection},
+	{"approaches", "the four design approaches", approachesSection},
+	{"baselines", "dynamic flows vs static flows vs traces", baselinesSection},
+}
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	for _, s := range sections {
+		if len(want) > 0 && !want[s.name] {
+			continue
+		}
+		fmt.Printf("==== %s: %s ====\n", s.name, s.desc)
+		s.run()
+		fmt.Println()
+	}
+}
+
+// session returns a bootstrapped session.
+func session() *hercules.Session {
+	s := hercules.NewSession("flowbench")
+	if err := s.Bootstrap(); err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func must1[T any](v T, err error) T {
+	must(err)
+	return v
+}
+
+// ---- fig 1 -----------------------------------------------------------------
+
+func fig1() {
+	s := schema.Fig1()
+	fmt.Printf("entity types: %d (%d tools, %d data)\n", s.Len(), count(s, schema.KindTool), count(s, schema.KindData))
+	fds, dds, opts := 0, 0, 0
+	for _, t := range s.Types() {
+		if t.FuncDep != nil {
+			fds++
+		}
+		for _, d := range t.DataDeps {
+			dds++
+			if d.Optional {
+				opts++
+			}
+		}
+	}
+	fmt.Printf("dependencies: %d functional, %d data (%d optional, breaking loops)\n", fds, dds, opts)
+	fmt.Printf("Netlist construction methods (subtypes): %v\n", s.Subtypes("Netlist"))
+	fmt.Printf("composite entities: Circuit -> %v\n", depNames(s.Type("Circuit")))
+	fmt.Printf("validation: %v\n", errString(s.Validate()))
+}
+
+func count(s *schema.Schema, k schema.Kind) int {
+	n := 0
+	for _, t := range s.Types() {
+		if t.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func depNames(t *schema.EntityType) []string {
+	var out []string
+	for _, d := range t.DataDeps {
+		out = append(out, d.Key())
+	}
+	return out
+}
+
+func errString(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return err.Error()
+}
+
+// ---- fig 2 -----------------------------------------------------------------
+
+func fig2() {
+	// Compare interpreted (event-driven) against compiled simulation of
+	// the same circuit over growing vector counts; report the crossover
+	// where compilation pays for itself.
+	nl := netlist.RippleAdder(8)
+	lib := models.Default()
+	ins := nl.Inputs()
+
+	mkStim := func(n int) *sim.Stimuli {
+		st := sim.NewStimuli("bench", 100000000, ins...)
+		for v := 0; v < n; v++ {
+			bits := make([]bool, len(ins))
+			for i := range bits {
+				bits[i] = (v>>uint(i%8))&1 == 1
+			}
+			st.Vectors = append(st.Vectors, bits)
+		}
+		return st
+	}
+
+	compileStart := time.Now()
+	prog := must1(cosmos.Compile(nl))
+	compileCost := time.Since(compileStart)
+	fmt.Printf("circuit: %s (%d gates); compile cost: %v, program %d steps\n",
+		nl.Name, len(nl.Gates), compileCost, prog.Steps())
+	fmt.Printf("%8s %14s %14s %10s\n", "vectors", "event-driven", "compiled+comp", "winner")
+	for _, n := range []int{1, 4, 16, 64, 256, 1024} {
+		st := mkStim(n)
+		t0 := time.Now()
+		sm := must1(sim.New(nl, lib))
+		_, err := sm.Run(st)
+		must(err)
+		ev := time.Since(t0)
+		t1 := time.Now()
+		p := must1(cosmos.Compile(nl))
+		_, err = p.RunVectors(st)
+		must(err)
+		comp := time.Since(t1)
+		winner := "compiled"
+		if ev < comp {
+			winner = "event-driven"
+		}
+		fmt.Printf("%8d %14v %14v %10s\n", n, ev, comp, winner)
+	}
+	// The full COSMOS scenario: compile the *extracted transistor*
+	// netlist of a layout (switch-level compilation) and check it
+	// computes the same function.
+	small := netlist.FullAdder()
+	lay := must1(layout.Generate(small, nil))
+	ext := must1(extract.Extract(lay))
+	xprog := must1(cosmos.Compile(ext.Netlist))
+	agree := true
+	for v := 0; v < 8; v++ {
+		in := map[string]bool{"a": v&1 != 0, "b": v&2 != 0, "cin": v&4 != 0}
+		got := must1(xprog.Run(in))
+		want := must1(sim.Evaluate(small, in))
+		for _, o := range small.Outputs() {
+			if got[o] != want[o] {
+				agree = false
+			}
+		}
+	}
+	fmt.Printf("switch-level compile of the extracted %s: %d steps, matches gate level: %v\n",
+		ext.Netlist.Name, xprog.Steps(), agree)
+}
+
+// ---- fig 3 -----------------------------------------------------------------
+
+func fig3() {
+	// The placement flow of Fig. 3 over our schema, rendered three ways.
+	s := session()
+	f := s.NewFlow()
+	lay := f.MustAdd("PlacedLayout")
+	must(f.ExpandDown(lay, false))
+	netN, _ := f.Node(lay).Dep("Netlist")
+	must(f.Specialize(netN, "EditedNetlist"))
+	must(f.ExpandDown(netN, false))
+	fmt.Println("task graph (the paper's chosen representation):")
+	fmt.Print(indent(f.Render()))
+	fmt.Println("traditional bipartite flow diagram:")
+	for _, a := range must1(f.Bipartite()) {
+		fmt.Printf("  %s\n", a)
+	}
+	fmt.Println("functional form (footnote 2):")
+	fmt.Printf("  %s\n", f.LispForm())
+}
+
+// ---- fig 4 -----------------------------------------------------------------
+
+func fig4() {
+	s := session()
+	f := s.NewFlow()
+	perf := f.MustAdd("Performance")
+	must(f.ExpandDown(perf, false))
+	fmt.Println("flow after one expansion of the goal:")
+	fmt.Print(indent(f.Render()))
+
+	// Expansion (a): expand the circuit composite.
+	fa := f.Clone()
+	cct := childByKey(fa, rootOf(fa), "Circuit")
+	must(fa.ExpandDown(cct, false))
+	fmt.Println("expansion (a): the circuit's components:")
+	fmt.Print(indent(fa.Render()))
+
+	// Expansion (b): specialize the netlist to Extracted first (as in
+	// the paper), then expand.
+	fb := fa.Clone()
+	cctB := childByKey(fb, rootOf(fb), "Circuit")
+	netB := childByKey(fb, cctB, "Netlist")
+	must(fb.Specialize(netB, "ExtractedNetlist"))
+	must(fb.ExpandDown(netB, false))
+	fmt.Println("expansion (b): netlist specialized to ExtractedNetlist, then expanded:")
+	fmt.Print(indent(fb.Render()))
+}
+
+func rootOf(f *flow.Flow) flow.NodeID { return f.Roots()[0] }
+
+func childByKey(f *flow.Flow, id flow.NodeID, key string) flow.NodeID {
+	c, ok := f.Node(id).Dep(key)
+	if !ok {
+		panic("missing dep " + key)
+	}
+	return c
+}
+
+// ---- fig 5 -----------------------------------------------------------------
+
+func fig5() {
+	s := session()
+	f := s.NewFlow()
+	// Extraction with two outputs, netlist reused by verification and by
+	// a circuit that is simulated and plotted.
+	net := f.MustAdd("ExtractedNetlist")
+	must(f.ExpandDown(net, false))
+	extrN, _ := f.Node(net).Dep("fd")
+	layN, _ := f.Node(net).Dep("Layout")
+	must(f.Specialize(layN, "EditedLayout"))
+	must(f.ExpandDown(layN, false))
+	layToolN, _ := f.Node(layN).Dep("fd")
+	stats := f.MustAdd("ExtractionStatistics")
+	must(f.Connect(stats, "fd", extrN))
+	must(f.Connect(stats, "Layout", layN))
+	ver := must1(f.ExpandUp(net, "Verification", "Netlist/subject"))
+	must(f.Connect(ver, "Netlist/reference", net)) // self-check against itself
+	must(f.ExpandDown(ver, false))
+	verToolN, _ := f.Node(ver).Dep("fd")
+	cct := f.MustAdd("Circuit")
+	must(f.Connect(cct, "Netlist", net))
+	dm := f.MustAdd("DeviceModels")
+	must(f.ExpandDown(dm, false))
+	dmToolN, _ := f.Node(dm).Dep("fd")
+	must(f.Connect(cct, "DeviceModels", dm))
+	perf := must1(f.ExpandUp(cct, "Performance", "Circuit"))
+	must(f.ExpandDown(perf, false))
+	simN, _ := f.Node(perf).Dep("fd")
+	stimN, _ := f.Node(perf).Dep("Stimuli")
+	plotN := must1(f.ExpandUp(perf, "PerformancePlot", "Performance"))
+	must(f.ExpandDown(plotN, false))
+	plotterN, _ := f.Node(plotN).Dep("fd")
+
+	must(f.Bind(extrN, s.Must("extractor")))
+	must(f.Bind(layToolN, s.Must("layEd.fulladder")))
+	must(f.Bind(verToolN, s.Must("verifier")))
+	must(f.Bind(dmToolN, s.Must("dmEd.default")))
+	must(f.Bind(simN, s.Must("sim")))
+	must(f.Bind(stimN, s.Must("stim.exhaustive3")))
+	must(f.Bind(plotterN, s.Must("plotter")))
+
+	fmt.Printf("flow: %d nodes, %d roots (multiple outputs), netlist reused by %d consumers\n",
+		f.Len(), len(f.Roots()), len(f.Parents(net)))
+	res := must1(s.Run(f))
+	fmt.Printf("executed %d tool runs; extraction shared between netlist and statistics\n", res.TasksRun)
+	entities := 0
+	for range res.Created {
+		entities++
+	}
+	fmt.Printf("flow nodes realized: %d\n", entities)
+}
+
+// ---- fig 6 -----------------------------------------------------------------
+
+func fig6() {
+	s := session()
+	build := func() *flow.Flow {
+		f := s.NewFlow()
+		for i := 0; i < 8; i++ {
+			n := f.MustAdd("EditedNetlist")
+			must(f.ExpandDown(n, false))
+			tn, _ := f.Node(n).Dep("fd")
+			must(f.Bind(tn, s.Must("netEd.fulladder")))
+		}
+		return f
+	}
+	const delay = 10 * time.Millisecond
+	s.Engine.SetTaskDelay(delay)
+	defer s.Engine.SetTaskDelay(0)
+	fmt.Printf("8 disjoint branches, %v simulated tool-dispatch latency each\n", delay)
+	fmt.Printf("%9s %12s %9s\n", "machines", "elapsed", "speedup")
+	var base time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		s.Engine.SetWorkers(w)
+		res := must1(s.Run(build()))
+		if w == 1 {
+			base = res.Elapsed
+		}
+		fmt.Printf("%9d %12v %8.1fx\n", w, res.Elapsed.Round(time.Millisecond),
+			float64(base)/float64(res.Elapsed))
+	}
+	s.Engine.SetWorkers(1)
+}
+
+// ---- fig 7 -----------------------------------------------------------------
+
+func fig7() {
+	inv := netlist.Inverter()
+	fmt.Println("logic view:")
+	fmt.Print(indent(netlist.Format(inv)))
+	x := must1(netlist.ToTransistor(inv))
+	fmt.Println("transistor view:")
+	fmt.Print(indent(netlist.Format(x)))
+	fmt.Println("physical view (excerpt):")
+	s := session()
+	f := s.NewFlow()
+	layN := f.MustAdd("EditedLayout")
+	must(f.ExpandDown(layN, false))
+	tn, _ := f.Node(layN).Dep("fd")
+	invTool := must1(s.Import("LayoutEditor", "inverter gen", "generate inverter"))
+	must(f.Bind(tn, invTool))
+	res := must1(s.Run(f))
+	lay := must1(res.One(layN))
+	text := must1(s.ArtifactText(lay))
+	fmt.Print(indent(firstLines(text, 8)))
+	fmt.Printf("  ... (%d lines total)\n", strings.Count(text, "\n"))
+}
+
+// ---- fig 8 -----------------------------------------------------------------
+
+func fig8() {
+	s := session()
+	// Netlist first.
+	f := s.NewFlow()
+	netN := f.MustAdd("EditedNetlist")
+	must(f.ExpandDown(netN, false))
+	tn, _ := f.Node(netN).Dep("fd")
+	must(f.Bind(tn, s.Must("netEd.fulladder")))
+	netInst := must1(must1(s.Run(f)).One(netN))
+
+	// Synthesis flow.
+	f2 := s.NewFlow()
+	lay := f2.MustAdd("PlacedLayout")
+	must(f2.ExpandDown(lay, false))
+	placerN, _ := f2.Node(lay).Dep("fd")
+	net2, _ := f2.Node(lay).Dep("Netlist")
+	opts, _ := f2.Node(lay).Dep("PlacementOptions")
+	must(f2.Bind(net2, netInst))
+	must(f2.Bind(placerN, s.Must("placer")))
+	must(f2.Bind(opts, s.Must("popts.default")))
+	t0 := time.Now()
+	layInst := must1(must1(s.Run(f2)).One(lay))
+	fmt.Printf("synthesis (Fig. 8a): %s in %v\n", layInst, time.Since(t0).Round(time.Millisecond))
+
+	// Verification flow.
+	f3 := s.NewFlow()
+	layB := f3.MustAdd("Layout")
+	must(f3.Bind(layB, layInst))
+	xnet := must1(f3.ExpandUp(layB, "ExtractedNetlist", "Layout"))
+	must(f3.ExpandDown(xnet, false))
+	extrN, _ := f3.Node(xnet).Dep("fd")
+	ver := must1(f3.ExpandUp(xnet, "Verification", "Netlist/subject"))
+	// Connecting the layout as the reference netlist is refused — the
+	// schema's typing at work.
+	fmt.Printf("  ill-typed connect refused: %v\n", f3.Connect(ver, "Netlist/reference", layB))
+	must(f3.ExpandDown(ver, false))
+	refN, _ := f3.Node(ver).Dep("Netlist/reference")
+	must(f3.Bind(refN, netInst))
+	verToolN, _ := f3.Node(ver).Dep("fd")
+	must(f3.Bind(extrN, s.Must("extractor")))
+	must(f3.Bind(verToolN, s.Must("verifier")))
+	t1 := time.Now()
+	vid := must1(must1(s.Run(f3)).One(ver))
+	text := must1(s.ArtifactText(vid))
+	fmt.Printf("verification (Fig. 8b) in %v: %s", time.Since(t1).Round(time.Millisecond), text)
+}
+
+// ---- fig 9 -----------------------------------------------------------------
+
+func fig9() {
+	s := session()
+	// Populate the history with simulations from three users.
+	users := []string{"jbb", "director", "sutton"}
+	for i, u := range users {
+		s.Engine.SetUser(u)
+		f := must1(s.Catalogs.StartFromPlan("simulate-netlist"))
+		bindLeaf(s, f, "Simulator", "sim")
+		bindLeaf(s, f, "Stimuli", "stim.exhaustive3")
+		bindLeaf(s, f, "NetlistEditor", "netEd.fulladder")
+		bindLeaf(s, f, "DeviceModelEditor", "dmEd.default")
+		res := must1(s.Run(f))
+		for _, root := range f.Roots() {
+			for _, id := range res.Created[root] {
+				if s.DB.Get(id).Type == "Performance" {
+					names := []string{"Low pass filter", "CMOS Full adder", "Operational Amplifier"}
+					must(s.Annotate(id, names[i], "run by "+u))
+				}
+			}
+		}
+	}
+	fmt.Printf("history holds %d instances\n", s.DB.Len())
+	queries := []struct {
+		desc   string
+		filter history.Filter
+	}{
+		{"user jbb", history.Filter{User: "jbb"}},
+		{"type Netlist (subtypes included)", history.Filter{Type: "Netlist"}},
+		{"keyword 'adder'", history.Filter{Keyword: "adder"}},
+		{"type Performance + user sutton", history.Filter{Type: "Performance", User: "sutton"}},
+	}
+	for _, q := range queries {
+		t0 := time.Now()
+		got := s.Browse(q.filter)
+		fmt.Printf("  browse %-36s -> %2d instance(s) in %v\n", q.desc, len(got), time.Since(t0))
+	}
+}
+
+func bindLeaf(s *hercules.Session, f *flow.Flow, typeName, key string) {
+	for _, id := range f.Leaves() {
+		if f.Node(id).Type == typeName && !f.Node(id).IsBound() {
+			must(f.Bind(id, s.Must(key)))
+			return
+		}
+	}
+	panic("no unbound leaf of type " + typeName)
+}
+
+// ---- fig 10 ----------------------------------------------------------------
+
+func fig10() {
+	s := session()
+	// Build an edit chain of growing depth; measure backchain latency.
+	f := s.NewFlow()
+	n := f.MustAdd("EditedNetlist")
+	must(f.ExpandDown(n, false))
+	tn, _ := f.Node(n).Dep("fd")
+	must(f.Bind(tn, s.Must("netEd.fulladder")))
+	cur := must1(must1(s.Run(f)).One(n))
+	fmt.Printf("%12s %12s %12s\n", "chain depth", "nodes found", "query time")
+	for _, depth := range []int{1, 8, 64, 256} {
+		for chainLen(s, cur) < depth {
+			cur = s2edit(s, cur)
+		}
+		t0 := time.Now()
+		d := must1(s.DB.Backchain(cur, -1))
+		fmt.Printf("%12d %12d %12v\n", depth, len(d.Nodes), time.Since(t0))
+	}
+	// The Fig. 10 rendering itself.
+	shallow := must1(s.DB.Backchain(cur, 1))
+	fmt.Println("History pop-up (depth 1), as in Fig. 10:")
+	fmt.Print(indent(shallow.Render(s.DB)))
+}
+
+func s2edit(s *hercules.Session, base history.ID) history.ID {
+	f := s.NewFlow()
+	n := f.MustAdd("EditedNetlist")
+	must(f.ExpandDown(n, false))
+	must(f.ExpandOptional(n, "Netlist"))
+	tn, _ := f.Node(n).Dep("fd")
+	bn, _ := f.Node(n).Dep("Netlist")
+	must(f.Bind(tn, s.Must("netEd.retouch")))
+	must(f.Bind(bn, base))
+	return must1(must1(s.Run(f)).One(n))
+}
+
+// chainLen computes the version-chain length of an instance.
+func chainLen(s *hercules.Session, id history.ID) int {
+	d := must1(s.DB.Backchain(id, -1))
+	n := 0
+	for _, x := range d.Nodes {
+		if strings.HasPrefix(string(x), "EditedNetlist") {
+			n++
+		}
+	}
+	return n
+}
+
+// ---- fig 11 ----------------------------------------------------------------
+
+func fig11() {
+	s := session()
+	f := s.NewFlow()
+	n := f.MustAdd("EditedNetlist")
+	must(f.ExpandDown(n, false))
+	tn, _ := f.Node(n).Dep("fd")
+	must(f.Bind(tn, s.Must("netEd.fulladder")))
+	c1 := must1(must1(s.Run(f)).One(n))
+	c2 := s2edit(s, c1)
+	c3 := s2edit(s, c2)
+	c4 := s2edit(s, c1)
+	c5 := s2edit(s, c4)
+	_ = c3
+	_ = c5
+	fmt.Println("classic version tree (Fig. 11a):")
+	fmt.Print(indent(must1(s.VersionTree(c1))))
+	fmt.Println("flow trace (Fig. 11b) — same data, plus the tools used:")
+	fmt.Print(indent(must1(s.FlowTrace(c1))))
+	fmt.Println("query capability:")
+	fmt.Println("  'what versions exist?'           -> both answer")
+	trace := must1(s.DB.FlowTrace(c4))
+	var tool history.ID
+	var find func(tn2 *history.TraceNode)
+	find = func(tn2 *history.TraceNode) {
+		if tn2.Inst == c4 {
+			tool = tn2.Tool
+		}
+		for _, c := range tn2.Children {
+			find(c)
+		}
+	}
+	find(trace)
+	fmt.Printf("  'which tool created version c4?' -> only the flow trace: %s\n", tool)
+	// Storage: both are views over the same derivation records — zero
+	// extra storage for versioning (the paper's point).
+	fmt.Printf("storage: versioning adds 0 bytes; it reuses %d derivation records\n", s.DB.Len())
+}
+
+// ---- retrace ----------------------------------------------------------------
+
+func retraceSection() {
+	s := session()
+	f := must1(s.Catalogs.StartFromPlan("simulate-netlist"))
+	bindLeaf(s, f, "Simulator", "sim")
+	bindLeaf(s, f, "Stimuli", "stim.exhaustive3")
+	bindLeaf(s, f, "NetlistEditor", "netEd.fulladder")
+	bindLeaf(s, f, "DeviceModelEditor", "dmEd.default")
+	res := must1(s.Run(f))
+	var perf history.ID
+	for _, root := range f.Roots() {
+		for _, id := range res.Created[root] {
+			if s.DB.Get(id).Type == "Performance" {
+				perf = id
+			}
+		}
+	}
+	net := s.DB.InstancesOf("EditedNetlist")[0].ID
+	s2edit(s, net)
+	fmt.Printf("after editing the netlist, performance stale: %v\n", must1(s.OutOfDate(perf)))
+	t0 := time.Now()
+	rr := must1(s.Retrace(perf))
+	fmt.Printf("retrace: %d construction(s) re-run in %v\n", len(rr.Rebuilt), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("plan was:\n%s\n", indent(rr.Plan.String()))
+	fmt.Printf("new target %s stale: %v\n", rr.NewTarget(perf), must1(s.OutOfDate(rr.NewTarget(perf))))
+}
+
+// ---- approaches ---------------------------------------------------------------
+
+func approachesSection() {
+	s := session()
+	fmt.Println("all four §3.4 approaches reach a Performance:")
+	// Goal-based.
+	fmt.Println("  goal-based : start Performance, expand, bind (see examples/approaches)")
+	// Tool-based choices.
+	_, toolN, err := s.Catalogs.StartFromTool(s.Must("sim"))
+	must(err)
+	_ = toolN
+	fmt.Printf("  tool-based : simulator can produce %v\n", s.Catalogs.GoalsFor("InstalledSimulator"))
+	// Data-based choices.
+	uses := s.Catalogs.UsesFor("Stimuli")
+	var consumers []string
+	for _, u := range uses {
+		consumers = append(consumers, u.Consumer)
+	}
+	sort.Strings(consumers)
+	fmt.Printf("  data-based : stimuli usable by %v\n", consumers)
+	// Plan-based.
+	fmt.Printf("  plan-based : catalog offers %v\n", s.Catalogs.FlowNames())
+}
+
+// ---- baselines ------------------------------------------------------------------
+
+func baselinesSection() {
+	s := schema.Full()
+	// Expressiveness: legal primitive tasks derivable from the schema vs
+	// a static catalog of the same description size.
+	tasks := 0
+	for _, t := range s.Types() {
+		if t.HasTask() {
+			tasks++
+		}
+	}
+	fmt.Printf("dynamic: %d schema types induce %d primitive tasks, composable into unbounded flows\n",
+		s.Len(), tasks)
+
+	cat := staticflow.NewCatalog()
+	must(cat.Install(&staticflow.Flow{Name: "extract", Steps: []staticflow.Step{
+		{Name: "draw", ToolType: "LayoutEditor", Tool: []byte("generate fulladder"), Inputs: map[string]string{}, Output: "lay", Produces: "EditedLayout"},
+		{Name: "extract", ToolType: "Extractor", Inputs: map[string]string{"Layout": "lay"}, Output: "net", Produces: "ExtractedNetlist"},
+	}}))
+	must(cat.Install(&staticflow.Flow{Name: "extract-mux", Steps: []staticflow.Step{
+		{Name: "draw", ToolType: "LayoutEditor", Tool: []byte("generate mux2"), Inputs: map[string]string{}, Output: "lay", Produces: "EditedLayout"},
+		{Name: "extract", ToolType: "Extractor", Inputs: map[string]string{"Layout": "lay"}, Output: "net", Produces: "ExtractedNetlist"},
+	}}))
+	fmt.Printf("static : %d flow definitions cover %d tool sequence(s); reordering is refused\n",
+		cat.Len(), len(cat.Sequences()))
+	fmt.Printf("         tool change cost: editing Extractor touches %d definition(s) (dynamic: 0)\n",
+		cat.ToolChangeCost("Extractor"))
+	// Demonstrate the straight-jacket.
+	sf, _ := cat.Get("extract")
+	e := staticflow.Start(sf, s, encap.StandardRegistry(), nil)
+	err := e.RunStep("extract")
+	fmt.Printf("         out-of-order attempt: %v\n", err)
+
+	// Traces: replay works, methodology does not.
+	sess := session()
+	f := sess.NewFlow()
+	n := f.MustAdd("ExtractedNetlist")
+	must(f.ExpandDown(n, false))
+	extrN, _ := f.Node(n).Dep("fd")
+	layN, _ := f.Node(n).Dep("Layout")
+	must(f.Specialize(layN, "EditedLayout"))
+	must(f.ExpandDown(layN, false))
+	ltn, _ := f.Node(layN).Dep("fd")
+	must(f.Bind(extrN, sess.Must("extractor")))
+	must(f.Bind(ltn, sess.Must("layEd.fulladder")))
+	target := must1(must1(sess.Run(f)).One(n))
+	tr := must1(trace.Capture(sess.DB, target))
+	fmt.Printf("trace  : captured %d events (%v); replays as a prototype but enforces nothing\n",
+		len(tr.Events), tr.ToolSequence())
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	return b.String()
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

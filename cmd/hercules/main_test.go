@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testCLI returns a bootstrapped interpreter writing into a buffer.
+func testCLI(t *testing.T) (*cli, *bytes.Buffer) {
+	t.Helper()
+	var buf bytes.Buffer
+	c := newCLI(&buf)
+	if err := c.session.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	return c, &buf
+}
+
+// run executes a script of commands, failing the test on any error.
+func run(t *testing.T, c *cli, lines ...string) {
+	t.Helper()
+	for _, l := range lines {
+		if err := c.exec(l); err != nil {
+			t.Fatalf("%q: %v", l, err)
+		}
+	}
+}
+
+func TestDemoScriptExecutes(t *testing.T) {
+	c, buf := testCLI(t)
+	for _, line := range strings.Split(demoScript, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if err := c.exec(line); err != nil {
+			t.Fatalf("demo line %q: %v", line, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"simulate-netlist", "executed 4 task(s)", "Performance:", "performance <- ("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("demo output missing %q", want)
+		}
+	}
+}
+
+func TestHelpAndSchema(t *testing.T) {
+	c, buf := testCLI(t)
+	run(t, c, "help", "schema")
+	out := buf.String()
+	if !strings.Contains(out, "start goal <type>") || !strings.Contains(out, "data ExtractedNetlist : Netlist") {
+		t.Errorf("help/schema output wrong:\n%.400s", out)
+	}
+}
+
+func TestCatalogCommands(t *testing.T) {
+	c, buf := testCLI(t)
+	run(t, c, "catalog entities", "catalog tools", "catalog flows", "catalog data")
+	out := buf.String()
+	for _, want := range []string{"Netlist", "(abstract)", "Extractor", "simulate-netlist", "Stimuli:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("catalog output missing %q", want)
+		}
+	}
+	if err := c.exec("catalog frob"); err == nil {
+		t.Error("bad catalog arg should fail")
+	}
+	if err := c.exec("catalog"); err == nil {
+		t.Error("missing catalog arg should fail")
+	}
+}
+
+func TestFlowLifecycle(t *testing.T) {
+	c, buf := testCLI(t)
+	run(t, c,
+		"start goal ExtractionStatistics",
+		"expand 1",
+		"choices 3",
+		"specialize 3 EditedLayout",
+		"expand 3",
+		"bind 2 extractor",
+		"bind 4 layEd.fulladder",
+		"show",
+		"bipartite",
+		"run",
+	)
+	out := buf.String()
+	if !strings.Contains(out, "ExtractionStatistics:") {
+		t.Errorf("run output missing instance:\n%s", out)
+	}
+	// "last" now resolves; cat shows the statistics artifact.
+	buf.Reset()
+	run(t, c, "cat last", "history last", "stale last")
+	out = buf.String()
+	for _, want := range []string{"extraction statistics", "Extractor:", "out of date: false"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunSubflowAndUnexpand(t *testing.T) {
+	c, buf := testCLI(t)
+	run(t, c,
+		"start goal Performance",
+		"expand 1",
+		"expand 3",
+		"specialize 6 EditedNetlist",
+		"expand 6",
+		"bind 7 netEd.fulladder",
+		"run 6", // just the netlist sub-flow
+	)
+	if !strings.Contains(buf.String(), "executed 1 task(s)") {
+		t.Errorf("sub-flow run wrong:\n%s", buf.String())
+	}
+	run(t, c, "unexpand 3")
+	if c.flow.Node(6) != nil {
+		t.Error("unexpand should remove the netlist subtree")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	c, _ := testCLI(t)
+	cases := []string{
+		"frobnicate",
+		"show",            // no flow yet
+		"expand 1",        // no flow
+		"run",             // no flow
+		"history",         // missing arg
+		"history Nope:99", // unknown instance
+		"bind 1 sim",      // no flow
+		"cat last",        // nothing run
+		"annotate",        // missing args
+		"browse frob",     // bad filter
+		"browse x=1",      // unknown filter key
+		"start plan nope",
+		"start frob x",
+		"start goal",
+	}
+	for _, line := range cases {
+		if err := c.exec(line); err == nil {
+			t.Errorf("%q should fail", line)
+		}
+	}
+	run(t, c, "start goal Performance")
+	for _, line := range []string{
+		"expand zz", "expand 99", "specialize 1", "specialize 99 X",
+		"connect 1 Circuit 99", "bind 99 sim", "bind 1 ghost",
+		"expandup 1 Nope fd", "choices 99", "run 99", "unexpand 99",
+		"expandopt 1", "lisp run", // lisp with extra arg is fine actually
+	} {
+		if line == "lisp run" {
+			continue
+		}
+		if err := c.exec(line); err == nil {
+			t.Errorf("%q should fail", line)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	c, _ := testCLI(t)
+	run(t, c, "", "   ", "# a comment", "start goal Performance # trailing")
+	if c.flow == nil {
+		t.Error("flow not started")
+	}
+}
+
+func TestExpandUpAndConnectCommands(t *testing.T) {
+	c, buf := testCLI(t)
+	run(t, c,
+		"start data stim.exhaustive3",
+		"expandup 1 Performance Stimuli",
+		"expand 2",
+	)
+	if !strings.Contains(buf.String(), "added node 2 (Performance)") {
+		t.Errorf("expandup output:\n%s", buf.String())
+	}
+	// The stimuli node is shared: Performance's Stimuli dep is node 1.
+	dep, ok := c.flow.Node(2).Dep("Stimuli")
+	if !ok || dep != 1 {
+		t.Errorf("Stimuli dep = %v, %v", dep, ok)
+	}
+}
+
+func TestVersionsTraceRetraceCommands(t *testing.T) {
+	c, buf := testCLI(t)
+	// Build a netlist and edit it once, then exercise versions/trace.
+	run(t, c,
+		"start goal EditedNetlist",
+		"expand 1",
+		"bind 2 netEd.fulladder",
+		"run",
+	)
+	first := c.last
+	run(t, c,
+		"start goal EditedNetlist",
+		"expand 1",
+		"expandopt 1 Netlist",
+		"bind 2 netEd.retouch",
+		"bind 3 "+string(first),
+		"run",
+	)
+	buf.Reset()
+	run(t, c, "versions last", "trace last", "annotate last v2 of the adder")
+	out := buf.String()
+	if !strings.Contains(out, string(first)) || !strings.Contains(out, "[via ") {
+		t.Errorf("versions/trace output:\n%s", out)
+	}
+}

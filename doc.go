@@ -1,0 +1,10 @@
+// Package repro reproduces Sutton, Brockman and Director, "Design
+// Management Using Dynamically Defined Flows" (DAC 1993): the Hercules
+// Task Manager of the Odyssey CAD Framework, rebuilt as a Go library.
+//
+// The library lives under internal/ (see DESIGN.md for the map);
+// cmd/hercules is a command-driven task manager, cmd/flowbench
+// regenerates every figure of the paper, and examples/ holds runnable
+// walkthroughs. The benchmarks in this directory (bench_test.go) measure
+// each figure's scenario; EXPERIMENTS.md records the outcomes.
+package repro

@@ -1,0 +1,167 @@
+// approaches: the four design approaches of §3.4.
+//
+// A designer may attack the same problem — "get the performance of a
+// full adder" — goal-based (start at Performance), tool-based (start at
+// the simulator), data-based (start at the stimuli), or plan-based
+// (check a flow out of the catalog). All four converge on equivalent
+// dynamically defined flows and run through the same machinery.
+//
+// Run with: go run ./examples/approaches
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/flow"
+	"repro/internal/hercules"
+	"repro/internal/history"
+)
+
+func main() {
+	s := hercules.NewSession("approaches")
+	if err := s.Bootstrap(); err != nil {
+		log.Fatal(err)
+	}
+
+	runs := []struct {
+		name  string
+		build func() (*flow.Flow, flow.NodeID)
+	}{
+		{"goal-based", func() (*flow.Flow, flow.NodeID) { return goalBased(s) }},
+		{"tool-based", func() (*flow.Flow, flow.NodeID) { return toolBased(s) }},
+		{"data-based", func() (*flow.Flow, flow.NodeID) { return dataBased(s) }},
+		{"plan-based", func() (*flow.Flow, flow.NodeID) { return planBased(s) }},
+	}
+	for _, r := range runs {
+		f, perf := r.build()
+		res, err := s.Run(f)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		pid, err := res.One(perf)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		in := s.DB.Get(pid)
+		fmt.Printf("%-11s -> %s (%d tasks, tool %s)\n", r.name, pid, res.TasksRun, in.Tool)
+	}
+	fmt.Println("\nall four approaches produced Performance instances through one interface")
+}
+
+// completeCircuit expands and binds the circuit subtree under a
+// Performance node.
+func completeCircuit(s *hercules.Session, f *flow.Flow, perf flow.NodeID) {
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	cctN, _ := f.Node(perf).Dep("Circuit")
+	must(f.ExpandDown(cctN, false))
+	dmN, _ := f.Node(cctN).Dep("DeviceModels")
+	netN, _ := f.Node(cctN).Dep("Netlist")
+	must(f.ExpandDown(dmN, false))
+	dmToolN, _ := f.Node(dmN).Dep("fd")
+	if f.Node(netN).Type == "Netlist" {
+		must(f.Specialize(netN, "EditedNetlist"))
+	}
+	must(f.ExpandDown(netN, false))
+	netToolN, _ := f.Node(netN).Dep("fd")
+	must(f.Bind(dmToolN, s.Must("dmEd.default")))
+	must(f.Bind(netToolN, s.Must("netEd.fulladder")))
+}
+
+func goalBased(s *hercules.Session) (*flow.Flow, flow.NodeID) {
+	f, perf, err := s.Catalogs.StartFromGoal("Performance")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.ExpandDown(perf, false); err != nil {
+		log.Fatal(err)
+	}
+	simN, _ := f.Node(perf).Dep("fd")
+	stimN, _ := f.Node(perf).Dep("Stimuli")
+	completeCircuit(s, f, perf)
+	if err := f.Bind(simN, s.Must("sim")); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Bind(stimN, s.Must("stim.exhaustive3")); err != nil {
+		log.Fatal(err)
+	}
+	return f, perf
+}
+
+func toolBased(s *hercules.Session) (*flow.Flow, flow.NodeID) {
+	// Start from the simulator instance in the tool catalog and ask what
+	// it can produce.
+	f, simN, err := s.Catalogs.StartFromTool(s.Must("sim"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	goals := s.Catalogs.GoalsFor("InstalledSimulator")
+	fmt.Printf("  (tool-based: simulator can produce %v)\n", goals)
+	perf, err := f.ExpandUp(simN, goals[0], "fd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.ExpandDown(perf, false); err != nil {
+		log.Fatal(err)
+	}
+	stimN, _ := f.Node(perf).Dep("Stimuli")
+	completeCircuit(s, f, perf)
+	if err := f.Bind(stimN, s.Must("stim.exhaustive3")); err != nil {
+		log.Fatal(err)
+	}
+	return f, perf
+}
+
+func dataBased(s *hercules.Session) (*flow.Flow, flow.NodeID) {
+	// Start from an existing piece of data.
+	f, stimN, err := s.Catalogs.StartFromData(s.Must("stim.exhaustive3"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	perf, err := f.ExpandUp(stimN, "Performance", "Stimuli")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := f.ExpandDown(perf, false); err != nil {
+		log.Fatal(err)
+	}
+	simN, _ := f.Node(perf).Dep("fd")
+	completeCircuit(s, f, perf)
+	if err := f.Bind(simN, s.Must("sim")); err != nil {
+		log.Fatal(err)
+	}
+	return f, perf
+}
+
+func planBased(s *hercules.Session) (*flow.Flow, flow.NodeID) {
+	f, err := s.Catalogs.StartFromPlan("simulate-netlist")
+	if err != nil {
+		log.Fatal(err)
+	}
+	bind := func(typeName string, inst history.ID) {
+		for _, id := range f.Leaves() {
+			if f.Node(id).Type == typeName && !f.Node(id).IsBound() {
+				if err := f.Bind(id, inst); err != nil {
+					log.Fatal(err)
+				}
+				return
+			}
+		}
+		log.Fatalf("no unbound %s leaf in plan", typeName)
+	}
+	bind("Simulator", s.Must("sim"))
+	bind("Stimuli", s.Must("stim.exhaustive3"))
+	bind("NetlistEditor", s.Must("netEd.fulladder"))
+	bind("DeviceModelEditor", s.Must("dmEd.default"))
+	var perf flow.NodeID
+	for _, r := range f.Roots() {
+		if f.Node(r).Type == "Performance" {
+			perf = r
+		}
+	}
+	return f, perf
+}

@@ -1,0 +1,149 @@
+// chipproject: the Design Process Level above the flow manager.
+//
+// The paper (§3.1) delegates hierarchical design decomposition — "a
+// hierarchy of cells within a design" — to the Minerva Design Process
+// Manager. This example runs that layer: a small chip is decomposed into
+// cells, each cell declares goals (entity types that must exist and stay
+// fresh), flows produce the instances, and the process manager rolls
+// status up the hierarchy, regressing goals automatically when the
+// history database says their instances went stale.
+//
+// Run with: go run ./examples/chipproject
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hercules"
+	"repro/internal/history"
+	"repro/internal/process"
+)
+
+func main() {
+	s := hercules.NewSession("pm")
+	if err := s.Bootstrap(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The design hierarchy.
+	chip := &process.Cell{Name: "chip"}
+	alu := chip.AddChild("alu")
+	alu.AddGoal("netlist", "Netlist")
+	alu.AddGoal("layout", "Layout")
+	alu.AddGoal("signoff", "Verification")
+	io := chip.AddChild("iopad")
+	io.AddGoal("netlist", "Netlist")
+	m, err := process.NewManager(s.DB, chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(title string) {
+		fmt.Printf("== %s ==\n", title)
+		out, err := m.Render()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		agenda, err := m.Agenda()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("agenda: %d item(s)\n\n", len(agenda))
+	}
+	show("project start")
+
+	// Work the alu: netlist, then layout, then signoff — each a flow.
+	net := runNetlist(s, "netEd.fulladder")
+	must(m.Assign("chip/alu", "netlist", net))
+	lay := runLayout(s, net)
+	must(m.Assign("chip/alu", "layout", lay))
+	ver := runVerify(s, lay, net)
+	must(m.Assign("chip/alu", "signoff", ver))
+	show("after alu flows")
+
+	// Edit the alu netlist: the process level notices that layout and
+	// signoff regressed without being told.
+	edit(s, net)
+	show("after an engineering change (netlist edited)")
+
+	// The iopad is still pending; finish it.
+	must(m.Assign("chip/iopad", "netlist", runNetlist(s, "netEd.ripple4")))
+	show("after iopad")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func runNetlist(s *hercules.Session, genKey string) history.ID {
+	f := s.NewFlow()
+	n := f.MustAdd("EditedNetlist")
+	must(f.ExpandDown(n, false))
+	tn, _ := f.Node(n).Dep("fd")
+	must(f.Bind(tn, s.Must(genKey)))
+	res, err := s.Run(f)
+	must(err)
+	id, err := res.One(n)
+	must(err)
+	return id
+}
+
+func runLayout(s *hercules.Session, net history.ID) history.ID {
+	f := s.NewFlow()
+	lay := f.MustAdd("PlacedLayout")
+	must(f.ExpandDown(lay, false))
+	placer, _ := f.Node(lay).Dep("fd")
+	nn, _ := f.Node(lay).Dep("Netlist")
+	opts, _ := f.Node(lay).Dep("PlacementOptions")
+	must(f.Bind(nn, net))
+	must(f.Bind(placer, s.Must("placer")))
+	must(f.Bind(opts, s.Must("popts.default")))
+	res, err := s.Run(f)
+	must(err)
+	id, err := res.One(lay)
+	must(err)
+	return id
+}
+
+func runVerify(s *hercules.Session, lay, net history.ID) history.ID {
+	f := s.NewFlow()
+	layN := f.MustAdd("Layout")
+	must(f.Bind(layN, lay))
+	xnet, err := f.ExpandUp(layN, "ExtractedNetlist", "Layout")
+	must(err)
+	must(f.ExpandDown(xnet, false))
+	extr, _ := f.Node(xnet).Dep("fd")
+	ver, err := f.ExpandUp(xnet, "Verification", "Netlist/subject")
+	must(err)
+	must(f.ExpandDown(ver, false))
+	ref, _ := f.Node(ver).Dep("Netlist/reference")
+	vt, _ := f.Node(ver).Dep("fd")
+	must(f.Bind(ref, net))
+	must(f.Bind(extr, s.Must("extractor")))
+	must(f.Bind(vt, s.Must("verifier")))
+	res, err := s.Run(f)
+	must(err)
+	id, err := res.One(ver)
+	must(err)
+	return id
+}
+
+func edit(s *hercules.Session, base history.ID) history.ID {
+	f := s.NewFlow()
+	n := f.MustAdd("EditedNetlist")
+	must(f.ExpandDown(n, false))
+	must(f.ExpandOptional(n, "Netlist"))
+	tn, _ := f.Node(n).Dep("fd")
+	bn, _ := f.Node(n).Dep("Netlist")
+	must(f.Bind(tn, s.Must("netEd.retouch")))
+	must(f.Bind(bn, base))
+	res, err := s.Run(f)
+	must(err)
+	id, err := res.One(n)
+	must(err)
+	return id
+}

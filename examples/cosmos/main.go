@@ -1,0 +1,126 @@
+// cosmos: a tool created during the design process (Fig. 2).
+//
+// The task schema lets tools be entities like any other data, so a tool
+// can be *produced by a flow*: here a simulator compiler (in the style
+// of COSMOS) compiles a dedicated simulator for a 4-bit ripple adder,
+// and that generated simulator then executes the performance task — all
+// inside one dynamically defined flow, with the netlist node shared
+// between the compiler and the circuit.
+//
+// Run with: go run ./examples/cosmos
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hercules"
+)
+
+func main() {
+	s := hercules.NewSession("cosmos")
+	if err := s.Bootstrap(); err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	f, perf, err := s.Catalogs.StartFromGoal("Performance")
+	must(err)
+	must(f.ExpandDown(perf, false))
+	simN, _ := f.Node(perf).Dep("fd")
+	cctN, _ := f.Node(perf).Dep("Circuit")
+	stimN, _ := f.Node(perf).Dep("Stimuli")
+	must(f.ExpandDown(cctN, false))
+	dmN, _ := f.Node(cctN).Dep("DeviceModels")
+	netN, _ := f.Node(cctN).Dep("Netlist")
+	must(f.Specialize(netN, "EditedNetlist"))
+	must(f.ExpandDown(netN, false))
+	netToolN, _ := f.Node(netN).Dep("fd")
+	must(f.ExpandDown(dmN, false))
+	dmToolN, _ := f.Node(dmN).Dep("fd")
+
+	// The key move: the simulator node is specialized to the generated
+	// tool and expanded — its construction is part of the flow. The
+	// netlist node is shared (Fig. 5-style reuse) so the simulator is
+	// compiled for exactly the netlist being simulated.
+	must(f.Specialize(simN, "CompiledSimulator"))
+	must(f.Connect(simN, "Netlist", netN))
+	must(f.ExpandDown(simN, false))
+	compilerN, _ := f.Node(simN).Dep("fd")
+
+	// Ripple-4 generator, exhaustive-ish stimuli over 9 inputs is too
+	// much; use the bootstrap's step stimuli? The adder has 9 inputs, so
+	// import a dedicated walking stimuli set instead.
+	stim, err := s.Import("Stimuli", "ripple4 walking", ripple4Stimuli())
+	must(err)
+
+	must(f.Bind(stimN, stim))
+	must(f.Bind(dmToolN, s.Must("dmEd.default")))
+	must(f.Bind(netToolN, s.Must("netEd.ripple4")))
+	must(f.Bind(compilerN, s.Must("compiler")))
+
+	fmt.Println("== flow with a generated tool (Fig. 2) ==")
+	fmt.Print(f.Render())
+
+	res, err := s.Run(f)
+	must(err)
+	pid, err := res.One(perf)
+	must(err)
+	fmt.Printf("\nexecuted %d tasks\n", res.TasksRun)
+
+	// The generated simulator is an ordinary instance with a derivation.
+	pin := s.DB.Get(pid)
+	simInst := s.DB.Get(pin.Tool)
+	fmt.Printf("\nperformance %s was produced by %s (%s)\n", pid, simInst.ID, simInst.Type)
+	fmt.Println("the generated tool's own derivation (Fig. 10 style):")
+	h, _ := s.History(simInst.ID)
+	fmt.Print(h)
+
+	// Its artifact is the compiled program itself.
+	prog, _ := s.ArtifactText(simInst.ID)
+	fmt.Printf("compiled program: %d bytes; first lines:\n%s", len(prog), firstLines(prog, 4))
+
+	perfText, _ := s.ArtifactText(pid)
+	fmt.Printf("\nfunctional results (first lines):\n%s", firstLines(perfText, 8))
+}
+
+// ripple4Stimuli builds walking-ones stimuli for the 4-bit adder's nine
+// inputs.
+func ripple4Stimuli() string {
+	inputs := []string{"a0", "b0", "a1", "b1", "a2", "b2", "a3", "b3", "cin"}
+	out := "stimuli walk9\ninterval 10000000\ninputs"
+	for _, in := range inputs {
+		out += " " + in
+	}
+	out += "\n"
+	for i := 0; i <= len(inputs); i++ {
+		out += "vector "
+		for j := range inputs {
+			if i > 0 && j == i-1 {
+				out += "1"
+			} else {
+				out += "0"
+			}
+		}
+		out += "\n"
+	}
+	return out
+}
+
+func firstLines(s string, n int) string {
+	out, count := "", 0
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			count++
+			if count == n {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+// optimize: shared encapsulations and tools-as-data (§3.3).
+//
+// Three statistical circuit optimizers take exactly the same inputs and
+// produce the same output type, so one encapsulation serves all three
+// tool types; and each receives the circuit simulator as a *data* input
+// — a tool passed to a tool. The flow tunes device models to meet a
+// critical-path target on an inverter chain, once per optimizer, and the
+// derivation of each result records which simulator was handed in.
+//
+// Run with: go run ./examples/optimize
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/hercules"
+)
+
+func main() {
+	s := hercules.NewSession("optimize")
+	if err := s.Bootstrap(); err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// An inverter chain and a step stimulus for it.
+	chainTool, err := s.Import("NetlistEditor", "invchain gen", "generate invchain 8")
+	must(err)
+	goal, err := s.Import("OptimizationGoal", "aggressive", "target=900 budget=24 seed=7")
+	must(err)
+
+	for _, optKey := range []string{"opt.random", "opt.descent", "opt.anneal"} {
+		f := s.NewFlow()
+		om := f.MustAdd("OptimizedModels")
+		must(f.ExpandDown(om, false))
+		optN, _ := f.Node(om).Dep("fd")
+		cctN, _ := f.Node(om).Dep("Circuit")
+		stimN, _ := f.Node(om).Dep("Stimuli")
+		goalN, _ := f.Node(om).Dep("OptimizationGoal")
+		engineN, _ := f.Node(om).Dep("Simulator/engine")
+		must(f.ExpandDown(cctN, false))
+		dmN, _ := f.Node(cctN).Dep("DeviceModels")
+		netN, _ := f.Node(cctN).Dep("Netlist")
+		must(f.ExpandDown(dmN, false))
+		dmToolN, _ := f.Node(dmN).Dep("fd")
+		must(f.Specialize(netN, "EditedNetlist"))
+		must(f.ExpandDown(netN, false))
+		netToolN, _ := f.Node(netN).Dep("fd")
+
+		must(f.Bind(optN, s.Must(optKey)))
+		must(f.Bind(stimN, s.Must("stim.step")))
+		must(f.Bind(goalN, goal))
+		must(f.Bind(engineN, s.Must("sim"))) // the simulator, as data
+		must(f.Bind(dmToolN, s.Must("dmEd.default")))
+		must(f.Bind(netToolN, chainTool))
+
+		res, err := s.Run(f)
+		must(err)
+		id, err := res.One(om)
+		must(err)
+		text, _ := s.ArtifactText(id)
+		fmt.Printf("%-12s -> %s\n", optKey, summaryLine(text))
+		// The derivation records the engine — browseable like anything
+		// else.
+		in := s.DB.Get(id)
+		engine, _ := in.InputFor("Simulator/engine")
+		fmt.Printf("              derivation records engine = %s, optimizer = %s\n", engine, in.Tool)
+	}
+}
+
+func summaryLine(text string) string {
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, "# ") {
+			return strings.TrimPrefix(l, "# ")
+		}
+	}
+	return "(no summary)"
+}

@@ -1,0 +1,205 @@
+// Package staticflow implements the baseline the paper argues against:
+// JESSI-style predefined flows (§2) — a fixed sequence of activities,
+// hardwired to specific tool instances, that the designer must follow
+// step by step. Rumsey and Farquhar call the result a "flow
+// straight-jacket": the designer cannot reorder, skip, or substitute
+// steps, and every tool change requires editing the flow definitions.
+//
+// The package exists so the benchmarks can compare the dynamic-flow
+// approach against this baseline on expressiveness (how many legal tool
+// sequences a catalog of definitions covers) and maintenance cost (what
+// must change when a tool changes).
+package staticflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/encap"
+	"repro/internal/schema"
+)
+
+// Step is one fixed activity: a tool applied to named slots.
+type Step struct {
+	// Name labels the step.
+	Name string
+	// ToolType is the hardwired tool entity type.
+	ToolType string
+	// Tool is the hardwired tool artifact (script etc.). This is the
+	// "hardwired to specific tools" property: unlike a dynamic flow,
+	// the instance is part of the definition.
+	Tool []byte
+	// Inputs maps the tool's dependency keys to slot names; slots are
+	// filled by earlier steps' outputs or by the initial inputs.
+	Inputs map[string]string
+	// Output is the slot the step's product is stored under.
+	Output string
+	// Produces is the entity type produced (used for bookkeeping only;
+	// static flows do not type-check against a schema).
+	Produces string
+}
+
+// Flow is a predefined, fixed sequence of steps.
+type Flow struct {
+	Name  string
+	Steps []Step
+}
+
+// Execution enforces the straight-jacket: steps must be run in order,
+// exactly once, with no substitutions.
+type Execution struct {
+	flow  *Flow
+	reg   *encap.Registry
+	s     *schema.Schema
+	slots map[string][]byte
+	next  int
+}
+
+// Start begins executing a flow with the given initial slot contents.
+func Start(f *Flow, s *schema.Schema, reg *encap.Registry, initial map[string][]byte) *Execution {
+	slots := make(map[string][]byte, len(initial))
+	for k, v := range initial {
+		slots[k] = v
+	}
+	return &Execution{flow: f, reg: reg, s: s, slots: slots}
+}
+
+// Next returns the name of the next step, or "" when done.
+func (e *Execution) Next() string {
+	if e.next >= len(e.flow.Steps) {
+		return ""
+	}
+	return e.flow.Steps[e.next].Name
+}
+
+// RunStep executes the named step — which must be exactly the next one.
+// Running any other step is refused: that is the point of the baseline.
+func (e *Execution) RunStep(name string) error {
+	if e.next >= len(e.flow.Steps) {
+		return fmt.Errorf("staticflow: flow %q is complete", e.flow.Name)
+	}
+	step := e.flow.Steps[e.next]
+	if step.Name != name {
+		return fmt.Errorf("staticflow: step %q is out of order; the flow requires %q next", name, step.Name)
+	}
+	enc, err := e.reg.Lookup(e.s, step.ToolType)
+	if err != nil {
+		return err
+	}
+	req := &encap.Request{
+		Goal:     step.Produces,
+		ToolType: step.ToolType,
+		Tool:     step.Tool,
+		Inputs:   make(map[string][]byte, len(step.Inputs)),
+	}
+	for key, slot := range step.Inputs {
+		b, ok := e.slots[slot]
+		if !ok {
+			return fmt.Errorf("staticflow: step %q needs slot %q, which is empty", name, slot)
+		}
+		req.Inputs[key] = b
+	}
+	out, err := enc.Run(req)
+	if err != nil {
+		return fmt.Errorf("staticflow: step %q: %w", name, err)
+	}
+	data, ok := out[step.Produces]
+	if !ok {
+		return fmt.Errorf("staticflow: step %q produced no %s", name, step.Produces)
+	}
+	e.slots[step.Output] = data
+	e.next++
+	return nil
+}
+
+// RunAll executes the remaining steps in their fixed order.
+func (e *Execution) RunAll() error {
+	for e.Next() != "" {
+		if err := e.RunStep(e.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Slot returns a slot's contents.
+func (e *Execution) Slot(name string) ([]byte, bool) {
+	b, ok := e.slots[name]
+	return b, ok
+}
+
+// Done reports whether every step has run.
+func (e *Execution) Done() bool { return e.next >= len(e.flow.Steps) }
+
+// Sequence returns the flow's tool sequence — the single ordering it can
+// ever execute.
+func (f *Flow) Sequence() []string {
+	out := make([]string, len(f.Steps))
+	for i, s := range f.Steps {
+		out[i] = s.ToolType
+	}
+	return out
+}
+
+// Catalog is a library of static flows; its expressiveness is exactly
+// the set of sequences it enumerates.
+type Catalog struct {
+	flows map[string]*Flow
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{flows: make(map[string]*Flow)} }
+
+// Install adds a flow.
+func (c *Catalog) Install(f *Flow) error {
+	if f.Name == "" {
+		return fmt.Errorf("staticflow: flow needs a name")
+	}
+	if _, ok := c.flows[f.Name]; ok {
+		return fmt.Errorf("staticflow: duplicate flow %q", f.Name)
+	}
+	c.flows[f.Name] = f
+	return nil
+}
+
+// Get returns a flow by name.
+func (c *Catalog) Get(name string) (*Flow, bool) {
+	f, ok := c.flows[name]
+	return f, ok
+}
+
+// Len returns the number of flows.
+func (c *Catalog) Len() int { return len(c.flows) }
+
+// Sequences returns the distinct tool sequences the catalog can execute,
+// sorted — the static baseline's entire expressiveness.
+func (c *Catalog) Sequences() []string {
+	seen := make(map[string]bool)
+	for _, f := range c.flows {
+		seen[strings.Join(f.Sequence(), " > ")] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ToolChangeCost counts the flow definitions that mention the given tool
+// type — the definitions a methodology manager must edit when that tool
+// changes. Under dynamic flows the equivalent cost is zero or one schema
+// line (§3.3).
+func (c *Catalog) ToolChangeCost(toolType string) int {
+	n := 0
+	for _, f := range c.flows {
+		for _, s := range f.Steps {
+			if s.ToolType == toolType {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

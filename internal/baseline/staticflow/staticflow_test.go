@@ -1,0 +1,140 @@
+package staticflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/encap"
+	"repro/internal/schema"
+)
+
+// extractFlow is a fixed two-step flow: generate a layout, extract it.
+func extractFlow() *Flow {
+	return &Flow{
+		Name: "layout-then-extract",
+		Steps: []Step{
+			{Name: "draw", ToolType: "LayoutEditor", Tool: []byte("generate fulladder"),
+				Inputs: map[string]string{}, Output: "lay", Produces: "EditedLayout"},
+			{Name: "extract", ToolType: "Extractor",
+				Inputs: map[string]string{"Layout": "lay"}, Output: "net", Produces: "ExtractedNetlist"},
+		},
+	}
+}
+
+func TestRunAllInOrder(t *testing.T) {
+	e := Start(extractFlow(), schema.Full(), encap.StandardRegistry(), nil)
+	if e.Next() != "draw" {
+		t.Fatalf("Next = %q", e.Next())
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if !e.Done() {
+		t.Error("not done after RunAll")
+	}
+	net, ok := e.Slot("net")
+	if !ok || !strings.Contains(string(net), "mos ") {
+		t.Errorf("net slot = %.60q, %v", string(net), ok)
+	}
+	if e.Next() != "" {
+		t.Errorf("Next after done = %q", e.Next())
+	}
+	if err := e.RunStep("draw"); err == nil {
+		t.Error("running a completed flow should fail")
+	}
+}
+
+func TestStraightJacketEnforced(t *testing.T) {
+	// The defining property of the baseline: steps cannot be reordered.
+	e := Start(extractFlow(), schema.Full(), encap.StandardRegistry(), nil)
+	err := e.RunStep("extract")
+	if err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMissingSlot(t *testing.T) {
+	f := &Flow{Name: "x", Steps: []Step{
+		{Name: "extract", ToolType: "Extractor",
+			Inputs: map[string]string{"Layout": "ghost"}, Output: "net", Produces: "ExtractedNetlist"},
+	}}
+	e := Start(f, schema.Full(), encap.StandardRegistry(), nil)
+	if err := e.RunStep("extract"); err == nil || !strings.Contains(err.Error(), "slot") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnknownTool(t *testing.T) {
+	f := &Flow{Name: "x", Steps: []Step{
+		{Name: "s", ToolType: "NoSuchTool", Output: "o", Produces: "X"},
+	}}
+	e := Start(f, schema.Full(), encap.StandardRegistry(), nil)
+	if err := e.RunStep("s"); err == nil {
+		t.Error("unknown tool should fail")
+	}
+}
+
+func TestInitialSlots(t *testing.T) {
+	f := &Flow{Name: "x", Steps: []Step{
+		{Name: "extract", ToolType: "Extractor",
+			Inputs: map[string]string{"Layout": "given"}, Output: "net", Produces: "ExtractedNetlist"},
+	}}
+	// Provide the layout as an initial slot.
+	pre := Start(extractFlow(), schema.Full(), encap.StandardRegistry(), nil)
+	if err := pre.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	lay, _ := pre.Slot("lay")
+	e := Start(f, schema.Full(), encap.StandardRegistry(), map[string][]byte{"given": lay})
+	if err := e.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+}
+
+func TestCatalogExpressiveness(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Install(extractFlow()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install(&Flow{Name: "other", Steps: []Step{
+		{Name: "draw", ToolType: "LayoutEditor", Tool: []byte("generate mux2"),
+			Inputs: map[string]string{}, Output: "lay", Produces: "EditedLayout"},
+		{Name: "extract", ToolType: "Extractor",
+			Inputs: map[string]string{"Layout": "lay"}, Output: "net", Produces: "ExtractedNetlist"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	// Two flows, but the same tool sequence: expressiveness is ONE
+	// sequence.
+	if got := c.Sequences(); len(got) != 1 {
+		t.Errorf("Sequences = %v", got)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if got := c.ToolChangeCost("Extractor"); got != 2 {
+		t.Errorf("ToolChangeCost = %d, want 2 (both definitions name it)", got)
+	}
+	if got := c.ToolChangeCost("Verifier"); got != 0 {
+		t.Errorf("ToolChangeCost(Verifier) = %d", got)
+	}
+	if err := c.Install(extractFlow()); err == nil {
+		t.Error("duplicate install should fail")
+	}
+	if err := c.Install(&Flow{}); err == nil {
+		t.Error("unnamed flow should fail")
+	}
+	if _, ok := c.Get("layout-then-extract"); !ok {
+		t.Error("Get failed")
+	}
+	if _, ok := c.Get("ghost"); ok {
+		t.Error("Get(ghost) should miss")
+	}
+}
+
+func TestSequence(t *testing.T) {
+	seq := extractFlow().Sequence()
+	if len(seq) != 2 || seq[0] != "LayoutEditor" || seq[1] != "Extractor" {
+		t.Errorf("Sequence = %v", seq)
+	}
+}

@@ -1,0 +1,228 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hercules"
+	"repro/internal/history"
+)
+
+// capturedSession runs a layout->extraction flow and captures the trace
+// of the extracted netlist.
+func capturedSession(t *testing.T) (*hercules.Session, *Trace, history.ID) {
+	t.Helper()
+	s := hercules.NewSession("t")
+	if err := s.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	f := s.NewFlow()
+	net := f.MustAdd("ExtractedNetlist")
+	if err := f.ExpandDown(net, false); err != nil {
+		t.Fatal(err)
+	}
+	extrN, _ := f.Node(net).Dep("fd")
+	layN, _ := f.Node(net).Dep("Layout")
+	if err := f.Specialize(layN, "EditedLayout"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ExpandDown(layN, false); err != nil {
+		t.Fatal(err)
+	}
+	layToolN, _ := f.Node(layN).Dep("fd")
+	if err := f.Bind(extrN, s.Must("extractor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Bind(layToolN, s.Must("layEd.fulladder")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := res.One(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Capture(s.DB, target)
+	if err != nil {
+		t.Fatalf("Capture: %v", err)
+	}
+	return s, tr, target
+}
+
+func TestCaptureStructure(t *testing.T) {
+	_, tr, _ := capturedSession(t)
+	// Two constructions: the layout and the extraction.
+	seq := tr.ToolSequence()
+	if len(seq) != 2 || seq[0] != "LayoutEditor" || seq[1] != "Extractor" {
+		t.Fatalf("tool sequence = %v", seq)
+	}
+	if !strings.Contains(tr.String(), "Extractor") {
+		t.Errorf("String = %q", tr.String())
+	}
+}
+
+func TestCaptureMissing(t *testing.T) {
+	s := hercules.NewSession("t")
+	if _, err := Capture(s.DB, "Nope:1"); err == nil {
+		t.Error("missing target should fail")
+	}
+}
+
+func TestReplayAsPrototype(t *testing.T) {
+	// Casotto's positive: an existing trace replays as a prototype for
+	// new activity — here with a different layout-editor script.
+	s, tr, target := capturedSession(t)
+	// Tool artifacts for replay, keyed by the recorded tool slots.
+	tools := map[string][]byte{}
+	for _, ev := range tr.Events {
+		if ev.ToolType == "" {
+			continue
+		}
+		in := s.DB.Get(history.ID(ev.Tool))
+		if in == nil {
+			t.Fatalf("recorded tool %s missing", ev.Tool)
+		}
+		if in.Data != "" {
+			b, _ := s.Store.Get(in.Data)
+			tools[string(ev.Tool)] = b
+		}
+	}
+	// Substitute the generator script: replay on a mux instead of the
+	// adder.
+	for _, ev := range tr.Events {
+		if ev.ToolType == "LayoutEditor" {
+			tools[string(ev.Tool)] = []byte("generate mux2")
+		}
+	}
+	out, err := tr.Replay(s.Schema, s.Registry, nil, tools)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	got, ok := out[string(target)]
+	if !ok {
+		t.Fatalf("replay produced no %s slot; slots: %d", target, len(out))
+	}
+	if !strings.Contains(string(got), "netlist mux2") {
+		t.Errorf("replayed extraction = %.80q", string(got))
+	}
+}
+
+func TestReplayNoMethodologyEnforcement(t *testing.T) {
+	// The paper's negative: nothing stops a trace from replaying a
+	// nonsensical invocation — the failure surfaces only inside the
+	// tool, not from any methodology check.
+	s, _, _ := capturedSession(t)
+	bogus := &Trace{Name: "bogus", Events: []Event{
+		{ToolType: "Extractor", Inputs: map[string]string{"Layout": "notALayout"},
+			Output: "o", Produces: "ExtractedNetlist"},
+	}}
+	_, err := bogus.Replay(s.Schema, s.Registry,
+		map[string][]byte{"notALayout": []byte("stimuli s\ninterval 1\ninputs a\n")}, nil)
+	if err == nil {
+		t.Fatal("tool should choke on ill-typed data")
+	}
+	// The error comes from the tool, not from a schema check: the trace
+	// system itself accepted the sequence.
+	if !strings.Contains(err.Error(), "layout") {
+		t.Logf("tool-level error (as expected, no methodology layer): %v", err)
+	}
+}
+
+func TestReplayMissingSlot(t *testing.T) {
+	s, tr, _ := capturedSession(t)
+	if _, err := tr.Replay(s.Schema, s.Registry, nil, nil); err == nil {
+		// The first event is the layout generation, which needs no
+		// slots; the extractor consumes its output. Missing tool
+		// artifacts make the generator fail instead.
+		t.Log("replay succeeded without tools — generator scripts defaulted")
+	}
+	bogus := &Trace{Name: "b", Events: []Event{
+		{ToolType: "Extractor", Inputs: map[string]string{"Layout": "ghost"},
+			Output: "o", Produces: "ExtractedNetlist"},
+	}}
+	if _, err := bogus.Replay(s.Schema, s.Registry, nil, nil); err == nil || !strings.Contains(err.Error(), "slot") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCaptureCompositeDerivation(t *testing.T) {
+	// Traces over a flow containing a composite: the composition is
+	// recorded as a compose event and replays.
+	s := hercules.NewSession("t")
+	if err := s.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Catalogs.StartFromPlan("simulate-netlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := func(typeName, key string) {
+		t.Helper()
+		for _, id := range f.Leaves() {
+			if f.Node(id).Type == typeName && !f.Node(id).IsBound() {
+				if err := f.Bind(id, s.Must(key)); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+	}
+	bind("Simulator", "sim")
+	bind("Stimuli", "stim.exhaustive3")
+	bind("NetlistEditor", "netEd.fulladder")
+	bind("DeviceModelEditor", "dmEd.default")
+	res, err := s.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perf history.ID
+	for _, root := range f.Roots() {
+		if ids := res.InstancesOf(root); len(ids) == 1 {
+			if s.DB.Get(ids[0]).Type == "Performance" {
+				perf = ids[0]
+			}
+		}
+	}
+	tr, err := Capture(s.DB, perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasCompose := false
+	for _, ev := range tr.Events {
+		if ev.ToolType == "" {
+			hasCompose = true
+		}
+	}
+	if !hasCompose {
+		t.Errorf("trace should record the circuit composition:\n%s", tr)
+	}
+	// Replay it fully: tools by their recorded slots, stimuli as an
+	// initial slot.
+	tools := map[string][]byte{}
+	slots := map[string][]byte{}
+	for _, ev := range tr.Events {
+		if ev.ToolType != "" {
+			in := s.DB.Get(history.ID(ev.Tool))
+			if in != nil && in.Data != "" {
+				b, _ := s.Store.Get(in.Data)
+				tools[string(ev.Tool)] = b
+			}
+		}
+		for _, slot := range ev.Inputs {
+			if in := s.DB.Get(history.ID(slot)); in != nil && in.Data != "" {
+				if b, ok := s.Store.Get(in.Data); ok {
+					slots[slot] = b
+				}
+			}
+		}
+	}
+	out, err := tr.Replay(s.Schema, s.Registry, slots, tools)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !strings.Contains(string(out[string(perf)]), "performance fulladder") {
+		t.Errorf("replayed performance wrong")
+	}
+}

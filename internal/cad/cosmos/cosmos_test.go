@@ -1,0 +1,225 @@
+package cosmos
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/sim"
+)
+
+func TestCompileFullAdder(t *testing.T) {
+	p, err := Compile(netlist.FullAdder())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if p.Netlist != "fulladder" {
+		t.Errorf("Netlist = %q", p.Netlist)
+	}
+	if got := p.Inputs(); len(got) != 3 {
+		t.Errorf("Inputs = %v", got)
+	}
+	if got := p.Outputs(); len(got) != 2 {
+		t.Errorf("Outputs = %v", got)
+	}
+	// 2 consts + 5 gates.
+	if p.Steps() != 7 {
+		t.Errorf("Steps = %d", p.Steps())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	// Transistor netlists dispatch to the switch-level compiler.
+	x, _ := netlist.ToTransistor(netlist.Inverter())
+	if _, err := Compile(x); err != nil {
+		t.Errorf("transistor compile should dispatch to switch level: %v", err)
+	}
+	// Mixed netlists are rejected.
+	mixed := netlist.Inverter()
+	mixed.AddMOS("m1", netlist.NMOS, "in", netlist.Gnd, "out2", 4, 2)
+	if _, err := Compile(mixed); err == nil || !strings.Contains(err.Error(), "pure") {
+		t.Errorf("mixed err = %v", err)
+	}
+	// Loop.
+	nl := netlist.New("loop")
+	nl.AddPort("o", netlist.Out)
+	nl.AddGate("g1", netlist.INV, "w1", "w2")
+	nl.AddGate("g2", netlist.INV, "w2", "w1")
+	nl.AddGate("g3", netlist.BUF, "o", "w1")
+	if _, err := Compile(nl); err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Errorf("loop err = %v", err)
+	}
+	// Invalid netlist.
+	bad := netlist.New("bad")
+	bad.AddPort("o", netlist.Out)
+	bad.AddGate("g", netlist.INV, "o", "ghost")
+	if _, err := Compile(bad); err == nil {
+		t.Error("invalid netlist should fail")
+	}
+}
+
+func TestRunMatchesEvaluate(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{netlist.FullAdder(), netlist.Mux2(), netlist.ParityTree(5), netlist.RippleAdder(4)} {
+		p, err := Compile(nl)
+		if err != nil {
+			t.Fatalf("%s: %v", nl.Name, err)
+		}
+		st := sim.Exhaustive("exh", 100, nl.Inputs()...)
+		if len(nl.Inputs()) > 8 {
+			st = sim.Walking("walk", 100, nl.Inputs()...)
+		}
+		got, err := p.RunVectors(st)
+		if err != nil {
+			t.Fatalf("%s: RunVectors: %v", nl.Name, err)
+		}
+		for vi, vec := range st.Vectors {
+			in := map[string]bool{}
+			for i, name := range st.Inputs {
+				in[name] = vec[i]
+			}
+			want, err := sim.Evaluate(nl, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range nl.Outputs() {
+				if got[vi][o] != want[o] {
+					t.Errorf("%s vec %d out %s: cosmos=%v eval=%v", nl.Name, vi, o, got[vi][o], want[o])
+				}
+			}
+		}
+	}
+}
+
+func TestRunSingleVector(t *testing.T) {
+	p, err := Compile(netlist.Mux2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Run(map[string]bool{"a": true, "b": false, "sel": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"] != true {
+		t.Errorf("mux(a=1,sel=0) = %v", out["y"])
+	}
+	out, err = p.Run(map[string]bool{"a": true, "b": false, "sel": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["y"] != false {
+		t.Errorf("mux(b=0,sel=1) = %v", out["y"])
+	}
+	if _, err := p.Run(map[string]bool{"a": true}); err == nil {
+		t.Error("missing inputs should fail")
+	}
+}
+
+func TestRunVectorsErrors(t *testing.T) {
+	p, err := Compile(netlist.FullAdder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.NewStimuli("s", 100, "a", "b")
+	st.MustAddVector(true, false)
+	if _, err := p.RunVectors(st); err == nil || !strings.Contains(err.Error(), "covers 2 of 3") {
+		t.Errorf("err = %v", err)
+	}
+	st2 := sim.NewStimuli("s", 100, "a", "b", "ghost")
+	st2.MustAddVector(true, false, true)
+	if _, err := p.RunVectors(st2); err == nil || !strings.Contains(err.Error(), "not a program input") {
+		t.Errorf("err = %v", err)
+	}
+	bad := sim.NewStimuli("s", 0, "a")
+	if _, err := p.RunVectors(bad); err == nil {
+		t.Error("invalid stimuli should fail")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	p, err := Compile(netlist.RippleAdder(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(p)
+	p2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if Format(p2) != text {
+		t.Error("round trip unstable")
+	}
+	// The reparsed program computes the same function.
+	st := sim.Walking("w", 100, p.Inputs()...)
+	a, err := p.RunVectors(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p2.RunVectors(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for k, v := range a[i] {
+			if b[i][k] != v {
+				t.Errorf("vec %d out %s differs after round trip", i, k)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no header", "slots 1\n", "missing header"},
+		{"bad keyword", "cosmos x\nfrob\n", "unknown keyword"},
+		{"bad op", "cosmos x\nslots 2\nop frob 0 1 1\n", "unknown op"},
+		{"op range", "cosmos x\nslots 1\nop not 5 0 0\n", "out of range"},
+		{"input range", "cosmos x\nslots 1\ninput a 7\n", "out of range"},
+		{"output range", "cosmos x\nslots 1\noutput a 7\n", "out of range"},
+		{"bad slots", "cosmos x\nslots zz\n", "bad slot count"},
+		{"op arity", "cosmos x\nslots 1\nop not 0\n", "op wants"},
+		{"op number", "cosmos x\nslots 1\nop not a b c\n", "bad slot number"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+// Property: the compiled simulator agrees with topological evaluation on
+// random circuits and vectors — the same check the sim package runs,
+// closing the triangle sim == Evaluate == cosmos.
+func TestQuickCosmosAgreesWithEvaluate(t *testing.T) {
+	f := func(seed int64, bits uint16) bool {
+		nl := netlist.RandomLogic(6, 30, seed)
+		p, err := Compile(nl)
+		if err != nil {
+			return false
+		}
+		in := map[string]bool{}
+		for i, name := range nl.Inputs() {
+			in[name] = bits&(1<<i) != 0
+		}
+		got, err := p.Run(in)
+		if err != nil {
+			return false
+		}
+		want, err := sim.Evaluate(nl, in)
+		if err != nil {
+			return false
+		}
+		for _, o := range nl.Outputs() {
+			if got[o] != want[o] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,291 @@
+package cosmos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cad/netlist"
+)
+
+// Switch-level compilation: the part that makes this package earn its
+// COSMOS name. Bryant's COSMOS compiled *MOS transistor* circuits into
+// boolean evaluation code; CompileTransistor does the same for the
+// complementary static CMOS subset:
+//
+//  1. nets are classified by the channels touching them — a net on both
+//     NMOS and PMOS diffusions is a gate output, a net on one polarity
+//     only is an internal stack node;
+//  2. each output's pull-down network is turned into a boolean formula
+//     by enumerating the simple NMOS paths to gnd (series = AND,
+//     parallel = OR), and dually for the pull-up network to vdd;
+//  3. the two formulas are checked complementary (exhaustively over the
+//     gate variables — CMOS cells are small), so output = NOT(pull-down);
+//  4. outputs are levelized by their gate dependencies and emitted as a
+//     straight-line program, exactly like the gate-level compiler.
+func CompileTransistor(nl *netlist.Netlist) (*Program, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nl.Devices) == 0 || len(nl.Gates) != 0 {
+		return nil, fmt.Errorf("cosmos: %q must be a pure transistor netlist", nl.Name)
+	}
+
+	fixed := map[string]bool{netlist.Vdd: true, netlist.Gnd: true}
+	for _, in := range nl.Inputs() {
+		fixed[in] = true
+	}
+
+	// Channel adjacency and polarity classification.
+	type edge struct {
+		gate  string
+		other string
+		typ   netlist.MOSType
+	}
+	adj := make(map[string][]edge)
+	touchesN := make(map[string]bool)
+	touchesP := make(map[string]bool)
+	for _, m := range nl.Devices {
+		adj[m.Source] = append(adj[m.Source], edge{m.Gate, m.Drain, m.Type})
+		adj[m.Drain] = append(adj[m.Drain], edge{m.Gate, m.Source, m.Type})
+		for _, term := range []string{m.Source, m.Drain} {
+			if m.Type == netlist.NMOS {
+				touchesN[term] = true
+			} else {
+				touchesP[term] = true
+			}
+		}
+	}
+
+	isOutput := func(n string) bool {
+		return !fixed[n] && touchesN[n] && touchesP[n]
+	}
+	var outputs []string
+	for _, n := range nl.Nets() {
+		if isOutput(n) {
+			outputs = append(outputs, n)
+		}
+	}
+	sort.Strings(outputs)
+	for _, p := range nl.Outputs() {
+		if !isOutput(p) {
+			return nil, fmt.Errorf("cosmos: primary output %s is not driven by a complementary gate", p)
+		}
+	}
+
+	// paths enumerates the gate-variable conjunctions of the simple
+	// channel paths from start to rail, passing only through internal
+	// nodes of the right polarity.
+	paths := func(start, rail string, typ netlist.MOSType) [][]string {
+		var out [][]string
+		visited := map[string]bool{start: true}
+		var dfs func(cur string, gates []string)
+		dfs = func(cur string, gates []string) {
+			for _, e := range adj[cur] {
+				if e.typ != typ {
+					continue
+				}
+				if e.other == rail {
+					out = append(out, append(append([]string(nil), gates...), e.gate))
+					continue
+				}
+				// Intermediate nodes must be internal stack nodes: not
+				// fixed, not another output, single-polarity.
+				if visited[e.other] || fixed[e.other] || isOutput(e.other) {
+					continue
+				}
+				visited[e.other] = true
+				dfs(e.other, append(gates, e.gate))
+				visited[e.other] = false
+			}
+		}
+		dfs(start, nil)
+		return out
+	}
+
+	// Build per-output pull networks and dependencies.
+	type outDef struct {
+		name string
+		down [][]string // OR of ANDs of gate nets
+		deps []string   // gate nets
+	}
+	defs := make(map[string]*outDef, len(outputs))
+	for _, n := range outputs {
+		down := paths(n, netlist.Gnd, netlist.NMOS)
+		up := paths(n, netlist.Vdd, netlist.PMOS)
+		if len(down) == 0 || len(up) == 0 {
+			return nil, fmt.Errorf("cosmos: output %s lacks a pull-%s network", n,
+				map[bool]string{true: "down", false: "up"}[len(down) == 0])
+		}
+		vars := varsOf(down, up)
+		if len(vars) > 12 {
+			return nil, fmt.Errorf("cosmos: gate network at %s too wide (%d inputs)", n, len(vars))
+		}
+		if !complementary(down, up, vars) {
+			return nil, fmt.Errorf("cosmos: networks at %s are not complementary (not static CMOS)", n)
+		}
+		d := &outDef{name: n, down: down, deps: vars}
+		defs[n] = d
+	}
+
+	// Gate nets must be inputs, rails or other outputs.
+	for _, d := range defs {
+		for _, g := range d.deps {
+			if !fixed[g] && defs[g] == nil {
+				return nil, fmt.Errorf("cosmos: gate net %s of output %s is neither input nor gate output", g, d.name)
+			}
+		}
+	}
+
+	// Emit the program, levelizing outputs over their dependencies.
+	p := &Program{Netlist: nl.Name, inputs: make(map[string]int), outputs: make(map[string]int)}
+	slot := make(map[string]int)
+	alloc := func(net string) int {
+		if s, ok := slot[net]; ok {
+			return s
+		}
+		s := p.nslots
+		p.nslots++
+		slot[net] = s
+		return s
+	}
+	temp := func() int {
+		s := p.nslots
+		p.nslots++
+		return s
+	}
+	p.code = append(p.code, instr{op: opConst1, out: alloc(netlist.Vdd)})
+	p.code = append(p.code, instr{op: opConst0, out: alloc(netlist.Gnd)})
+	for _, in := range nl.Inputs() {
+		p.inputs[in] = alloc(in)
+		p.inputOrder = append(p.inputOrder, in)
+	}
+
+	emitted := make(map[string]bool)
+	var emit func(n string) error
+	emit = func(n string) error {
+		if emitted[n] {
+			return nil
+		}
+		d := defs[n]
+		if d == nil {
+			return fmt.Errorf("cosmos: no definition for %s", n)
+		}
+		emitted[n] = true // set before recursion; cycles are caught below
+		for _, g := range d.deps {
+			if !fixed[g] && !emitted[g] {
+				if err := emit(g); err != nil {
+					return err
+				}
+			} else if !fixed[g] {
+				if _, ok := slot[g]; !ok {
+					return fmt.Errorf("cosmos: combinational loop through %s", g)
+				}
+			}
+		}
+		// OR over paths of AND over gates, then NOT.
+		var orSlot int
+		for pi, path := range d.down {
+			// AND chain (empty path conducts always: constant true).
+			var andSlot int
+			if len(path) == 0 {
+				andSlot = slot[netlist.Vdd]
+			} else {
+				andSlot = slot[path[0]]
+				for _, g := range path[1:] {
+					t := temp()
+					p.code = append(p.code, instr{op: opAnd, out: t, a: andSlot, b: slot[g]})
+					andSlot = t
+				}
+			}
+			if pi == 0 {
+				orSlot = andSlot
+			} else {
+				t := temp()
+				p.code = append(p.code, instr{op: opOr, out: t, a: orSlot, b: andSlot})
+				orSlot = t
+			}
+		}
+		p.code = append(p.code, instr{op: opNot, out: alloc(n), a: orSlot, b: orSlot})
+		return nil
+	}
+	for _, n := range outputs {
+		if err := emit(n); err != nil {
+			return nil, err
+		}
+	}
+	for _, out := range nl.Outputs() {
+		p.outputs[out] = slot[out]
+		p.outputOrder = append(p.outputOrder, out)
+	}
+	return p, nil
+}
+
+// varsOf collects the sorted set of gate variables of both networks.
+func varsOf(down, up [][]string) []string {
+	set := map[string]bool{}
+	for _, path := range down {
+		for _, g := range path {
+			set[g] = true
+		}
+	}
+	for _, path := range up {
+		for _, g := range path {
+			set[g] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// complementary checks exhaustively that pull-up = NOT pull-down over
+// the gate variables. Rails appearing as gates are fixed constants.
+func complementary(down, up [][]string, vars []string) bool {
+	idx := make(map[string]int, len(vars))
+	free := 0
+	for _, v := range vars {
+		if v != netlist.Vdd && v != netlist.Gnd {
+			idx[v] = free
+			free++
+		}
+	}
+	val := func(g string, bits int) bool {
+		switch g {
+		case netlist.Vdd:
+			return true
+		case netlist.Gnd:
+			return false
+		}
+		return bits&(1<<idx[g]) != 0
+	}
+	evalOr := func(paths [][]string, bits int, conductsWhenHigh bool) bool {
+		for _, path := range paths {
+			all := true
+			for _, g := range path {
+				v := val(g, bits)
+				if !conductsWhenHigh {
+					v = !v
+				}
+				if !v {
+					all = false
+					break
+				}
+			}
+			if all {
+				return true
+			}
+		}
+		return false
+	}
+	for bits := 0; bits < 1<<free; bits++ {
+		dn := evalOr(down, bits, true)
+		pu := evalOr(up, bits, false)
+		if dn == pu {
+			return false
+		}
+	}
+	return true
+}

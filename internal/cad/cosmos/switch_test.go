@@ -1,0 +1,183 @@
+package cosmos
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cad/extract"
+	"repro/internal/cad/layout"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/sim"
+)
+
+func xtorOf(t *testing.T, nl *netlist.Netlist) *netlist.Netlist {
+	t.Helper()
+	x, err := netlist.ToTransistor(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestCompileTransistorInverter(t *testing.T) {
+	p, err := CompileTransistor(xtorOf(t, netlist.Inverter()))
+	if err != nil {
+		t.Fatalf("CompileTransistor: %v", err)
+	}
+	out, err := p.Run(map[string]bool{"in": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"] != false {
+		t.Errorf("inv(1) = %v", out["out"])
+	}
+	out, err = p.Run(map[string]bool{"in": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["out"] != true {
+		t.Errorf("inv(0) = %v", out["out"])
+	}
+}
+
+func TestCompileTransistorMatchesGates(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{
+		netlist.Inverter(), netlist.Mux2(), netlist.FullAdder(),
+		netlist.ParityTree(3), netlist.InverterChain(5),
+	} {
+		x := xtorOf(t, nl)
+		p, err := CompileTransistor(x)
+		if err != nil {
+			t.Fatalf("%s: %v", nl.Name, err)
+		}
+		ins := nl.Inputs()
+		for v := 0; v < 1<<len(ins); v++ {
+			in := make(map[string]bool, len(ins))
+			for i, name := range ins {
+				in[name] = v&(1<<i) != 0
+			}
+			want, err := sim.Evaluate(nl, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range nl.Outputs() {
+				if got[o] != want[o] {
+					t.Errorf("%s v=%d out %s: compiled=%v gates=%v", nl.Name, v, o, got[o], want[o])
+				}
+			}
+		}
+	}
+}
+
+// TestCompileExtractedNetlist closes the full physical loop: layout →
+// extraction → switch-level compilation → correct function. This is the
+// COSMOS scenario exactly — a simulator compiled for an extracted MOS
+// circuit.
+func TestCompileExtractedNetlist(t *testing.T) {
+	nl := netlist.FullAdder()
+	lay, err := layout.Generate(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := extract.Extract(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(res.Netlist) // dispatches to CompileTransistor
+	if err != nil {
+		t.Fatalf("Compile(extracted): %v", err)
+	}
+	for v := 0; v < 8; v++ {
+		in := map[string]bool{"a": v&1 != 0, "b": v&2 != 0, "cin": v&4 != 0}
+		got, err := p.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, b := range in {
+			if b {
+				n++
+			}
+		}
+		if got["sum"] != (n%2 == 1) || got["cout"] != (n >= 2) {
+			t.Errorf("v=%d: sum=%v cout=%v (ones=%d)", v, got["sum"], got["cout"], n)
+		}
+	}
+	// The program round-trips through its text form like any artifact.
+	p2, err := ParseString(Format(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Steps() != p.Steps() {
+		t.Error("format round trip changed the program")
+	}
+}
+
+func TestCompileTransistorErrors(t *testing.T) {
+	// Gate-level input is rejected by CompileTransistor (Compile
+	// dispatches instead).
+	if _, err := CompileTransistor(netlist.Inverter()); err == nil {
+		t.Error("gate-level input should fail")
+	}
+	// Non-complementary network: two NMOS, no PMOS pull-up.
+	bad := netlist.New("nmosonly")
+	bad.AddPort("a", netlist.In)
+	bad.AddPort("y", netlist.Out)
+	bad.AddMOS("m1", netlist.NMOS, "a", netlist.Gnd, "y", 4, 2)
+	bad.AddMOS("m2", netlist.PMOS, "a", "y", "z", 4, 2) // pull-up to nowhere
+	if _, err := CompileTransistor(bad); err == nil {
+		t.Error("missing pull-up should fail")
+	}
+	// Fighting networks (pseudo-NMOS style): pull-up always on.
+	fight := netlist.New("fight")
+	fight.AddPort("a", netlist.In)
+	fight.AddPort("y", netlist.Out)
+	fight.AddMOS("m1", netlist.NMOS, "a", netlist.Gnd, "y", 4, 2)
+	fight.AddMOS("m2", netlist.PMOS, netlist.Gnd, netlist.Vdd, "y", 4, 2)
+	if _, err := CompileTransistor(fight); err == nil || !strings.Contains(err.Error(), "not complementary") {
+		t.Errorf("pseudo-NMOS err = %v", err)
+	}
+}
+
+// Property: for random circuits, the full chain
+// gates -> transistors -> switch-compiled program agrees with gate-level
+// evaluation.
+func TestQuickCompileTransistorAgrees(t *testing.T) {
+	f := func(seed int64, bits uint8) bool {
+		nl := netlist.RandomLogic(4, 12, seed)
+		x, err := netlist.ToTransistor(nl)
+		if err != nil {
+			return false
+		}
+		p, err := CompileTransistor(x)
+		if err != nil {
+			return false
+		}
+		in := map[string]bool{}
+		for i, name := range nl.Inputs() {
+			in[name] = bits&(1<<i) != 0
+		}
+		want, err := sim.Evaluate(nl, in)
+		if err != nil {
+			return false
+		}
+		got, err := p.Run(in)
+		if err != nil {
+			return false
+		}
+		for _, o := range nl.Outputs() {
+			if got[o] != want[o] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

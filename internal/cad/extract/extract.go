@@ -1,0 +1,337 @@
+// Package extract implements the layout-to-netlist Extractor of the
+// paper's Fig. 1 — the tool whose task produces two outputs at once (an
+// Extracted Netlist and Extraction Statistics, Fig. 5).
+//
+// Extraction is geometric, in the style of Magic-class extractors:
+//
+//  1. diffusion rectangles are split into source/drain fragments where
+//     poly crosses them, each crossing yielding a MOS transistor (NMOS
+//     on ndiff, PMOS on pdiff) with W from the diffusion height and L
+//     from the poly width;
+//  2. conductors are built by union-find: same-layer shapes that overlap
+//     merge; contact shapes merge poly/diffusion/metal1; via shapes
+//     merge metal1/metal2;
+//  3. conductors are named from layout labels; unlabeled nets get
+//     deterministic synthetic names.
+package extract
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cad/layout"
+	"repro/internal/cad/netlist"
+)
+
+// Stats is the Extraction Statistics entity: a summary of what the
+// extractor saw.
+type Stats struct {
+	Rects       int
+	Conductors  int // electrically distinct regions
+	Nets        int // conductors attached to at least one device or label
+	NMOS, PMOS  int
+	AreaByLayer map[layout.Layer]int
+}
+
+// String renders the statistics report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "extraction statistics\n")
+	fmt.Fprintf(&b, "  rects:      %d\n", s.Rects)
+	fmt.Fprintf(&b, "  conductors: %d\n", s.Conductors)
+	fmt.Fprintf(&b, "  nets:       %d\n", s.Nets)
+	fmt.Fprintf(&b, "  nmos:       %d\n", s.NMOS)
+	fmt.Fprintf(&b, "  pmos:       %d\n", s.PMOS)
+	layers := make([]string, 0, len(s.AreaByLayer))
+	for l := range s.AreaByLayer {
+		layers = append(layers, string(l))
+	}
+	sort.Strings(layers)
+	for _, l := range layers {
+		fmt.Fprintf(&b, "  area[%s]: %d\n", l, s.AreaByLayer[layout.Layer(l)])
+	}
+	return b.String()
+}
+
+// Result carries the extractor's two outputs.
+type Result struct {
+	Netlist *netlist.Netlist
+	Stats   Stats
+}
+
+// node is one conducting shape before merging.
+type node struct {
+	rect   layout.Rect
+	parent int
+}
+
+type regionGraph struct {
+	nodes []node
+}
+
+func (g *regionGraph) add(r layout.Rect) int {
+	g.nodes = append(g.nodes, node{rect: r, parent: len(g.nodes)})
+	return len(g.nodes) - 1
+}
+
+func (g *regionGraph) find(i int) int {
+	for g.nodes[i].parent != i {
+		g.nodes[i].parent = g.nodes[g.nodes[i].parent].parent
+		i = g.nodes[i].parent
+	}
+	return i
+}
+
+func (g *regionGraph) union(a, b int) {
+	ra, rb := g.find(a), g.find(b)
+	if ra != rb {
+		g.nodes[ra].parent = rb
+	}
+}
+
+// crossing is one recognized transistor site.
+type crossing struct {
+	diff       layout.Rect // parent diffusion rect
+	polyIdx    int         // node index of the gate poly
+	leftIdx    int         // node index of the left fragment
+	rightIdx   int         // node index of the right fragment
+	x          int         // gate x position (for deterministic naming)
+	w, l       int
+	deviceType netlist.MOSType
+}
+
+// Extract recovers a transistor netlist and statistics from the layout.
+func Extract(l *layout.Layout) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	g := &regionGraph{}
+	var polys, m1s, m2s, contacts, vias []int
+	idxByRect := map[int]int{} // rect index -> node index (non-diff conductors)
+
+	for i, r := range l.Rects {
+		switch r.Layer {
+		case layout.Poly:
+			n := g.add(r)
+			polys = append(polys, n)
+			idxByRect[i] = n
+		case layout.Metal1:
+			n := g.add(r)
+			m1s = append(m1s, n)
+			idxByRect[i] = n
+		case layout.Metal2:
+			n := g.add(r)
+			m2s = append(m2s, n)
+			idxByRect[i] = n
+		case layout.Contact:
+			contacts = append(contacts, i)
+		case layout.Via:
+			vias = append(vias, i)
+		}
+	}
+
+	// Split diffusion rects at poly crossings into fragment nodes and
+	// record transistor sites.
+	var frags []int
+	var crossings []crossing
+	for _, r := range l.Rects {
+		if r.Layer != layout.Ndiff && r.Layer != layout.Pdiff {
+			continue
+		}
+		var xs []struct{ x0, x1, polyIdx int }
+		for _, pi := range polys {
+			p := g.nodes[pi].rect
+			if !p.Overlaps(r) {
+				continue
+			}
+			if p.Y0 > r.Y0 || p.Y1 < r.Y1 {
+				return nil, fmt.Errorf("extract: poly %s only partially crosses diffusion %s", p, r)
+			}
+			if p.X0 <= r.X0 || p.X1 >= r.X1 {
+				return nil, fmt.Errorf("extract: poly %s does not cross diffusion %s interior", p, r)
+			}
+			xs = append(xs, struct{ x0, x1, polyIdx int }{p.X0, p.X1, pi})
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i].x0 < xs[j].x0 })
+		for i := 1; i < len(xs); i++ {
+			if xs[i].x0 < xs[i-1].x1 {
+				return nil, fmt.Errorf("extract: overlapping poly gates over diffusion %s", r)
+			}
+		}
+		// Fragments between crossings.
+		var fragIdx []int
+		prev := r.X0
+		for _, x := range xs {
+			fragIdx = append(fragIdx, g.add(layout.Rect{Layer: r.Layer, X0: prev, Y0: r.Y0, X1: x.x0, Y1: r.Y1}))
+			prev = x.x1
+		}
+		fragIdx = append(fragIdx, g.add(layout.Rect{Layer: r.Layer, X0: prev, Y0: r.Y0, X1: r.X1, Y1: r.Y1}))
+		frags = append(frags, fragIdx...)
+		for i, x := range xs {
+			dt := netlist.NMOS
+			if r.Layer == layout.Pdiff {
+				dt = netlist.PMOS
+			}
+			crossings = append(crossings, crossing{
+				diff: r, polyIdx: x.polyIdx,
+				leftIdx: fragIdx[i], rightIdx: fragIdx[i+1],
+				x: x.x0, w: r.Y1 - r.Y0, l: x.x1 - x.x0, deviceType: dt,
+			})
+		}
+	}
+
+	// Same-layer overlap merging.
+	mergeSameLayer := func(idxs []int) {
+		for i := 0; i < len(idxs); i++ {
+			for j := i + 1; j < len(idxs); j++ {
+				a, b := g.nodes[idxs[i]].rect, g.nodes[idxs[j]].rect
+				if a.Overlaps(b) {
+					g.union(idxs[i], idxs[j])
+				}
+			}
+		}
+	}
+	mergeSameLayer(polys)
+	mergeSameLayer(m1s)
+	mergeSameLayer(m2s)
+	// Diffusion fragments on the same layer may overlap across parent
+	// rects.
+	var nfr, pfr []int
+	for _, fi := range frags {
+		if g.nodes[fi].rect.Layer == layout.Ndiff {
+			nfr = append(nfr, fi)
+		} else {
+			pfr = append(pfr, fi)
+		}
+	}
+	mergeSameLayer(nfr)
+	mergeSameLayer(pfr)
+
+	// Contacts and vias.
+	connectThrough := func(rectIdx int, groups ...[]int) {
+		cr := l.Rects[rectIdx]
+		first := -1
+		for _, grp := range groups {
+			for _, ni := range grp {
+				if g.nodes[ni].rect.Overlaps(cr) {
+					if first < 0 {
+						first = ni
+					} else {
+						g.union(first, ni)
+					}
+				}
+			}
+		}
+	}
+	for _, ci := range contacts {
+		connectThrough(ci, polys, m1s, frags)
+	}
+	for _, vi := range vias {
+		connectThrough(vi, m1s, m2s)
+	}
+
+	// Name conductors from labels.
+	names := make(map[int]string) // root -> name
+	for _, lb := range l.Labels {
+		ni := -1
+		for i := range g.nodes {
+			n := g.nodes[i]
+			if n.rect.Layer == lb.Layer && n.rect.Contains(lb.X, lb.Y) {
+				ni = i
+				break
+			}
+		}
+		if ni < 0 {
+			return nil, fmt.Errorf("extract: label %s is not over a conductor", lb)
+		}
+		root := g.find(ni)
+		if prev, ok := names[root]; ok && prev != lb.Name {
+			return nil, fmt.Errorf("extract: conductor carries two labels: %s and %s (short?)", prev, lb.Name)
+		}
+		names[root] = lb.Name
+	}
+
+	// Deterministic synthetic names for the rest, ordered by the
+	// smallest (x, y) corner over the conductor's shapes.
+	type corner struct{ x, y int }
+	minCorner := make(map[int]corner)
+	for i := range g.nodes {
+		root := g.find(i)
+		c, ok := minCorner[root]
+		r := g.nodes[i].rect
+		if !ok || r.X0 < c.x || (r.X0 == c.x && r.Y0 < c.y) {
+			minCorner[root] = corner{r.X0, r.Y0}
+		}
+	}
+	var unnamedRoots []int
+	for root := range minCorner {
+		if _, ok := names[root]; !ok {
+			unnamedRoots = append(unnamedRoots, root)
+		}
+	}
+	sort.Slice(unnamedRoots, func(i, j int) bool {
+		a, b := minCorner[unnamedRoots[i]], minCorner[unnamedRoots[j]]
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		return a.y < b.y
+	})
+	for k, root := range unnamedRoots {
+		names[root] = fmt.Sprintf("n%d", k+1)
+	}
+
+	// Build the output netlist.
+	out := netlist.New(l.Name + "_ext")
+	out.Ports = append([]netlist.Port(nil), l.Ports...)
+	sort.Slice(crossings, func(i, j int) bool {
+		a, b := crossings[i], crossings[j]
+		if a.x != b.x {
+			return a.x < b.x
+		}
+		return a.diff.Y0 < b.diff.Y0
+	})
+	nets := make(map[string]bool)
+	for k, c := range crossings {
+		gate := names[g.find(c.polyIdx)]
+		src := names[g.find(c.leftIdx)]
+		drn := names[g.find(c.rightIdx)]
+		out.AddMOS(fmt.Sprintf("m%d", k+1), c.deviceType, gate, src, drn, c.w, c.l)
+		nets[gate] = true
+		nets[src] = true
+		nets[drn] = true
+	}
+	// Port names must correspond to extracted conductors.
+	labelNames := make(map[string]bool)
+	for _, lb := range l.Labels {
+		labelNames[lb.Name] = true
+	}
+	for _, p := range out.Ports {
+		if !labelNames[p.Name] {
+			return nil, fmt.Errorf("extract: port %s has no labeled conductor", p.Name)
+		}
+		nets[p.Name] = true
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("extract: produced invalid netlist: %w", err)
+	}
+
+	// Statistics.
+	stats := Stats{
+		Rects:       len(l.Rects),
+		Conductors:  len(minCorner),
+		Nets:        len(nets),
+		AreaByLayer: make(map[layout.Layer]int),
+	}
+	for _, c := range crossings {
+		if c.deviceType == netlist.NMOS {
+			stats.NMOS++
+		} else {
+			stats.PMOS++
+		}
+	}
+	for _, r := range l.Rects {
+		stats.AreaByLayer[r.Layer] += r.Area()
+	}
+	return &Result{Netlist: out, Stats: stats}, nil
+}

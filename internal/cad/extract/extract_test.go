@@ -1,0 +1,212 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cad/layout"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/verify"
+)
+
+// extractOf generates a layout for nl and extracts it back.
+func extractOf(t *testing.T, nl *netlist.Netlist) *Result {
+	t.Helper()
+	l, err := layout.Generate(nl, nil)
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", nl.Name, err)
+	}
+	res, err := Extract(l)
+	if err != nil {
+		t.Fatalf("Extract(%s): %v", nl.Name, err)
+	}
+	return res
+}
+
+func TestExtractInverterDevices(t *testing.T) {
+	res := extractOf(t, netlist.Inverter())
+	if res.Stats.NMOS != 1 || res.Stats.PMOS != 1 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+	if len(res.Netlist.Devices) != 2 {
+		t.Fatalf("devices = %v", res.Netlist.Devices)
+	}
+	// Terminals must carry the labeled names: gates on "in", one
+	// diffusion terminal of each device on "out", sources on the rails.
+	for _, m := range res.Netlist.Devices {
+		if m.Gate != "in" {
+			t.Errorf("device %s gate = %s", m.Name, m.Gate)
+		}
+		terms := map[string]bool{m.Source: true, m.Drain: true}
+		if !terms["out"] {
+			t.Errorf("device %s not connected to out: %+v", m.Name, m)
+		}
+		if m.Type == netlist.NMOS && !terms[netlist.Gnd] {
+			t.Errorf("nmos not on gnd: %+v", m)
+		}
+		if m.Type == netlist.PMOS && !terms[netlist.Vdd] {
+			t.Errorf("pmos not on vdd: %+v", m)
+		}
+	}
+}
+
+func TestExtractStats(t *testing.T) {
+	res := extractOf(t, netlist.FullAdder())
+	s := res.Stats
+	if s.Rects == 0 || s.Conductors == 0 || s.Nets == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.NMOS == 0 || s.PMOS == 0 || s.NMOS != s.PMOS {
+		t.Errorf("device counts: nmos=%d pmos=%d (CMOS should be balanced)", s.NMOS, s.PMOS)
+	}
+	if s.AreaByLayer[layout.Poly] == 0 || s.AreaByLayer[layout.Metal1] == 0 {
+		t.Errorf("areas = %v", s.AreaByLayer)
+	}
+	if !strings.Contains(s.String(), "nmos") {
+		t.Errorf("Stats.String = %q", s.String())
+	}
+}
+
+// TestExtractLVSInverter is Fig. 8(b) in miniature: the physical view,
+// extracted, matches the transistor view.
+func TestExtractLVSInverter(t *testing.T) {
+	res := extractOf(t, netlist.Inverter())
+	ref, err := netlist.ToTransistor(netlist.Inverter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := verify.LVS(ref, res.Netlist, verify.LVSOptions{})
+	if !rep.Match {
+		t.Fatalf("LVS mismatch:\n%s\nextracted:\n%s", rep.Summary(), netlist.Format(res.Netlist))
+	}
+}
+
+func TestExtractLVSAcrossCircuits(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{
+		netlist.Inverter(), netlist.InverterChain(3), netlist.Mux2(),
+		netlist.FullAdder(), netlist.ParityTree(3), netlist.RippleAdder(2),
+	} {
+		res := extractOf(t, nl)
+		ref, err := netlist.ToTransistor(nl)
+		if err != nil {
+			t.Fatalf("%s: %v", nl.Name, err)
+		}
+		rep := verify.LVS(ref, res.Netlist, verify.LVSOptions{})
+		if !rep.Match {
+			t.Errorf("%s: LVS mismatch:\n%s", nl.Name, rep.Summary())
+		}
+	}
+}
+
+func TestExtractDetectsDamage(t *testing.T) {
+	// Shorting two trunks must either change the netlist or trip the
+	// two-labels check.
+	nl := netlist.FullAdder()
+	l, err := layout.Generate(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add a metal1 strap across the whole channel: shorts all trunks.
+	_, _, x1, y1 := l.Bounds()
+	l.Add(layout.R(layout.Metal1, 0, 64, x1, y1))
+	_, err = Extract(l)
+	if err == nil || !strings.Contains(err.Error(), "two labels") {
+		t.Errorf("short err = %v", err)
+	}
+}
+
+func TestExtractMismatchAfterEdit(t *testing.T) {
+	// Remove one device's poly gate: LVS must fail.
+	nl := netlist.Mux2()
+	l, err := layout.Generate(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range l.Rects {
+		if r.Layer == layout.Poly {
+			l.Rects = append(l.Rects[:i], l.Rects[i+1:]...)
+			break
+		}
+	}
+	res, err := Extract(l)
+	if err != nil {
+		// Removing poly can also orphan a label; either failure mode is
+		// a detected inconsistency.
+		return
+	}
+	ref, _ := netlist.ToTransistor(nl)
+	rep := verify.LVS(ref, res.Netlist, verify.LVSOptions{})
+	if rep.Match {
+		t.Error("LVS should fail after deleting a gate")
+	}
+}
+
+func TestExtractGeometryErrors(t *testing.T) {
+	// Poly only partially crossing diffusion.
+	l := layout.New("bad")
+	l.Add(layout.R(layout.Ndiff, 0, 0, 10, 6))
+	l.Add(layout.R(layout.Poly, 4, 2, 6, 4))
+	if _, err := Extract(l); err == nil || !strings.Contains(err.Error(), "partially crosses") {
+		t.Errorf("partial crossing err = %v", err)
+	}
+	// Poly covering a diffusion edge.
+	l2 := layout.New("bad2")
+	l2.Add(layout.R(layout.Ndiff, 0, 0, 10, 6))
+	l2.Add(layout.R(layout.Poly, 0, -2, 2, 8))
+	if _, err := Extract(l2); err == nil || !strings.Contains(err.Error(), "interior") {
+		t.Errorf("edge crossing err = %v", err)
+	}
+	// Overlapping gates.
+	l3 := layout.New("bad3")
+	l3.Add(layout.R(layout.Ndiff, 0, 0, 10, 6))
+	l3.Add(layout.R(layout.Poly, 3, -2, 6, 8))
+	l3.Add(layout.R(layout.Poly, 5, -2, 8, 8))
+	if _, err := Extract(l3); err == nil || !strings.Contains(err.Error(), "overlapping poly") {
+		t.Errorf("overlap err = %v", err)
+	}
+}
+
+func TestExtractNamesDeterministic(t *testing.T) {
+	nl := netlist.FullAdder()
+	l, err := layout.Generate(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Extract(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Extract(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netlist.Format(a.Netlist) != netlist.Format(b.Netlist) {
+		t.Error("extraction not deterministic")
+	}
+}
+
+// Property: for random circuits, generate -> extract -> LVS against the
+// transistor view always matches. This is the paper's Fig. 8
+// verification flow run as a property test.
+func TestQuickGenerateExtractLVS(t *testing.T) {
+	f := func(seed int64) bool {
+		nl := netlist.RandomLogic(4, 10, seed)
+		l, err := layout.Generate(nl, nil)
+		if err != nil {
+			return false
+		}
+		res, err := Extract(l)
+		if err != nil {
+			return false
+		}
+		ref, err := netlist.ToTransistor(nl)
+		if err != nil {
+			return false
+		}
+		return verify.LVS(ref, res.Netlist, verify.LVSOptions{}).Match
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cad/netlist"
+)
+
+// Generation constants (lambda grid). Cells sit in a single row with the
+// supply rails running the full chip width; every net is routed with one
+// horizontal metal1 trunk in the channel above the row and vertical
+// metal2 drops to the cell pins. A single row keeps every pin's x
+// coordinate globally unique, which guarantees the drops never short.
+const (
+	cellH     = 60 // cell height; rails at y [0,4) and [56,60)
+	invW      = 24
+	nand2W    = 32
+	channelY0 = 64 // first trunk y
+	trunkPit  = 4  // trunk pitch
+)
+
+// pin is a connection point on metal1 inside a cell.
+type pin struct {
+	net  string
+	x, y int
+}
+
+// emitCell instantiates the template for one CMOS gate at column offset
+// cx, appending geometry to l and returning the cell's pins and width.
+func emitCell(l *Layout, g netlist.Gate, cx int) ([]pin, int, error) {
+	switch g.Type {
+	case netlist.INV:
+		a, y := g.Inputs[0], g.Output
+		// Diffusions and the gate poly.
+		l.Add(R(Ndiff, cx+2, 20, cx+22, 26))
+		l.Add(R(Pdiff, cx+2, 40, cx+22, 46))
+		l.Add(R(Poly, cx+10, 14, cx+12, 52))
+		// Source straps to the rails.
+		l.Add(R(Metal1, cx+3, 0, cx+7, 26))
+		l.Add(R(Contact, cx+3, 20, cx+7, 26))
+		l.Add(R(Metal1, cx+3, 40, cx+7, 60))
+		l.Add(R(Contact, cx+3, 40, cx+7, 46))
+		// Output stub tying both drains.
+		l.Add(R(Metal1, cx+14, 20, cx+18, 46))
+		l.Add(R(Contact, cx+14, 20, cx+18, 26))
+		l.Add(R(Contact, cx+14, 40, cx+18, 46))
+		// Input tab from poly to metal1.
+		l.Add(R(Metal1, cx+9, 6, cx+13, 16))
+		l.Add(R(Contact, cx+10, 14, cx+12, 16))
+		return []pin{{a, cx + 11, 11}, {y, cx + 16, 32}}, invW, nil
+
+	case netlist.NAND:
+		a, b, y := g.Inputs[0], g.Inputs[1], g.Output
+		// Series NMOS chain (drain fragment left, gnd right), parallel
+		// PMOS (vdd on both outer fragments, output in the middle).
+		l.Add(R(Ndiff, cx+2, 20, cx+26, 26))
+		l.Add(R(Pdiff, cx+2, 40, cx+26, 46))
+		l.Add(R(Poly, cx+8, 14, cx+10, 52))  // gate a
+		l.Add(R(Poly, cx+16, 14, cx+18, 52)) // gate b
+		// gnd on the right NMOS fragment.
+		l.Add(R(Metal1, cx+19, 0, cx+23, 26))
+		l.Add(R(Contact, cx+19, 20, cx+23, 26))
+		// vdd on both outer PMOS fragments.
+		l.Add(R(Metal1, cx+3, 40, cx+7, 60))
+		l.Add(R(Contact, cx+3, 40, cx+7, 46))
+		l.Add(R(Metal1, cx+19, 40, cx+23, 60))
+		l.Add(R(Contact, cx+19, 40, cx+23, 46))
+		// Output conductor: left NMOS fragment + middle PMOS fragment.
+		l.Add(R(Contact, cx+3, 20, cx+7, 26))
+		l.Add(R(Metal1, cx+3, 20, cx+7, 34))
+		l.Add(R(Metal1, cx+3, 30, cx+15, 34))
+		l.Add(R(Metal1, cx+11, 30, cx+15, 46))
+		l.Add(R(Contact, cx+11, 40, cx+15, 46))
+		// Input tabs (the b tab sits one lambda left of the poly center
+		// to keep clear of the gnd strap).
+		l.Add(R(Metal1, cx+7, 6, cx+11, 16))
+		l.Add(R(Contact, cx+8, 14, cx+10, 16))
+		l.Add(R(Metal1, cx+14, 6, cx+18, 16))
+		l.Add(R(Contact, cx+16, 14, cx+18, 16))
+		return []pin{{a, cx + 9, 11}, {b, cx + 16, 11}, {y, cx + 13, 36}}, nand2W, nil
+
+	case netlist.NOR:
+		a, b, y := g.Inputs[0], g.Inputs[1], g.Output
+		// Series PMOS chain, parallel NMOS.
+		l.Add(R(Ndiff, cx+2, 20, cx+26, 26))
+		l.Add(R(Pdiff, cx+2, 40, cx+26, 46))
+		l.Add(R(Poly, cx+8, 14, cx+10, 52))
+		l.Add(R(Poly, cx+16, 14, cx+18, 52))
+		// vdd on the left PMOS fragment.
+		l.Add(R(Metal1, cx+3, 40, cx+7, 60))
+		l.Add(R(Contact, cx+3, 40, cx+7, 46))
+		// gnd on both outer NMOS fragments.
+		l.Add(R(Metal1, cx+3, 0, cx+7, 26))
+		l.Add(R(Contact, cx+3, 20, cx+7, 26))
+		l.Add(R(Metal1, cx+19, 0, cx+23, 26))
+		l.Add(R(Contact, cx+19, 20, cx+23, 26))
+		// Output conductor: right PMOS fragment + middle NMOS fragment.
+		l.Add(R(Contact, cx+19, 40, cx+23, 46))
+		l.Add(R(Metal1, cx+19, 32, cx+23, 46))
+		l.Add(R(Metal1, cx+11, 32, cx+23, 36))
+		l.Add(R(Metal1, cx+11, 20, cx+15, 36))
+		l.Add(R(Contact, cx+11, 20, cx+15, 26))
+		// Input tabs, nudged inward to clear the gnd straps on both
+		// sides.
+		l.Add(R(Metal1, cx+8, 6, cx+12, 16))
+		l.Add(R(Contact, cx+8, 14, cx+10, 16))
+		l.Add(R(Metal1, cx+14, 6, cx+18, 16))
+		l.Add(R(Contact, cx+16, 14, cx+18, 16))
+		return []pin{{a, cx + 10, 11}, {b, cx + 16, 11}, {y, cx + 13, 30}}, nand2W, nil
+
+	default:
+		return nil, 0, fmt.Errorf("layout: no cell template for gate type %q (decompose to CMOS first)", g.Type)
+	}
+}
+
+// Generate produces the full-chip layout for a gate-level netlist placed
+// in the given left-to-right cell order. The netlist is decomposed to
+// CMOS gates first; order names gates of the *decomposed* netlist and
+// may be nil, meaning declaration order (package place computes better
+// orders). Extraction of the result recovers a transistor netlist
+// LVS-equivalent to netlist.ToTransistor of the input.
+func Generate(nl *netlist.Netlist, order []string) (*Layout, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nl.Gates) == 0 {
+		return nil, fmt.Errorf("layout: %q has no gates", nl.Name)
+	}
+	d := netlist.DecomposeToCMOS(nl)
+	byName := make(map[string]netlist.Gate, len(d.Gates))
+	for _, g := range d.Gates {
+		byName[g.Name] = g
+	}
+	if order == nil {
+		for _, g := range d.Gates {
+			order = append(order, g.Name)
+		}
+	}
+	if len(order) != len(d.Gates) {
+		return nil, fmt.Errorf("layout: order lists %d cells, netlist has %d gates", len(order), len(d.Gates))
+	}
+
+	l := New(nl.Name + "_lay")
+	l.Ports = append([]netlist.Port(nil), nl.Ports...)
+
+	// Cells.
+	pins := make(map[string][]pin) // net -> pins
+	seen := make(map[string]bool)
+	cx := 0
+	for _, name := range order {
+		g, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("layout: order names unknown gate %q", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("layout: order repeats gate %q", name)
+		}
+		seen[name] = true
+		ps, w, err := emitCell(l, g, cx)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range ps {
+			pins[p.net] = append(pins[p.net], p)
+		}
+		cx += w
+	}
+	chipW := cx
+
+	// Supply rails.
+	l.Add(R(Metal1, 0, 0, chipW, 4))
+	l.Add(R(Metal1, 0, 56, chipW, 60))
+	l.AddLabel(netlist.Gnd, Metal1, 0, 0)
+	l.AddLabel(netlist.Vdd, Metal1, 0, 56)
+
+	// Channel routing: one trunk per net (rails excluded), nets in
+	// deterministic sorted order. Port nets always get a trunk so their
+	// label has somewhere to live.
+	isPort := make(map[string]bool)
+	for _, p := range nl.Ports {
+		isPort[p.Name] = true
+	}
+	netSet := make(map[string]bool)
+	for n := range pins {
+		if n != netlist.Vdd && n != netlist.Gnd {
+			netSet[n] = true
+		}
+	}
+	for _, p := range nl.Ports {
+		netSet[p.Name] = true
+	}
+	nets := make([]string, 0, len(netSet))
+	for n := range netSet {
+		nets = append(nets, n)
+	}
+	sort.Strings(nets)
+
+	for k, net := range nets {
+		trunkY := channelY0 + k*trunkPit
+		ps := pins[net]
+		// Trunk extent covers all drops (plus margin); an unconnected
+		// port net gets a stub trunk at the left edge.
+		x0, x1 := 0, 2
+		if len(ps) > 0 {
+			x0, x1 = ps[0].x, ps[0].x
+			for _, p := range ps {
+				if p.x < x0 {
+					x0 = p.x
+				}
+				if p.x > x1 {
+					x1 = p.x
+				}
+			}
+			x0, x1 = x0-1, x1+1
+		}
+		l.Add(R(Metal1, x0, trunkY, x1, trunkY+2))
+		if isPort[net] {
+			l.AddLabel(net, Metal1, x0, trunkY)
+		}
+		for _, p := range ps {
+			// Vertical metal2 drop from the pin to the trunk, with a via
+			// at each end.
+			l.Add(R(Metal2, p.x-1, p.y-1, p.x+1, trunkY+2))
+			l.Add(R(Via, p.x-1, p.y-1, p.x+1, p.y+1))
+			l.Add(R(Via, p.x-1, trunkY, p.x+1, trunkY+2))
+		}
+	}
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("layout: generation produced invalid layout: %w", err)
+	}
+	return l, nil
+}

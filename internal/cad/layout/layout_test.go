@@ -1,0 +1,219 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/netlist"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := R(Metal1, 0, 0, 4, 2)
+	if !r.Valid() {
+		t.Error("valid rect reported invalid")
+	}
+	if R(Metal1, 4, 0, 0, 2).Valid() {
+		t.Error("inverted rect reported valid")
+	}
+	if R("bogus", 0, 0, 1, 1).Valid() {
+		t.Error("unknown layer reported valid")
+	}
+	if r.Area() != 8 {
+		t.Errorf("Area = %d", r.Area())
+	}
+	if !r.Contains(0, 0) || r.Contains(4, 0) || r.Contains(0, 2) {
+		t.Error("Contains half-open semantics wrong")
+	}
+	if !r.Overlaps(R(Poly, 3, 1, 5, 3)) {
+		t.Error("overlap missed")
+	}
+	if r.Overlaps(R(Poly, 4, 0, 6, 2)) {
+		t.Error("abutting rects must not overlap")
+	}
+}
+
+func TestLayoutBounds(t *testing.T) {
+	l := New("x")
+	if x0, y0, x1, y1 := l.Bounds(); x0 != 0 || y0 != 0 || x1 != 0 || y1 != 0 {
+		t.Error("empty bounds should be zeros")
+	}
+	l.Add(R(Metal1, 2, 3, 10, 5))
+	l.Add(R(Poly, -1, 4, 3, 20))
+	x0, y0, x1, y1 := l.Bounds()
+	if x0 != -1 || y0 != 3 || x1 != 10 || y1 != 20 {
+		t.Errorf("Bounds = %d %d %d %d", x0, y0, x1, y1)
+	}
+}
+
+func TestValidateLabels(t *testing.T) {
+	l := New("x")
+	l.Add(R(Metal1, 0, 0, 4, 4))
+	l.AddLabel("a", Metal1, 1, 1)
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	l.AddLabel("b", Poly, 1, 1)
+	if err := l.Validate(); err == nil || !strings.Contains(err.Error(), "not over any poly") {
+		t.Errorf("floating label err = %v", err)
+	}
+}
+
+func TestValidatePorts(t *testing.T) {
+	l := New("x")
+	l.Add(R(Metal1, 0, 0, 4, 4))
+	l.Ports = append(l.Ports, netlist.Port{Name: "a", Dir: netlist.In})
+	if err := l.Validate(); err == nil || !strings.Contains(err.Error(), "no label") {
+		t.Errorf("unlabeled port err = %v", err)
+	}
+	l.AddLabel("a", Metal1, 0, 0)
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	l.Ports = append(l.Ports, netlist.Port{Name: "a", Dir: netlist.Out})
+	if err := l.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate port") {
+		t.Errorf("dup port err = %v", err)
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	g, err := Generate(netlist.FullAdder(), nil)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	text := Format(g)
+	l2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if Format(l2) != text {
+		t.Error("round trip unstable")
+	}
+	if len(l2.Rects) != len(g.Rects) || len(l2.Labels) != len(g.Labels) {
+		t.Error("round trip lost shapes")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no header", "rect metal1 0 0 1 1\n", "missing 'layout"},
+		{"bad keyword", "layout x\nfrob\n", "unknown keyword"},
+		{"rect arity", "layout x\nrect metal1 0 0 1\n", "rect wants"},
+		{"bad coord", "layout x\nrect metal1 0 0 1 zz\n", "bad coordinate"},
+		{"bad rect", "layout x\nrect metal1 5 0 1 1\n", "invalid rect"},
+		{"bad layer", "layout x\nrect frob 0 0 1 1\n", "invalid rect"},
+		{"label arity", "layout x\nlabel a metal1 0\n", "label wants"},
+		{"label layer", "layout x\nlabel a frob 0 0\n", "unknown layer"},
+		{"label coords", "layout x\nlabel a metal1 z 0\n", "bad label coordinates"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestGenerateInverter(t *testing.T) {
+	l, err := Generate(netlist.Inverter(), nil)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("generated layout invalid: %v", err)
+	}
+	// One INV cell: 1 poly gate, 1 ndiff, 1 pdiff.
+	if got := len(l.OnLayer(Poly)); got != 1 {
+		t.Errorf("poly rects = %d", got)
+	}
+	if got := len(l.OnLayer(Ndiff)); got != 1 {
+		t.Errorf("ndiff rects = %d", got)
+	}
+	// Rails + labels for vdd/gnd + ports in/out.
+	names := map[string]bool{}
+	for _, lb := range l.Labels {
+		names[lb.Name] = true
+	}
+	for _, want := range []string{"vdd", "gnd", "in", "out"} {
+		if !names[want] {
+			t.Errorf("label %s missing", want)
+		}
+	}
+}
+
+func TestGenerateRejects(t *testing.T) {
+	empty := netlist.New("e")
+	if _, err := Generate(empty, nil); err == nil {
+		t.Error("empty netlist should fail")
+	}
+	nl := netlist.Inverter()
+	if _, err := Generate(nl, []string{"ghost"}); err == nil {
+		t.Error("unknown gate in order should fail")
+	}
+	if _, err := Generate(nl, []string{"u1", "u1"}); err == nil {
+		t.Error("repeated gate should fail")
+	}
+	if _, err := Generate(nl, []string{}); err == nil {
+		t.Error("short order should fail")
+	}
+	bad := netlist.New("bad")
+	bad.AddPort("y", netlist.Out)
+	bad.AddGate("g", netlist.INV, "y", "ghost")
+	if _, err := Generate(bad, nil); err == nil {
+		t.Error("invalid netlist should fail")
+	}
+}
+
+func TestGenerateAllCellTypes(t *testing.T) {
+	// One netlist exercising INV, NAND, NOR directly plus decomposed
+	// AND/OR/XOR.
+	nl := netlist.New("cells")
+	for _, p := range []string{"a", "b"} {
+		nl.AddPort(p, netlist.In)
+	}
+	nl.AddPort("y", netlist.Out)
+	nl.AddGate("g1", netlist.NAND, "t1", "a", "b")
+	nl.AddGate("g2", netlist.NOR, "t2", "t1", "a")
+	nl.AddGate("g3", netlist.XOR, "t3", "t2", "b")
+	nl.AddGate("g4", netlist.INV, "y", "t3")
+	l, err := Generate(nl, nil)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	// XOR decomposes to 4 NANDs: total cells = 1+1+4+1 = 7 → 7 or more
+	// poly gates (NAND/NOR have 2 each).
+	if got := len(l.OnLayer(Poly)); got != 2+2+8+1 {
+		t.Errorf("poly count = %d, want 13", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(netlist.RippleAdder(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(netlist.RippleAdder(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(a) != Format(b) {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l, err := Generate(netlist.Inverter(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.Clone()
+	c.Rects[0].X1 += 100
+	c.Labels[0].Name = "mutated"
+	if l.Rects[0].X1 == c.Rects[0].X1 || l.Labels[0].Name == "mutated" {
+		t.Error("Clone shares storage")
+	}
+}

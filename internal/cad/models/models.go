@@ -1,0 +1,255 @@
+// Package models provides the device-model library entity of the paper's
+// Fig. 1 (the "Device Models" that, grouped with a netlist, form the
+// composite Circuit entity). A library carries per-polarity MOS
+// parameters and derives the gate timing used by the simulators: the
+// point, for the flow manager, is that simulation results depend on
+// *which* device-model instance was selected, so histories and
+// consistency checks have something real to track.
+package models
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cad/netlist"
+)
+
+// Model holds the parameters of one MOS device type.
+type Model struct {
+	// Name identifies the model within its library (e.g. "nmos_2u").
+	Name string
+	// Type is the device polarity the model applies to.
+	Type netlist.MOSType
+	// VthMV is the threshold voltage in millivolts.
+	VthMV int
+	// KuAPerV2 is the transconductance factor in µA/V².
+	KuAPerV2 int
+	// CjAFPerLambda is the junction capacitance per lambda of width, in
+	// attofarads.
+	CjAFPerLambda int
+}
+
+// String renders the model in the library text format.
+func (m *Model) String() string {
+	return fmt.Sprintf("model %s %s vth=%d k=%d cj=%d", m.Name, m.Type, m.VthMV, m.KuAPerV2, m.CjAFPerLambda)
+}
+
+// Library is a named set of device models.
+type Library struct {
+	Name   string
+	models map[string]*Model
+	order  []string
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary(name string) *Library {
+	return &Library{Name: name, models: make(map[string]*Model)}
+}
+
+// Add inserts a model; duplicate names are an error.
+func (l *Library) Add(m *Model) error {
+	if m.Name == "" {
+		return fmt.Errorf("models: model with empty name")
+	}
+	if _, ok := l.models[m.Name]; ok {
+		return fmt.Errorf("models: duplicate model %q", m.Name)
+	}
+	l.models[m.Name] = m
+	l.order = append(l.order, m.Name)
+	return nil
+}
+
+// Model returns the named model, or nil.
+func (l *Library) Model(name string) *Model { return l.models[name] }
+
+// Names lists model names in insertion order.
+func (l *Library) Names() []string { return append([]string(nil), l.order...) }
+
+// Len returns the number of models.
+func (l *Library) Len() int { return len(l.order) }
+
+// forType returns the first model of the given polarity, or nil.
+func (l *Library) forType(t netlist.MOSType) *Model {
+	for _, n := range l.order {
+		if l.models[n].Type == t {
+			return l.models[n]
+		}
+	}
+	return nil
+}
+
+// Validate checks that the library has at least one model per polarity
+// and plausible parameters.
+func (l *Library) Validate() error {
+	var errs []string
+	if l.forType(netlist.NMOS) == nil {
+		errs = append(errs, "no NMOS model")
+	}
+	if l.forType(netlist.PMOS) == nil {
+		errs = append(errs, "no PMOS model")
+	}
+	for _, n := range l.order {
+		m := l.models[n]
+		if m.VthMV <= 0 || m.KuAPerV2 <= 0 || m.CjAFPerLambda <= 0 {
+			errs = append(errs, fmt.Sprintf("%s: non-positive parameter", n))
+		}
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("library %q invalid: %s", l.Name, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// GateDelayPS derives the propagation delay of a gate in picoseconds:
+// an intrinsic term from the slower (PMOS) device plus a load term per
+// fanout from the junction capacitance. The formula is a deliberately
+// simple RC surrogate — what matters to the flow manager is that delay
+// changes when the model library changes.
+func (l *Library) GateDelayPS(typ netlist.GateType, fanout int) int {
+	n := l.forType(netlist.NMOS)
+	p := l.forType(netlist.PMOS)
+	if n == nil || p == nil {
+		return 100 // fallback for degenerate libraries
+	}
+	// Intrinsic: inversely proportional to drive, scaled by stack depth.
+	stack := 1
+	switch typ {
+	case netlist.NAND, netlist.NOR, netlist.AND, netlist.OR:
+		stack = 2
+	case netlist.XOR, netlist.XNOR:
+		stack = 3
+	}
+	drive := (n.KuAPerV2 + p.KuAPerV2) / 2
+	if drive <= 0 {
+		drive = 1
+	}
+	intrinsic := 40*stack*100/drive + 10
+	load := fanout * (n.CjAFPerLambda + p.CjAFPerLambda) / 20
+	return intrinsic + load
+}
+
+// Default returns the stock 2µm CMOS library used by examples and
+// benches.
+func Default() *Library {
+	l := NewLibrary("cmos2u")
+	must := func(m *Model) {
+		if err := l.Add(m); err != nil {
+			panic(err)
+		}
+	}
+	must(&Model{Name: "nmos_2u", Type: netlist.NMOS, VthMV: 700, KuAPerV2: 40, CjAFPerLambda: 90})
+	must(&Model{Name: "pmos_2u", Type: netlist.PMOS, VthMV: 800, KuAPerV2: 16, CjAFPerLambda: 110})
+	return l
+}
+
+// Fast returns a faster, lower-threshold library; simulating against it
+// instead of Default visibly changes performance numbers (useful for
+// consistency-maintenance demonstrations).
+func Fast() *Library {
+	l := NewLibrary("cmos1u")
+	must := func(m *Model) {
+		if err := l.Add(m); err != nil {
+			panic(err)
+		}
+	}
+	must(&Model{Name: "nmos_1u", Type: netlist.NMOS, VthMV: 600, KuAPerV2: 80, CjAFPerLambda: 45})
+	must(&Model{Name: "pmos_1u", Type: netlist.PMOS, VthMV: 650, KuAPerV2: 36, CjAFPerLambda: 60})
+	return l
+}
+
+// Parse reads a library from its text format:
+//
+//	library <name>
+//	model <name> <nmos|pmos> vth=<mV> k=<uA/V2> cj=<aF/lambda>
+func Parse(r io.Reader) (*Library, error) {
+	var l *Library
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("models line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "library":
+			if len(fields) != 2 {
+				return nil, fail("library wants exactly one name")
+			}
+			l = NewLibrary(fields[1])
+		case "model":
+			if l == nil {
+				return nil, fail("model before library header")
+			}
+			if len(fields) != 6 {
+				return nil, fail("model wants: name type vth= k= cj=")
+			}
+			m := &Model{Name: fields[1]}
+			switch fields[2] {
+			case "nmos":
+				m.Type = netlist.NMOS
+			case "pmos":
+				m.Type = netlist.PMOS
+			default:
+				return nil, fail("unknown device type %q", fields[2])
+			}
+			for _, f := range fields[3:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					return nil, fail("bad attribute %q", f)
+				}
+				x, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, fail("bad %s=%q", k, v)
+				}
+				switch k {
+				case "vth":
+					m.VthMV = x
+				case "k":
+					m.KuAPerV2 = x
+				case "cj":
+					m.CjAFPerLambda = x
+				default:
+					return nil, fail("unknown attribute %q", k)
+				}
+			}
+			if err := l.Add(m); err != nil {
+				return nil, fail("%v", err)
+			}
+		default:
+			return nil, fail("unknown keyword %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if l == nil {
+		return nil, fmt.Errorf("models: missing 'library <name>' header")
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Format renders the library; Parse(Format(l)) reproduces it.
+func Format(l *Library) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "library %s\n", l.Name)
+	for _, n := range l.order {
+		fmt.Fprintln(&b, l.models[n].String())
+	}
+	return b.String()
+}

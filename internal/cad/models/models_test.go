@@ -1,0 +1,125 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/netlist"
+)
+
+func TestDefaultLibraries(t *testing.T) {
+	for _, l := range []*Library{Default(), Fast()} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if l.Len() != 2 {
+			t.Errorf("%s: Len = %d", l.Name, l.Len())
+		}
+	}
+	if Default().Model("nmos_2u") == nil {
+		t.Error("nmos_2u missing")
+	}
+	if Default().Model("ghost") != nil {
+		t.Error("ghost model found")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	l := NewLibrary("x")
+	if err := l.Add(&Model{Name: ""}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := l.Add(&Model{Name: "m", Type: netlist.NMOS, VthMV: 1, KuAPerV2: 1, CjAFPerLambda: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add(&Model{Name: "m"}); err == nil {
+		t.Error("duplicate should fail")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	l := NewLibrary("x")
+	if err := l.Validate(); err == nil || !strings.Contains(err.Error(), "no NMOS") {
+		t.Errorf("empty library err = %v", err)
+	}
+	l.Add(&Model{Name: "n", Type: netlist.NMOS, VthMV: 700, KuAPerV2: 40, CjAFPerLambda: 90})
+	if err := l.Validate(); err == nil || !strings.Contains(err.Error(), "no PMOS") {
+		t.Errorf("nmos-only err = %v", err)
+	}
+	l.Add(&Model{Name: "p", Type: netlist.PMOS, VthMV: 0, KuAPerV2: 40, CjAFPerLambda: 90})
+	if err := l.Validate(); err == nil || !strings.Contains(err.Error(), "non-positive") {
+		t.Errorf("bad param err = %v", err)
+	}
+}
+
+func TestGateDelayMonotonicInFanout(t *testing.T) {
+	l := Default()
+	for _, g := range netlist.GateTypes {
+		d1 := l.GateDelayPS(g, 1)
+		d4 := l.GateDelayPS(g, 4)
+		if d1 <= 0 {
+			t.Errorf("%s: delay %d <= 0", g, d1)
+		}
+		if d4 <= d1 {
+			t.Errorf("%s: fanout should increase delay (%d vs %d)", g, d1, d4)
+		}
+	}
+	// Stacked gates are slower than inverters.
+	if l.GateDelayPS(netlist.NAND, 1) <= l.GateDelayPS(netlist.INV, 1) {
+		t.Error("NAND should be slower than INV")
+	}
+	if l.GateDelayPS(netlist.XOR, 1) <= l.GateDelayPS(netlist.NAND, 1) {
+		t.Error("XOR should be slower than NAND")
+	}
+}
+
+func TestFastIsFaster(t *testing.T) {
+	if Fast().GateDelayPS(netlist.INV, 2) >= Default().GateDelayPS(netlist.INV, 2) {
+		t.Error("Fast library should have smaller delays")
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	text := Format(Default())
+	l, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if Format(l) != text {
+		t.Error("round trip unstable")
+	}
+	if l.Name != "cmos2u" || l.Len() != 2 {
+		t.Errorf("library = %s len %d", l.Name, l.Len())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no header", "model m nmos vth=1 k=1 cj=1\n", "before library"},
+		{"missing header", "# nothing\n", "missing 'library"},
+		{"bad keyword", "library l\nfrob\n", "unknown keyword"},
+		{"library arity", "library a b\n", "exactly one name"},
+		{"model arity", "library l\nmodel m nmos vth=1\n", "model wants"},
+		{"bad type", "library l\nmodel m frob vth=1 k=1 cj=1\n", "unknown device type"},
+		{"bad attr", "library l\nmodel m nmos vth=1 k=1 zz=1\n", "unknown attribute"},
+		{"bad attr form", "library l\nmodel m nmos vth k=1 cj=1\n", "bad attribute"},
+		{"bad num", "library l\nmodel m nmos vth=zz k=1 cj=1\n", "bad vth"},
+		{"dup model", "library l\nmodel m nmos vth=1 k=1 cj=1\nmodel m pmos vth=1 k=1 cj=1\n", "duplicate"},
+		{"validates", "library l\nmodel m nmos vth=1 k=1 cj=1\n", "no PMOS"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDegenerateLibraryFallbackDelay(t *testing.T) {
+	l := NewLibrary("empty")
+	if got := l.GateDelayPS(netlist.INV, 1); got != 100 {
+		t.Errorf("fallback delay = %d", got)
+	}
+}

@@ -1,0 +1,123 @@
+package netlist
+
+import "fmt"
+
+// This file implements the logic-view to transistor-view transformation
+// (Fig. 7 of the paper shows the two views of an inverter cell): gates
+// are first decomposed into the CMOS-native set {inv, nand2, nor2} and
+// then expanded into pull-up/pull-down transistor networks.
+
+// Default transistor sizes in lambda. PMOS devices are drawn twice as
+// wide as NMOS to balance drive strength; series stacks are doubled
+// again.
+const (
+	DefaultL    = 2
+	NmosW       = 4
+	PmosW       = 8
+	NmosSeriesW = 8
+	PmosSeriesW = 16
+)
+
+// DecomposeToCMOS rewrites the gate-level section into an equivalent one
+// using only inv, nand2 and nor2 — the gates with direct CMOS
+// realizations. Introduced nets and gates are named after the gate they
+// replace ("<name>_d<i>"). Ports and devices are preserved.
+func DecomposeToCMOS(n *Netlist) *Netlist {
+	out := &Netlist{Name: n.Name}
+	out.Ports = append([]Port(nil), n.Ports...)
+	out.Devices = append([]MOS(nil), n.Devices...)
+	for _, g := range n.Gates {
+		aux := 0
+		net := func() string {
+			aux++
+			return fmt.Sprintf("%s_d%d", g.Name, aux)
+		}
+		gate := func(typ GateType, output string, inputs ...string) {
+			name := g.Name
+			if typ != g.Type || output != g.Output {
+				name = fmt.Sprintf("%s_g%d", g.Name, len(out.Gates))
+			}
+			out.AddGate(name, typ, output, inputs...)
+		}
+		switch g.Type {
+		case INV, NAND, NOR:
+			out.Gates = append(out.Gates, Gate{Name: g.Name, Type: g.Type,
+				Inputs: append([]string(nil), g.Inputs...), Output: g.Output})
+		case BUF:
+			t := net()
+			gate(INV, t, g.Inputs[0])
+			gate(INV, g.Output, t)
+		case AND:
+			t := net()
+			gate(NAND, t, g.Inputs[0], g.Inputs[1])
+			gate(INV, g.Output, t)
+		case OR:
+			t := net()
+			gate(NOR, t, g.Inputs[0], g.Inputs[1])
+			gate(INV, g.Output, t)
+		case XOR:
+			// Classic four-NAND XOR.
+			a, b := g.Inputs[0], g.Inputs[1]
+			t1, t2, t3 := net(), net(), net()
+			gate(NAND, t1, a, b)
+			gate(NAND, t2, a, t1)
+			gate(NAND, t3, b, t1)
+			gate(NAND, g.Output, t2, t3)
+		case XNOR:
+			a, b := g.Inputs[0], g.Inputs[1]
+			t1, t2, t3, t4 := net(), net(), net(), net()
+			gate(NAND, t1, a, b)
+			gate(NAND, t2, a, t1)
+			gate(NAND, t3, b, t1)
+			gate(NAND, t4, t2, t3)
+			gate(INV, g.Output, t4)
+		default:
+			// Unknown types are preserved; Validate will flag them.
+			out.Gates = append(out.Gates, g)
+		}
+	}
+	return out
+}
+
+// ToTransistor expands the netlist into a pure transistor view: every
+// gate becomes its CMOS pull-up/pull-down network. The input is
+// decomposed with DecomposeToCMOS first. The result carries the same
+// ports and only Devices. It fails if the netlist does not validate or
+// contains unknown gate types.
+func ToTransistor(n *Netlist) (*Netlist, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	d := DecomposeToCMOS(n)
+	out := &Netlist{Name: n.Name + "_xtor"}
+	out.Ports = append([]Port(nil), d.Ports...)
+	out.Devices = append([]MOS(nil), d.Devices...)
+	for _, g := range d.Gates {
+		switch g.Type {
+		case INV:
+			a, y := g.Inputs[0], g.Output
+			out.AddMOS(g.Name+"_p1", PMOS, a, Vdd, y, PmosW, DefaultL)
+			out.AddMOS(g.Name+"_n1", NMOS, a, Gnd, y, NmosW, DefaultL)
+		case NAND:
+			a, b, y := g.Inputs[0], g.Inputs[1], g.Output
+			mid := g.Name + "_m"
+			out.AddMOS(g.Name+"_p1", PMOS, a, Vdd, y, PmosW, DefaultL)
+			out.AddMOS(g.Name+"_p2", PMOS, b, Vdd, y, PmosW, DefaultL)
+			out.AddMOS(g.Name+"_n1", NMOS, a, mid, y, NmosSeriesW, DefaultL)
+			out.AddMOS(g.Name+"_n2", NMOS, b, Gnd, mid, NmosSeriesW, DefaultL)
+		case NOR:
+			a, b, y := g.Inputs[0], g.Inputs[1], g.Output
+			mid := g.Name + "_m"
+			out.AddMOS(g.Name+"_p1", PMOS, a, Vdd, mid, PmosSeriesW, DefaultL)
+			out.AddMOS(g.Name+"_p2", PMOS, b, mid, y, PmosSeriesW, DefaultL)
+			out.AddMOS(g.Name+"_n1", NMOS, a, Gnd, y, NmosW, DefaultL)
+			out.AddMOS(g.Name+"_n2", NMOS, b, Gnd, y, NmosW, DefaultL)
+		default:
+			return nil, fmt.Errorf("netlist: cannot expand gate %s of type %q", g.Name, g.Type)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: expansion produced invalid netlist: %w", err)
+	}
+	return out, nil
+}

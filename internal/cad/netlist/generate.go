@@ -1,0 +1,171 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides deterministic circuit generators used by examples,
+// tests and the benchmark harness — the synthetic stand-ins for the
+// designs (adders, filters, operational amplifiers) named in the paper's
+// browser screenshot (Fig. 9).
+
+// Inverter returns the single-inverter cell of Fig. 7.
+func Inverter() *Netlist {
+	n := New("inverter")
+	n.AddPort("in", In)
+	n.AddPort("out", Out)
+	n.AddGate("u1", INV, "out", "in")
+	return n
+}
+
+// InverterChain returns a chain of k inverters (k >= 1), the classic
+// delay-line benchmark circuit.
+func InverterChain(k int) *Netlist {
+	n := New(fmt.Sprintf("invchain%d", k))
+	n.AddPort("in", In)
+	n.AddPort("out", Out)
+	prev := "in"
+	for i := 1; i <= k; i++ {
+		out := fmt.Sprintf("w%d", i)
+		if i == k {
+			out = "out"
+		}
+		n.AddGate(fmt.Sprintf("u%d", i), INV, out, prev)
+		prev = out
+	}
+	return n
+}
+
+// FullAdder returns a 1-bit full adder (a, b, cin -> sum, cout) built
+// from XOR/AND/OR gates.
+func FullAdder() *Netlist {
+	n := New("fulladder")
+	for _, p := range []string{"a", "b", "cin"} {
+		n.AddPort(p, In)
+	}
+	n.AddPort("sum", Out)
+	n.AddPort("cout", Out)
+	addFullAdder(n, "fa", "a", "b", "cin", "sum", "cout")
+	return n
+}
+
+// addFullAdder appends full-adder gates with the given prefix and nets.
+func addFullAdder(n *Netlist, prefix, a, b, cin, sum, cout string) {
+	p := func(s string) string { return prefix + "_" + s }
+	n.AddGate(p("x1"), XOR, p("axb"), a, b)
+	n.AddGate(p("x2"), XOR, sum, p("axb"), cin)
+	n.AddGate(p("a1"), AND, p("ab"), a, b)
+	n.AddGate(p("a2"), AND, p("cx"), p("axb"), cin)
+	n.AddGate(p("o1"), OR, cout, p("ab"), p("cx"))
+}
+
+// RippleAdder returns an n-bit ripple-carry adder
+// (a0..an-1, b0..bn-1, cin -> s0..sn-1, cout), the "CMOS Full adder"
+// scaled up.
+func RippleAdder(bits int) *Netlist {
+	n := New(fmt.Sprintf("ripple%d", bits))
+	for i := 0; i < bits; i++ {
+		n.AddPort(fmt.Sprintf("a%d", i), In)
+		n.AddPort(fmt.Sprintf("b%d", i), In)
+	}
+	n.AddPort("cin", In)
+	for i := 0; i < bits; i++ {
+		n.AddPort(fmt.Sprintf("s%d", i), Out)
+	}
+	n.AddPort("cout", Out)
+	carry := "cin"
+	for i := 0; i < bits; i++ {
+		nextCarry := fmt.Sprintf("c%d", i+1)
+		if i == bits-1 {
+			nextCarry = "cout"
+		}
+		addFullAdder(n, fmt.Sprintf("fa%d", i),
+			fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i), carry,
+			fmt.Sprintf("s%d", i), nextCarry)
+		carry = nextCarry
+	}
+	return n
+}
+
+// Mux2 returns a 2:1 multiplexer (a, b, sel -> y).
+func Mux2() *Netlist {
+	n := New("mux2")
+	for _, p := range []string{"a", "b", "sel"} {
+		n.AddPort(p, In)
+	}
+	n.AddPort("y", Out)
+	n.AddGate("u1", INV, "nsel", "sel")
+	n.AddGate("u2", AND, "ta", "a", "nsel")
+	n.AddGate("u3", AND, "tb", "b", "sel")
+	n.AddGate("u4", OR, "y", "ta", "tb")
+	return n
+}
+
+// ParityTree returns a k-input XOR parity tree (k >= 2).
+func ParityTree(k int) *Netlist {
+	n := New(fmt.Sprintf("parity%d", k))
+	var layer []string
+	for i := 0; i < k; i++ {
+		p := fmt.Sprintf("i%d", i)
+		n.AddPort(p, In)
+		layer = append(layer, p)
+	}
+	n.AddPort("p", Out)
+	g := 0
+	for len(layer) > 1 {
+		var next []string
+		for i := 0; i+1 < len(layer); i += 2 {
+			g++
+			out := fmt.Sprintf("t%d", g)
+			if len(layer) == 2 {
+				out = "p"
+			}
+			n.AddGate(fmt.Sprintf("u%d", g), XOR, out, layer[i], layer[i+1])
+			next = append(next, out)
+		}
+		if len(layer)%2 == 1 {
+			next = append(next, layer[len(layer)-1])
+		}
+		layer = next
+	}
+	return n
+}
+
+// RandomLogic returns a random combinational circuit with the given
+// number of primary inputs and gates, deterministically derived from
+// seed. Every gate's inputs are drawn from earlier nets, so the result
+// is acyclic and valid; the last few nets are exposed as outputs.
+func RandomLogic(inputs, gates int, seed int64) *Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	n := New(fmt.Sprintf("rand_i%d_g%d_s%d", inputs, gates, seed))
+	var nets []string
+	for i := 0; i < inputs; i++ {
+		p := fmt.Sprintf("i%d", i)
+		n.AddPort(p, In)
+		nets = append(nets, p)
+	}
+	types := []GateType{INV, NAND, NOR, AND, OR, XOR}
+	for g := 0; g < gates; g++ {
+		typ := types[rng.Intn(len(types))]
+		out := fmt.Sprintf("w%d", g)
+		var ins []string
+		for k := 0; k < typ.NumInputs(); k++ {
+			ins = append(ins, nets[rng.Intn(len(nets))])
+		}
+		n.AddGate(fmt.Sprintf("u%d", g), typ, out, ins...)
+		nets = append(nets, out)
+	}
+	// Expose the last min(4, gates) gate outputs as primary outputs via
+	// buffers so output nets are distinct ports.
+	outs := 4
+	if gates < outs {
+		outs = gates
+	}
+	for i := 0; i < outs; i++ {
+		p := fmt.Sprintf("o%d", i)
+		n.AddPort(p, Out)
+		n.AddGate(fmt.Sprintf("ob%d", i), BUF, p, fmt.Sprintf("w%d", gates-1-i))
+	}
+	return n
+}

@@ -1,0 +1,385 @@
+// Package netlist provides the circuit representation used by the
+// synthetic CAD tools of this reproduction: gate-level and
+// transistor-level netlists with a line-oriented text format, structural
+// validation, and gate-to-transistor expansion (the logic-view to
+// transistor-view transformation of the paper's Fig. 7).
+//
+// The paper's flow manager treats netlists as opaque design data flowing
+// between tools; this package is the substitute for the commercial
+// formats (SPICE decks, EDIF, ...) its tools exchanged. It is small but
+// real: simulators, extractors, placers and verifiers in sibling packages
+// all operate on it.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Reserved net names for the supply rails.
+const (
+	Vdd = "vdd"
+	Gnd = "gnd"
+)
+
+// PortDir is the direction of a port.
+type PortDir int
+
+const (
+	// In marks a primary input.
+	In PortDir = iota
+	// Out marks a primary output.
+	Out
+)
+
+// String returns "in" or "out".
+func (d PortDir) String() string {
+	if d == In {
+		return "in"
+	}
+	return "out"
+}
+
+// Port is a primary input or output of the circuit.
+type Port struct {
+	Name string
+	Dir  PortDir
+}
+
+// GateType enumerates the supported logic gate types.
+type GateType string
+
+// Supported gate types. Two-input gates take exactly two inputs; INV and
+// BUF take one.
+const (
+	INV  GateType = "inv"
+	BUF  GateType = "buf"
+	NAND GateType = "nand2"
+	NOR  GateType = "nor2"
+	AND  GateType = "and2"
+	OR   GateType = "or2"
+	XOR  GateType = "xor2"
+	XNOR GateType = "xnor2"
+)
+
+// GateTypes lists all gate types in a fixed order.
+var GateTypes = []GateType{INV, BUF, NAND, NOR, AND, OR, XOR, XNOR}
+
+// NumInputs returns how many inputs the gate type takes, or 0 for an
+// unknown type.
+func (g GateType) NumInputs() int {
+	switch g {
+	case INV, BUF:
+		return 1
+	case NAND, NOR, AND, OR, XOR, XNOR:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Eval computes the gate's boolean function.
+func (g GateType) Eval(in []bool) bool {
+	switch g {
+	case INV:
+		return !in[0]
+	case BUF:
+		return in[0]
+	case NAND:
+		return !(in[0] && in[1])
+	case NOR:
+		return !(in[0] || in[1])
+	case AND:
+		return in[0] && in[1]
+	case OR:
+		return in[0] || in[1]
+	case XOR:
+		return in[0] != in[1]
+	case XNOR:
+		return in[0] == in[1]
+	default:
+		panic(fmt.Sprintf("netlist: Eval on unknown gate type %q", g))
+	}
+}
+
+// Gate is one logic gate instance.
+type Gate struct {
+	Name   string
+	Type   GateType
+	Inputs []string // input net names
+	Output string   // output net name
+}
+
+// String renders "name type in... -> out".
+func (g Gate) String() string {
+	return fmt.Sprintf("%s %s %s -> %s", g.Name, g.Type, strings.Join(g.Inputs, " "), g.Output)
+}
+
+// MOSType is the polarity of a MOS transistor.
+type MOSType int
+
+const (
+	// NMOS conducts when its gate is high.
+	NMOS MOSType = iota
+	// PMOS conducts when its gate is low.
+	PMOS
+)
+
+// String returns "nmos" or "pmos".
+func (t MOSType) String() string {
+	if t == NMOS {
+		return "nmos"
+	}
+	return "pmos"
+}
+
+// MOS is one transistor instance at the transistor level.
+type MOS struct {
+	Name   string
+	Type   MOSType
+	Gate   string // gate net
+	Source string
+	Drain  string
+	W, L   int // width and length in lambda
+}
+
+// String renders the device in the text-format syntax.
+func (m MOS) String() string {
+	return fmt.Sprintf("%s %s g=%s s=%s d=%s w=%d l=%d",
+		m.Name, m.Type, m.Gate, m.Source, m.Drain, m.W, m.L)
+}
+
+// Netlist is a circuit: ports plus a gate-level section and/or a
+// transistor-level section. A netlist with only Gates is a logic view; a
+// netlist with only Devices is a transistor view (Fig. 7).
+type Netlist struct {
+	Name    string
+	Ports   []Port
+	Gates   []Gate
+	Devices []MOS
+}
+
+// New returns an empty netlist with the given name.
+func New(name string) *Netlist { return &Netlist{Name: name} }
+
+// AddPort declares a primary input or output.
+func (n *Netlist) AddPort(name string, dir PortDir) {
+	n.Ports = append(n.Ports, Port{Name: name, Dir: dir})
+}
+
+// AddGate appends a logic gate.
+func (n *Netlist) AddGate(name string, typ GateType, output string, inputs ...string) {
+	n.Gates = append(n.Gates, Gate{Name: name, Type: typ, Inputs: inputs, Output: output})
+}
+
+// AddMOS appends a transistor.
+func (n *Netlist) AddMOS(name string, typ MOSType, gate, source, drain string, w, l int) {
+	n.Devices = append(n.Devices, MOS{Name: name, Type: typ, Gate: gate, Source: source, Drain: drain, W: w, L: l})
+}
+
+// Inputs returns the primary input names in declaration order.
+func (n *Netlist) Inputs() []string {
+	var out []string
+	for _, p := range n.Ports {
+		if p.Dir == In {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Outputs returns the primary output names in declaration order.
+func (n *Netlist) Outputs() []string {
+	var out []string
+	for _, p := range n.Ports {
+		if p.Dir == Out {
+			out = append(out, p.Name)
+		}
+	}
+	return out
+}
+
+// Port returns the port with the given name, if present.
+func (n *Netlist) Port(name string) (Port, bool) {
+	for _, p := range n.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// Nets returns every net name mentioned anywhere in the netlist, sorted.
+// The supply rails appear only if used.
+func (n *Netlist) Nets() []string {
+	set := make(map[string]bool)
+	for _, p := range n.Ports {
+		set[p.Name] = true
+	}
+	for _, g := range n.Gates {
+		for _, in := range g.Inputs {
+			set[in] = true
+		}
+		set[g.Output] = true
+	}
+	for _, m := range n.Devices {
+		set[m.Gate] = true
+		set[m.Source] = true
+		set[m.Drain] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Driver returns the gate driving the given net, if any.
+func (n *Netlist) Driver(net string) (Gate, bool) {
+	for _, g := range n.Gates {
+		if g.Output == net {
+			return g, true
+		}
+	}
+	return Gate{}, false
+}
+
+// Fanout returns the gates that read the given net, in declaration order.
+func (n *Netlist) Fanout(net string) []Gate {
+	var out []Gate
+	for _, g := range n.Gates {
+		for _, in := range g.Inputs {
+			if in == net {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks structural soundness:
+//
+//   - port, gate and device names are unique and non-empty;
+//   - gate types are known and carry the right number of inputs;
+//   - no net is driven by more than one gate, and no primary input or
+//     supply rail is driven;
+//   - every gate input is either a primary input, a driven net, or a
+//     supply rail (no floating inputs at gate level);
+//   - primary outputs are driven (gate level only; a pure transistor
+//     view is validated for name/terminal sanity instead);
+//   - device W and L are positive.
+func (n *Netlist) Validate() error {
+	var errs []string
+	seen := make(map[string]string) // name -> kind
+	declare := func(kind, name string) {
+		if name == "" {
+			errs = append(errs, kind+" with empty name")
+			return
+		}
+		if prev, ok := seen[name]; ok {
+			errs = append(errs, fmt.Sprintf("duplicate name %q (%s and %s)", name, prev, kind))
+			return
+		}
+		seen[name] = kind
+	}
+	for _, p := range n.Ports {
+		declare("port", p.Name)
+	}
+
+	driven := make(map[string]string) // net -> driver gate
+	isInput := make(map[string]bool)
+	for _, p := range n.Ports {
+		if p.Dir == In {
+			isInput[p.Name] = true
+		}
+	}
+	for _, g := range n.Gates {
+		declare("gate", g.Name)
+		if want := g.Type.NumInputs(); want == 0 {
+			errs = append(errs, fmt.Sprintf("gate %s: unknown type %q", g.Name, g.Type))
+		} else if len(g.Inputs) != want {
+			errs = append(errs, fmt.Sprintf("gate %s: %s wants %d inputs, has %d", g.Name, g.Type, want, len(g.Inputs)))
+		}
+		if g.Output == Vdd || g.Output == Gnd {
+			errs = append(errs, fmt.Sprintf("gate %s: drives supply rail %s", g.Name, g.Output))
+		}
+		if isInput[g.Output] {
+			errs = append(errs, fmt.Sprintf("gate %s: drives primary input %s", g.Name, g.Output))
+		}
+		if prev, ok := driven[g.Output]; ok {
+			errs = append(errs, fmt.Sprintf("net %s driven by both %s and %s", g.Output, prev, g.Name))
+		} else {
+			driven[g.Output] = g.Name
+		}
+	}
+	for _, g := range n.Gates {
+		for _, in := range g.Inputs {
+			if in == Vdd || in == Gnd || isInput[in] {
+				continue
+			}
+			if _, ok := driven[in]; !ok {
+				errs = append(errs, fmt.Sprintf("gate %s: input %s is undriven", g.Name, in))
+			}
+		}
+	}
+	if len(n.Gates) > 0 {
+		for _, p := range n.Ports {
+			if p.Dir == Out {
+				if _, ok := driven[p.Name]; !ok {
+					errs = append(errs, fmt.Sprintf("primary output %s is undriven", p.Name))
+				}
+			}
+		}
+	}
+	for _, m := range n.Devices {
+		declare("device", m.Name)
+		if m.W <= 0 || m.L <= 0 {
+			errs = append(errs, fmt.Sprintf("device %s: non-positive geometry w=%d l=%d", m.Name, m.W, m.L))
+		}
+		for _, term := range []string{m.Gate, m.Source, m.Drain} {
+			if term == "" {
+				errs = append(errs, fmt.Sprintf("device %s: empty terminal", m.Name))
+			}
+		}
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("netlist %q invalid:\n  %s", n.Name, strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (n *Netlist) Clone() *Netlist {
+	out := &Netlist{Name: n.Name}
+	out.Ports = append([]Port(nil), n.Ports...)
+	out.Devices = append([]MOS(nil), n.Devices...)
+	out.Gates = make([]Gate, len(n.Gates))
+	for i, g := range n.Gates {
+		g.Inputs = append([]string(nil), g.Inputs...)
+		out.Gates[i] = g
+	}
+	return out
+}
+
+// Stats summarizes the netlist (used by the extraction-statistics
+// entity).
+type Stats struct {
+	Ports, Gates, Devices, Nets int
+	TotalWidth                  int // summed transistor width
+}
+
+// Stats computes summary statistics.
+func (n *Netlist) Stats() Stats {
+	s := Stats{Ports: len(n.Ports), Gates: len(n.Gates), Devices: len(n.Devices), Nets: len(n.Nets())}
+	for _, m := range n.Devices {
+		s.TotalWidth += m.W
+	}
+	return s
+}
+
+// String renders the netlist in its text format.
+func (n *Netlist) String() string { return Format(n) }

@@ -1,0 +1,379 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestInverterBasics(t *testing.T) {
+	n := Inverter()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := n.Inputs(); len(got) != 1 || got[0] != "in" {
+		t.Errorf("Inputs = %v", got)
+	}
+	if got := n.Outputs(); len(got) != 1 || got[0] != "out" {
+		t.Errorf("Outputs = %v", got)
+	}
+	if _, ok := n.Port("in"); !ok {
+		t.Error("Port(in) missing")
+	}
+	if _, ok := n.Port("nope"); ok {
+		t.Error("Port(nope) found")
+	}
+	if g, ok := n.Driver("out"); !ok || g.Name != "u1" {
+		t.Errorf("Driver(out) = %v, %v", g, ok)
+	}
+	if _, ok := n.Driver("in"); ok {
+		t.Error("Driver(in) should be absent")
+	}
+	if fo := n.Fanout("in"); len(fo) != 1 || fo[0].Name != "u1" {
+		t.Errorf("Fanout(in) = %v", fo)
+	}
+	nets := n.Nets()
+	if len(nets) != 2 || nets[0] != "in" || nets[1] != "out" {
+		t.Errorf("Nets = %v", nets)
+	}
+}
+
+func TestGateTypeEval(t *testing.T) {
+	cases := []struct {
+		typ  GateType
+		in   []bool
+		want bool
+	}{
+		{INV, []bool{true}, false},
+		{INV, []bool{false}, true},
+		{BUF, []bool{true}, true},
+		{NAND, []bool{true, true}, false},
+		{NAND, []bool{true, false}, true},
+		{NOR, []bool{false, false}, true},
+		{NOR, []bool{true, false}, false},
+		{AND, []bool{true, true}, true},
+		{AND, []bool{false, true}, false},
+		{OR, []bool{false, true}, true},
+		{OR, []bool{false, false}, false},
+		{XOR, []bool{true, false}, true},
+		{XOR, []bool{true, true}, false},
+		{XNOR, []bool{true, true}, true},
+		{XNOR, []bool{true, false}, false},
+	}
+	for _, c := range cases {
+		if got := c.typ.Eval(c.in); got != c.want {
+			t.Errorf("%s%v = %v, want %v", c.typ, c.in, got, c.want)
+		}
+	}
+}
+
+func TestGateTypeNumInputs(t *testing.T) {
+	for _, g := range GateTypes {
+		if g.NumInputs() == 0 {
+			t.Errorf("%s has no arity", g)
+		}
+	}
+	if GateType("frob").NumInputs() != 0 {
+		t.Error("unknown type should have arity 0")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(n *Netlist)
+		want string
+	}{
+		{"dup gate name", func(n *Netlist) {
+			n.AddGate("u1", INV, "x", "in")
+		}, "duplicate name"},
+		{"unknown type", func(n *Netlist) {
+			n.AddGate("u2", "frob", "x", "in")
+		}, "unknown type"},
+		{"bad arity", func(n *Netlist) {
+			n.AddGate("u2", NAND, "x", "in")
+		}, "wants 2 inputs"},
+		{"drives rail", func(n *Netlist) {
+			n.AddGate("u2", INV, Gnd, "in")
+		}, "supply rail"},
+		{"drives input", func(n *Netlist) {
+			n.AddGate("u2", INV, "in", "out")
+		}, "drives primary input"},
+		{"double drive", func(n *Netlist) {
+			n.AddGate("u2", INV, "out", "in")
+		}, "driven by both"},
+		{"undriven input", func(n *Netlist) {
+			n.AddGate("u2", INV, "x", "ghost")
+		}, "undriven"},
+		{"undriven output", func(n *Netlist) {
+			n.AddPort("out2", Out)
+		}, "primary output out2 is undriven"},
+		{"bad geometry", func(n *Netlist) {
+			n.AddMOS("m1", NMOS, "in", Gnd, "out", 0, 2)
+		}, "non-positive geometry"},
+		{"empty terminal", func(n *Netlist) {
+			n.AddMOS("m1", NMOS, "", Gnd, "out", 2, 2)
+		}, "empty terminal"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := Inverter()
+			c.edit(n)
+			err := n.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Validate = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSupplyRailsAreLegalInputs(t *testing.T) {
+	n := New("tie")
+	n.AddPort("y", Out)
+	n.AddGate("u1", NAND, "y", Vdd, Gnd)
+	if err := n.Validate(); err != nil {
+		t.Errorf("rails as inputs: %v", err)
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, n := range []*Netlist{Inverter(), FullAdder(), RippleAdder(4), Mux2(), ParityTree(5)} {
+		text := Format(n)
+		n2, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n%s", n.Name, err, text)
+		}
+		if Format(n2) != text {
+			t.Errorf("%s: round trip not stable", n.Name)
+		}
+	}
+}
+
+func TestParseTransistorNetlist(t *testing.T) {
+	src := `
+netlist inv
+in in
+out out
+mos mp pmos g=in s=vdd d=out w=8 l=2
+mos mn nmos g=in s=gnd d=out w=4 l=2
+`
+	n, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if len(n.Devices) != 2 {
+		t.Fatalf("devices = %d", len(n.Devices))
+	}
+	if n.Devices[0].Type != PMOS || n.Devices[0].W != 8 || n.Devices[0].Gate != "in" {
+		t.Errorf("device = %+v", n.Devices[0])
+	}
+	if got := n.Devices[1].String(); got != "mn nmos g=in s=gnd d=out w=4 l=2" {
+		t.Errorf("MOS.String = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no header", "in a\nout b\ngate g inv a -> b\n", "missing 'netlist"},
+		{"bad keyword", "netlist x\nfrob\n", "unknown keyword"},
+		{"netlist arity", "netlist a b\n", "exactly one name"},
+		{"in arity", "netlist x\nin\n", "at least one net"},
+		{"gate no arrow", "netlist x\ngate g inv a b\n", "gate wants"},
+		{"gate short", "netlist x\ngate g inv\n", "gate wants"},
+		{"mos arity", "netlist x\nmos m nmos g=a\n", "mos wants"},
+		{"mos type", "netlist x\nmos m frob g=a s=b d=c w=1 l=1\n", "unknown type"},
+		{"mos attr", "netlist x\nmos m nmos q=a s=b d=c w=1 l=1\n", "unknown attribute"},
+		{"mos attr form", "netlist x\nmos m nmos gate s=b d=c w=1 l=1\n", "bad attribute"},
+		{"mos num", "netlist x\nmos m nmos g=a s=b d=c w=zz l=1\n", "bad w"},
+		{"line numbers", "netlist x\n\nfrob\n", "line 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestMustParseStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	MustParseString("bogus")
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n := FullAdder()
+	c := n.Clone()
+	c.Gates[0].Inputs[0] = "mutated"
+	c.Ports[0].Name = "mutated"
+	if n.Gates[0].Inputs[0] == "mutated" || n.Ports[0].Name == "mutated" {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestStats(t *testing.T) {
+	n := FullAdder()
+	s := n.Stats()
+	if s.Gates != 5 || s.Ports != 5 {
+		t.Errorf("Stats = %+v", s)
+	}
+	x, err := ToTransistor(n)
+	if err != nil {
+		t.Fatalf("ToTransistor: %v", err)
+	}
+	xs := x.Stats()
+	if xs.Devices == 0 || xs.TotalWidth == 0 || xs.Gates != 0 {
+		t.Errorf("transistor stats = %+v", xs)
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	cases := []*Netlist{
+		Inverter(), InverterChain(1), InverterChain(7), FullAdder(),
+		RippleAdder(1), RippleAdder(8), Mux2(), ParityTree(2), ParityTree(9),
+		RandomLogic(4, 20, 1), RandomLogic(8, 100, 42),
+	}
+	for _, n := range cases {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+	if got := len(RippleAdder(8).Gates); got != 40 {
+		t.Errorf("ripple8 gates = %d, want 40", got)
+	}
+	if got := len(InverterChain(7).Gates); got != 7 {
+		t.Errorf("invchain7 gates = %d", got)
+	}
+}
+
+func TestRandomLogicDeterministic(t *testing.T) {
+	a := Format(RandomLogic(6, 50, 7))
+	b := Format(RandomLogic(6, 50, 7))
+	if a != b {
+		t.Error("RandomLogic not deterministic for equal seeds")
+	}
+	c := Format(RandomLogic(6, 50, 8))
+	if a == c {
+		t.Error("RandomLogic ignores seed")
+	}
+}
+
+func TestDecomposeToCMOS(t *testing.T) {
+	n := FullAdder()
+	d := DecomposeToCMOS(n)
+	if err := d.Validate(); err != nil {
+		t.Fatalf("decomposed invalid: %v", err)
+	}
+	for _, g := range d.Gates {
+		switch g.Type {
+		case INV, NAND, NOR:
+		default:
+			t.Errorf("gate %s has non-CMOS type %s", g.Name, g.Type)
+		}
+	}
+	// Same ports.
+	if len(d.Ports) != len(n.Ports) {
+		t.Errorf("ports changed: %d -> %d", len(n.Ports), len(d.Ports))
+	}
+}
+
+func TestToTransistorInverter(t *testing.T) {
+	// Fig. 7: the inverter's transistor view is one PMOS + one NMOS.
+	x, err := ToTransistor(Inverter())
+	if err != nil {
+		t.Fatalf("ToTransistor: %v", err)
+	}
+	if len(x.Devices) != 2 {
+		t.Fatalf("devices = %v", x.Devices)
+	}
+	var nmos, pmos int
+	for _, m := range x.Devices {
+		switch m.Type {
+		case NMOS:
+			nmos++
+			if m.Source != Gnd {
+				t.Errorf("nmos source = %s", m.Source)
+			}
+		case PMOS:
+			pmos++
+			if m.Source != Vdd {
+				t.Errorf("pmos source = %s", m.Source)
+			}
+		}
+		if m.Gate != "in" || m.Drain != "out" {
+			t.Errorf("device terminals: %+v", m)
+		}
+	}
+	if nmos != 1 || pmos != 1 {
+		t.Errorf("nmos=%d pmos=%d", nmos, pmos)
+	}
+}
+
+func TestToTransistorCounts(t *testing.T) {
+	// NAND: 4 devices. NOR: 4. INV: 2.
+	n := New("x")
+	n.AddPort("a", In)
+	n.AddPort("b", In)
+	n.AddPort("y", Out)
+	n.AddGate("g1", NAND, "t", "a", "b")
+	n.AddGate("g2", NOR, "u", "t", "a")
+	n.AddGate("g3", INV, "y", "u")
+	x, err := ToTransistor(n)
+	if err != nil {
+		t.Fatalf("ToTransistor: %v", err)
+	}
+	if len(x.Devices) != 10 {
+		t.Errorf("devices = %d, want 10", len(x.Devices))
+	}
+}
+
+func TestToTransistorRejectsInvalid(t *testing.T) {
+	n := New("bad")
+	n.AddPort("y", Out)
+	n.AddGate("g1", INV, "y", "ghost") // undriven input
+	if _, err := ToTransistor(n); err == nil {
+		t.Error("invalid netlist should fail")
+	}
+}
+
+// Property: ToTransistor output is always a valid, gate-free netlist with
+// a device count bounded by 14 per original gate (worst case XNOR).
+func TestQuickToTransistor(t *testing.T) {
+	f := func(seed int64, gates uint8) bool {
+		g := int(gates%40) + 1
+		n := RandomLogic(5, g, seed)
+		x, err := ToTransistor(n)
+		if err != nil {
+			return false
+		}
+		if len(x.Gates) != 0 {
+			return false
+		}
+		// BUF outputs add 4 devices each; gates at most 18 (XNOR = 5
+		// CMOS gates).
+		max := 18*g + 4*8
+		return len(x.Devices) > 0 && len(x.Devices) <= max && x.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parse(format(n)) is the identity on formatted text for random
+// circuits.
+func TestQuickFormatRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := RandomLogic(4, 30, seed)
+		text := Format(n)
+		n2, err := ParseString(text)
+		return err == nil && Format(n2) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

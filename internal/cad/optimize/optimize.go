@@ -1,0 +1,216 @@
+// Package optimize provides three statistical circuit-optimization tools
+// that share a single calling convention — the paper's observation that
+// "we have encapsulated three statistical circuit optimization tools that
+// take exactly the same input arguments and produce the same type of
+// output using this technique" (§3.3, shared encapsulations) — and that
+// take the circuit simulator as an *argument*, the paper's example of a
+// tool serving as data input to another tool.
+//
+// Each optimizer searches over device-model parameters (drive strength
+// and junction capacitance) to meet a critical-path target at minimum
+// drive (a power proxy), evaluating candidates by running the supplied
+// simulator.
+package optimize
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/sim"
+)
+
+// Params is the search point: scale factors (in percent) applied to the
+// base library's transconductance and capacitance.
+type Params struct {
+	DrivePct int // 50..400
+	CapPct   int // 25..200
+}
+
+// clamp keeps parameters inside the search box.
+func (p Params) clamp() Params {
+	cl := func(x, lo, hi int) int {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	return Params{DrivePct: cl(p.DrivePct, 50, 400), CapPct: cl(p.CapPct, 25, 200)}
+}
+
+// Apply builds a new model library with the parameters applied to base.
+func (p Params) Apply(base *models.Library) *models.Library {
+	out := models.NewLibrary(fmt.Sprintf("%s_opt_d%d_c%d", base.Name, p.DrivePct, p.CapPct))
+	for _, name := range base.Names() {
+		m := *base.Model(name)
+		m.KuAPerV2 = max1(m.KuAPerV2 * p.DrivePct / 100)
+		m.CjAFPerLambda = max1(m.CjAFPerLambda * p.CapPct / 100)
+		if err := out.Add(&m); err != nil {
+			panic(err) // same names as base; cannot collide
+		}
+	}
+	return out
+}
+
+func max1(x int) int {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// Evaluator measures a candidate library against the goal. It is
+// constructed from the simulator instance handed to the optimizer —
+// tools-as-data in action.
+type Evaluator func(lib *models.Library) (critPathPS int, err error)
+
+// SimEvaluator builds an Evaluator that runs the given netlist and
+// stimuli through the event-driven simulator.
+func SimEvaluator(nl *netlist.Netlist, st *sim.Stimuli) Evaluator {
+	return func(lib *models.Library) (int, error) {
+		s, err := sim.New(nl, lib)
+		if err != nil {
+			return 0, err
+		}
+		res, err := s.Run(st)
+		if err != nil {
+			return 0, err
+		}
+		return res.CriticalPathPS, nil
+	}
+}
+
+// Goal is the optimization target.
+type Goal struct {
+	// TargetPS is the critical-path budget to meet.
+	TargetPS int
+	// Base is the starting model library.
+	Base *models.Library
+}
+
+// Result reports an optimization run. All three optimizers return it.
+type Result struct {
+	Tool     string
+	Best     Params
+	Library  *models.Library
+	CritPS   int
+	CostEval int // evaluations spent
+	Met      bool
+}
+
+// Summary renders the result report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	verdict := "met"
+	if !r.Met {
+		verdict = "NOT met"
+	}
+	fmt.Fprintf(&b, "%s: target %s, drive=%d%% cap=%d%%, critical path %d ps, %d evaluations\n",
+		r.Tool, verdict, r.Best.DrivePct, r.Best.CapPct, r.CritPS, r.CostEval)
+	return b.String()
+}
+
+// cost scores a candidate: meeting the target matters most, then lower
+// drive (power proxy).
+func cost(critPS, targetPS int, p Params) int {
+	over := critPS - targetPS
+	if over < 0 {
+		over = 0
+	}
+	return over*1000 + p.DrivePct
+}
+
+// Optimizer is the shared calling convention of the three tools.
+type Optimizer func(eval Evaluator, goal Goal, seed int64, budget int) (*Result, error)
+
+// RandomSearch samples the parameter box uniformly.
+func RandomSearch(eval Evaluator, goal Goal, seed int64, budget int) (*Result, error) {
+	return runSearch("random-search", eval, goal, budget, func(rng *rand.Rand, _ Params) Params {
+		return Params{DrivePct: 50 + rng.Intn(351), CapPct: 25 + rng.Intn(176)}
+	}, seed)
+}
+
+// CoordinateDescent perturbs one coordinate at a time around the
+// incumbent.
+func CoordinateDescent(eval Evaluator, goal Goal, seed int64, budget int) (*Result, error) {
+	steps := []int{100, 50, 25, 10, 5}
+	i := 0
+	return runSearch("coordinate-descent", eval, goal, budget, func(rng *rand.Rand, best Params) Params {
+		step := steps[i%len(steps)]
+		i++
+		p := best
+		switch rng.Intn(4) {
+		case 0:
+			p.DrivePct += step
+		case 1:
+			p.DrivePct -= step
+		case 2:
+			p.CapPct += step
+		default:
+			p.CapPct -= step
+		}
+		return p
+	}, seed)
+}
+
+// Annealing perturbs the incumbent with shrinking moves and accepts
+// uphill moves early (a fixed, deterministic cooling schedule).
+func Annealing(eval Evaluator, goal Goal, seed int64, budget int) (*Result, error) {
+	k := 0
+	return runSearch("annealing", eval, goal, budget, func(rng *rand.Rand, best Params) Params {
+		k++
+		temp := 200 - 190*k/budgetFloor(budget)
+		p := best
+		p.DrivePct += rng.Intn(2*temp+1) - temp
+		p.CapPct += rng.Intn(temp+1) - temp/2
+		return p
+	}, seed)
+}
+
+func budgetFloor(b int) int {
+	if b < 1 {
+		return 1
+	}
+	return b
+}
+
+// runSearch is the common engine: evaluate the base point, then budget
+// candidates from the proposal function, tracking the best by cost.
+func runSearch(tool string, eval Evaluator, goal Goal, budget int,
+	propose func(rng *rand.Rand, best Params) Params, seed int64) (*Result, error) {
+	if goal.Base == nil {
+		return nil, fmt.Errorf("optimize: goal needs a base library")
+	}
+	if budget <= 0 {
+		budget = 30
+	}
+	rng := rand.New(rand.NewSource(seed))
+	best := Params{DrivePct: 100, CapPct: 100}
+	crit, err := eval(best.Apply(goal.Base))
+	if err != nil {
+		return nil, err
+	}
+	bestCost := cost(crit, goal.TargetPS, best)
+	bestCrit := crit
+	evals := 1
+	for evals < budget {
+		p := propose(rng, best).clamp()
+		c, err := eval(p.Apply(goal.Base))
+		if err != nil {
+			return nil, err
+		}
+		evals++
+		if cc := cost(c, goal.TargetPS, p); cc < bestCost {
+			bestCost, best, bestCrit = cc, p, c
+		}
+	}
+	return &Result{
+		Tool: tool, Best: best, Library: best.Apply(goal.Base),
+		CritPS: bestCrit, CostEval: evals, Met: bestCrit <= goal.TargetPS,
+	}, nil
+}

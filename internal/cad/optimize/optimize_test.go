@@ -1,0 +1,125 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/sim"
+)
+
+func evaluator(t *testing.T) (Evaluator, int) {
+	t.Helper()
+	nl := netlist.InverterChain(6)
+	st := sim.NewStimuli("step", 10000000, "in")
+	st.MustAddVector(false)
+	st.MustAddVector(true)
+	eval := SimEvaluator(nl, st)
+	base, err := eval(models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval, base
+}
+
+func TestParamsClampAndApply(t *testing.T) {
+	p := Params{DrivePct: 1000, CapPct: -5}.clamp()
+	if p.DrivePct != 400 || p.CapPct != 25 {
+		t.Errorf("clamp = %+v", p)
+	}
+	lib := Params{DrivePct: 200, CapPct: 50}.Apply(models.Default())
+	if err := lib.Validate(); err != nil {
+		t.Fatalf("applied library invalid: %v", err)
+	}
+	base := models.Default()
+	if lib.Model("nmos_2u").KuAPerV2 != base.Model("nmos_2u").KuAPerV2*2 {
+		t.Error("drive scaling wrong")
+	}
+	if lib.Model("pmos_2u").CjAFPerLambda != base.Model("pmos_2u").CjAFPerLambda/2 {
+		t.Error("cap scaling wrong")
+	}
+}
+
+func TestAllThreeOptimizersShareConvention(t *testing.T) {
+	eval, base := evaluator(t)
+	goal := Goal{TargetPS: base / 2, Base: models.Default()}
+	for _, opt := range []Optimizer{RandomSearch, CoordinateDescent, Annealing} {
+		res, err := opt(eval, goal, 1, 25)
+		if err != nil {
+			t.Fatalf("optimizer failed: %v", err)
+		}
+		if res.CostEval != 25 {
+			t.Errorf("%s: evals = %d, want 25", res.Tool, res.CostEval)
+		}
+		if res.CritPS > base {
+			t.Errorf("%s: result %d worse than baseline %d", res.Tool, res.CritPS, base)
+		}
+		if res.Library == nil || res.Library.Validate() != nil {
+			t.Errorf("%s: bad output library", res.Tool)
+		}
+		if !strings.Contains(res.Summary(), res.Tool) {
+			t.Errorf("Summary = %q", res.Summary())
+		}
+	}
+}
+
+func TestOptimizersMeetEasyTarget(t *testing.T) {
+	eval, base := evaluator(t)
+	// A target slightly under baseline is achievable by raising drive.
+	goal := Goal{TargetPS: base * 3 / 4, Base: models.Default()}
+	for _, opt := range []Optimizer{RandomSearch, CoordinateDescent, Annealing} {
+		res, err := opt(eval, goal, 3, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Met {
+			t.Errorf("%s: easy target not met (crit %d, target %d)", res.Tool, res.CritPS, goal.TargetPS)
+		}
+	}
+}
+
+func TestOptimizerDeterministic(t *testing.T) {
+	eval, base := evaluator(t)
+	goal := Goal{TargetPS: base / 2, Base: models.Default()}
+	a, err := RandomSearch(eval, goal, 42, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSearch(eval, goal, 42, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best != b.Best || a.CritPS != b.CritPS {
+		t.Error("optimizer not deterministic for equal seeds")
+	}
+}
+
+func TestOptimizerErrors(t *testing.T) {
+	eval, _ := evaluator(t)
+	if _, err := RandomSearch(eval, Goal{TargetPS: 1}, 1, 5); err == nil {
+		t.Error("missing base library should fail")
+	}
+	// An evaluator that always fails propagates its error.
+	bad := func(*models.Library) (int, error) { return 0, errFake }
+	if _, err := RandomSearch(bad, Goal{TargetPS: 1, Base: models.Default()}, 1, 5); err != errFake {
+		t.Errorf("err = %v", err)
+	}
+}
+
+var errFake = &fakeError{}
+
+type fakeError struct{}
+
+func (*fakeError) Error() string { return "fake" }
+
+func TestDefaultBudget(t *testing.T) {
+	eval, base := evaluator(t)
+	res, err := RandomSearch(eval, Goal{TargetPS: base, Base: models.Default()}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostEval != 30 {
+		t.Errorf("default budget = %d, want 30", res.CostEval)
+	}
+}

@@ -1,0 +1,209 @@
+// Package place implements the Placer tool of the paper's schema: it
+// orders standard cells in the single row that package layout generates,
+// minimizing total net span (the 1-D linear-placement objective). The
+// placer's arguments travel as a PlacementOptions entity — the paper's
+// options-as-entity idea (§3.3) — so that different option instances
+// yield different, separately recorded placements.
+package place
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cad/netlist"
+)
+
+// Options control the placement search. The zero value is a sensible
+// default (seed 1, 4 improvement passes).
+type Options struct {
+	// Seed drives the deterministic random search.
+	Seed int64
+	// Passes is the number of pairwise-swap improvement sweeps.
+	Passes int
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Passes == 0 {
+		o.Passes = 4
+	}
+	return o
+}
+
+// String renders "seed=<n> passes=<n>", the PlacementOptions text form.
+func (o Options) String() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("seed=%d passes=%d", o.Seed, o.Passes)
+}
+
+// ParseOptions reads the text form.
+func ParseOptions(s string) (Options, error) {
+	var o Options
+	for _, f := range strings.Fields(s) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return o, fmt.Errorf("place: bad option %q", f)
+		}
+		x, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return o, fmt.Errorf("place: bad value in %q", f)
+		}
+		switch k {
+		case "seed":
+			o.Seed = x
+		case "passes":
+			o.Passes = int(x)
+		default:
+			return o, fmt.Errorf("place: unknown option %q", k)
+		}
+	}
+	return o, nil
+}
+
+// Placement is the placer's output: a left-to-right cell order over the
+// CMOS-decomposed netlist, plus its cost.
+type Placement struct {
+	Netlist string
+	Order   []string
+	Cost    int
+}
+
+// String renders the placement in a text form.
+func (p *Placement) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement %s cost=%d\n", p.Netlist, p.Cost)
+	fmt.Fprintf(&b, "order %s\n", strings.Join(p.Order, " "))
+	return b.String()
+}
+
+// Cost computes the total net span of an order: for every net, the
+// distance between the leftmost and rightmost cell touching it, summed.
+// Cells are gate instances of the (decomposed) netlist; nets touching no
+// cell or one cell contribute nothing.
+func Cost(nl *netlist.Netlist, order []string) (int, error) {
+	pos := make(map[string]int, len(order))
+	for i, name := range order {
+		pos[name] = i
+	}
+	if len(pos) != len(nl.Gates) {
+		return 0, fmt.Errorf("place: order covers %d of %d gates", len(pos), len(nl.Gates))
+	}
+	type span struct{ lo, hi int }
+	spans := make(map[string]*span)
+	touch := func(net string, p int) {
+		if net == netlist.Vdd || net == netlist.Gnd {
+			return // rails span the whole row regardless
+		}
+		s, ok := spans[net]
+		if !ok {
+			spans[net] = &span{p, p}
+			return
+		}
+		if p < s.lo {
+			s.lo = p
+		}
+		if p > s.hi {
+			s.hi = p
+		}
+	}
+	for _, g := range nl.Gates {
+		p, ok := pos[g.Name]
+		if !ok {
+			return 0, fmt.Errorf("place: gate %s missing from order", g.Name)
+		}
+		touch(g.Output, p)
+		for _, in := range g.Inputs {
+			touch(in, p)
+		}
+	}
+	total := 0
+	for _, s := range spans {
+		total += s.hi - s.lo
+	}
+	return total, nil
+}
+
+// Place computes a cell order for the netlist (decomposed to CMOS gates,
+// matching what layout.Generate consumes). The search is deterministic
+// for a given netlist and options: a greedy seed order followed by
+// random pairwise-swap hill climbing.
+func Place(nl *netlist.Netlist, o Options) (*Placement, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	d := netlist.DecomposeToCMOS(nl)
+	if len(d.Gates) == 0 {
+		return nil, fmt.Errorf("place: %q has no gates", nl.Name)
+	}
+	o = o.withDefaults()
+
+	order := make([]string, len(d.Gates))
+	for i, g := range d.Gates {
+		order[i] = g.Name
+	}
+	// Greedy seed: sort by the average position of input sources under
+	// declaration order (a cheap barycenter-style pass).
+	pos := make(map[string]int, len(order))
+	for i, n := range order {
+		pos[n] = i
+	}
+	driverOf := make(map[string]string)
+	for _, g := range d.Gates {
+		driverOf[g.Output] = g.Name
+	}
+	score := make(map[string]float64, len(order))
+	for _, g := range d.Gates {
+		sum, cnt := 0.0, 0
+		for _, in := range g.Inputs {
+			if drv, ok := driverOf[in]; ok {
+				sum += float64(pos[drv])
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			score[g.Name] = float64(pos[g.Name])
+		} else {
+			score[g.Name] = sum/float64(cnt) + 0.5
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return score[order[i]] < score[order[j]] })
+
+	cost, err := Cost(d, order)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pairwise-swap hill climbing.
+	rng := rand.New(rand.NewSource(o.Seed))
+	n := len(order)
+	for pass := 0; pass < o.Passes; pass++ {
+		improved := false
+		for trial := 0; trial < n*n; trial++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			order[i], order[j] = order[j], order[i]
+			c, err := Cost(d, order)
+			if err != nil {
+				return nil, err
+			}
+			if c < cost {
+				cost = c
+				improved = true
+			} else {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return &Placement{Netlist: nl.Name, Order: order, Cost: cost}, nil
+}

@@ -1,0 +1,151 @@
+package place
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/netlist"
+)
+
+func TestOptionsRoundTrip(t *testing.T) {
+	o := Options{Seed: 7, Passes: 3}
+	s := o.String()
+	o2, err := ParseOptions(s)
+	if err != nil {
+		t.Fatalf("ParseOptions(%q): %v", s, err)
+	}
+	if o2 != o {
+		t.Errorf("round trip: %+v != %+v", o2, o)
+	}
+	if _, err := ParseOptions("frob"); err == nil {
+		t.Error("bad option should fail")
+	}
+	if _, err := ParseOptions("seed=zz"); err == nil {
+		t.Error("bad value should fail")
+	}
+	if _, err := ParseOptions("zz=1"); err == nil {
+		t.Error("unknown key should fail")
+	}
+	if def := (Options{}).String(); !strings.Contains(def, "seed=1") {
+		t.Errorf("defaults = %q", def)
+	}
+}
+
+func TestCostBasics(t *testing.T) {
+	// Chain u1 -> u2 -> u3: adjacent order costs 2 (w1 span 1, w2 span
+	// 1); reversed-middle order costs more.
+	nl := netlist.InverterChain(3)
+	c1, err := Cost(nl, []string{"u1", "u2", "u3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != 2 {
+		t.Errorf("chain cost = %d, want 2", c1)
+	}
+	c2, err := Cost(nl, []string{"u2", "u1", "u3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2 <= c1 {
+		t.Errorf("scrambled order should cost more: %d vs %d", c2, c1)
+	}
+	if _, err := Cost(nl, []string{"u1", "u2"}); err == nil {
+		t.Error("short order should fail")
+	}
+	if _, err := Cost(nl, []string{"u1", "u2", "ghost"}); err == nil {
+		t.Error("unknown gate should fail")
+	}
+}
+
+func TestCostIgnoresRails(t *testing.T) {
+	nl := netlist.New("x")
+	nl.AddPort("y", netlist.Out)
+	nl.AddPort("z", netlist.Out)
+	nl.AddGate("g1", netlist.NAND, "y", netlist.Vdd, netlist.Gnd)
+	nl.AddGate("g2", netlist.NAND, "z", netlist.Vdd, netlist.Gnd)
+	c, err := Cost(nl, []string{"g1", "g2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("rail-only nets should be free, cost = %d", c)
+	}
+}
+
+func TestPlaceImprovesOrBeatsDeclaration(t *testing.T) {
+	nl := netlist.RandomLogic(6, 40, 3)
+	d := netlist.DecomposeToCMOS(nl)
+	var decl []string
+	for _, g := range d.Gates {
+		decl = append(decl, g.Name)
+	}
+	base, err := Cost(d, decl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Place(nl, Options{Seed: 1, Passes: 4})
+	if err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	if p.Cost > base {
+		t.Errorf("placement cost %d worse than declaration order %d", p.Cost, base)
+	}
+	// The reported cost is accurate.
+	check, err := Cost(d, p.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check != p.Cost {
+		t.Errorf("reported cost %d != recomputed %d", p.Cost, check)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	nl := netlist.RippleAdder(3)
+	a, err := Place(nl, Options{Seed: 9, Passes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Place(nl, Options{Seed: 9, Passes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("placement not deterministic for equal seeds")
+	}
+}
+
+func TestPlaceCoversAllGates(t *testing.T) {
+	nl := netlist.FullAdder()
+	p, err := Place(nl, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := netlist.DecomposeToCMOS(nl)
+	if len(p.Order) != len(d.Gates) {
+		t.Fatalf("order covers %d of %d", len(p.Order), len(d.Gates))
+	}
+	seen := map[string]bool{}
+	for _, n := range p.Order {
+		if seen[n] {
+			t.Fatalf("gate %s repeated", n)
+		}
+		seen[n] = true
+	}
+	if !strings.Contains(p.String(), "placement fulladder") {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	empty := netlist.New("e")
+	if _, err := Place(empty, Options{}); err == nil {
+		t.Error("empty netlist should fail")
+	}
+	bad := netlist.New("bad")
+	bad.AddPort("y", netlist.Out)
+	bad.AddGate("g", netlist.INV, "y", "ghost")
+	if _, err := Place(bad, Options{}); err == nil {
+		t.Error("invalid netlist should fail")
+	}
+}

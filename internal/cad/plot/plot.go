@@ -1,0 +1,122 @@
+// Package plot implements the Plotter entity of the paper's Fig. 1: it
+// renders simulation results as ASCII art — waveform traces and
+// histograms — producing the PerformancePlot entity.
+package plot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cad/sim"
+)
+
+// WaveformOptions control waveform rendering.
+type WaveformOptions struct {
+	// Width is the number of time columns (default 64).
+	Width int
+	// Nets restricts the plot to the named nets (default: all recorded
+	// nets, sorted).
+	Nets []string
+}
+
+// Waveforms renders the result's waveforms as one ASCII trace per net:
+//
+//	out   ‾‾‾‾\____/‾‾‾‾
+//
+// Each column is one time step of the run; high is drawn above low.
+func Waveforms(r *sim.Result, opt WaveformOptions) string {
+	width := opt.Width
+	if width <= 0 {
+		width = 64
+	}
+	nets := opt.Nets
+	if nets == nil {
+		nets = r.NetNames()
+	}
+	end := r.EndTimePS
+	if end <= 0 {
+		end = 1
+	}
+	nameW := 0
+	for _, n := range nets {
+		if len(n) > nameW {
+			nameW = len(n)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "waveforms of %s / %s, 0..%d ps, %d ps/col\n", r.Circuit, r.Stimuli, end, (end+width-1)/width)
+	for _, n := range nets {
+		w, ok := r.Waveforms[n]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-*s ", nameW, n)
+		for c := 0; c < width; c++ {
+			t := c * end / (width - 1)
+			switch w.At(t) {
+			case sim.H:
+				b.WriteByte('^')
+			case sim.L:
+				b.WriteByte('_')
+			default:
+				b.WriteByte('?')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Histogram renders labelled values as a horizontal bar chart, scaled to
+// maxWidth columns.
+func Histogram(title string, values map[string]int, maxWidth int) string {
+	if maxWidth <= 0 {
+		maxWidth = 40
+	}
+	keys := make([]string, 0, len(values))
+	max := 0
+	nameW := 0
+	for k, v := range values {
+		keys = append(keys, k)
+		if v > max {
+			max = v
+		}
+		if len(k) > nameW {
+			nameW = len(k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, k := range keys {
+		v := values[k]
+		bar := 0
+		if max > 0 {
+			bar = v * maxWidth / max
+		}
+		fmt.Fprintf(&b, "  %-*s %8d %s\n", nameW, k, v, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// PerformancePlot renders the standard plot for a simulation result:
+// output waveforms plus a toggle histogram — the artifact the Plotter
+// task produces in the paper's flows.
+func PerformancePlot(r *sim.Result) string {
+	var outs []string
+	for _, n := range r.NetNames() {
+		outs = append(outs, n)
+	}
+	toggles := make(map[string]int)
+	for n, w := range r.Waveforms {
+		toggles[n] = w.Toggles()
+	}
+	var b strings.Builder
+	b.WriteString(Waveforms(r, WaveformOptions{Nets: outs}))
+	b.WriteByte('\n')
+	b.WriteString(Histogram("toggles per net", toggles, 32))
+	b.WriteByte('\n')
+	b.WriteString(r.Summary())
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/sim"
+)
+
+func runInvChain(t *testing.T) *sim.Result {
+	t.Helper()
+	s, err := sim.New(netlist.InverterChain(3), models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sim.NewStimuli("step", 50000, "in")
+	st.MustAddVector(false)
+	st.MustAddVector(true)
+	st.MustAddVector(false)
+	res, err := s.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWaveformsRender(t *testing.T) {
+	res := runInvChain(t)
+	out := Waveforms(res, WaveformOptions{Width: 40, Nets: []string{"in", "out"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "waveforms of invchain3") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// The input goes low-high-low: both levels must appear.
+	if !strings.Contains(lines[1], "_") || !strings.Contains(lines[1], "^") {
+		t.Errorf("in trace = %q", lines[1])
+	}
+	// Unknown-before-first-assignment renders as '?'.
+	if !strings.Contains(out, "?") {
+		t.Log("no X region rendered (acceptable if input settles at t=0)")
+	}
+	// Unknown nets are skipped silently.
+	out2 := Waveforms(res, WaveformOptions{Nets: []string{"ghost"}})
+	if strings.Count(out2, "\n") != 1 {
+		t.Errorf("ghost net should render nothing:\n%s", out2)
+	}
+}
+
+func TestWaveformsDefaults(t *testing.T) {
+	res := runInvChain(t)
+	out := Waveforms(res, WaveformOptions{})
+	for _, n := range res.NetNames() {
+		if !strings.Contains(out, n) {
+			t.Errorf("default render missing net %s", n)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("title", map[string]int{"aa": 4, "b": 2, "zero": 0}, 8)
+	if !strings.Contains(out, "title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %v", lines)
+	}
+	// aa (max) gets the full bar; zero gets none; keys sorted.
+	if !strings.Contains(lines[1], "aa") || !strings.Contains(lines[1], "########") {
+		t.Errorf("max bar = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "zero") || strings.Contains(lines[3], "#") {
+		t.Errorf("zero bar = %q", lines[3])
+	}
+	if !strings.Contains(lines[2], "####") {
+		t.Errorf("half bar = %q", lines[2])
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	out := Histogram("t", nil, 0)
+	if !strings.Contains(out, "t") {
+		t.Error("empty histogram should still carry title")
+	}
+}
+
+func TestPerformancePlot(t *testing.T) {
+	res := runInvChain(t)
+	out := PerformancePlot(res)
+	for _, want := range []string{"waveforms of", "toggles per net", "critical path"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PerformancePlot missing %q", want)
+		}
+	}
+}

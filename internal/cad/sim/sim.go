@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+)
+
+// Value is a three-valued logic level.
+type Value int8
+
+const (
+	// X is the unknown level every net starts at.
+	X Value = iota
+	// L is logic 0.
+	L
+	// H is logic 1.
+	H
+)
+
+// String returns "x", "0" or "1".
+func (v Value) String() string {
+	switch v {
+	case L:
+		return "0"
+	case H:
+		return "1"
+	default:
+		return "x"
+	}
+}
+
+// FromBool converts a bool to a Value.
+func FromBool(b bool) Value {
+	if b {
+		return H
+	}
+	return L
+}
+
+// evalGate computes a gate output over three-valued inputs: if any input
+// needed to decide is X, the output is X (a simple pessimistic X model,
+// except for controlling values: a 0 on an AND/NAND or a 1 on an OR/NOR
+// decides regardless of the other input).
+func evalGate(typ netlist.GateType, in []Value) Value {
+	b := func(v Value) bool { return v == H }
+	known := true
+	for _, v := range in {
+		if v == X {
+			known = false
+		}
+	}
+	if known {
+		bs := make([]bool, len(in))
+		for i, v := range in {
+			bs[i] = b(v)
+		}
+		return FromBool(typ.Eval(bs))
+	}
+	// Controlling-value shortcuts.
+	switch typ {
+	case netlist.AND:
+		if in[0] == L || in[1] == L {
+			return L
+		}
+	case netlist.NAND:
+		if in[0] == L || in[1] == L {
+			return H
+		}
+	case netlist.OR:
+		if in[0] == H || in[1] == H {
+			return H
+		}
+	case netlist.NOR:
+		if in[0] == H || in[1] == H {
+			return L
+		}
+	}
+	return X
+}
+
+// Transition is one recorded change of a net's value.
+type Transition struct {
+	TimePS int
+	Val    Value
+}
+
+// Waveform is the transition history of one net, in time order.
+type Waveform []Transition
+
+// At returns the net's value at the given time (the last transition at
+// or before it), X before the first transition.
+func (w Waveform) At(timePS int) Value {
+	v := X
+	for _, tr := range w {
+		if tr.TimePS > timePS {
+			break
+		}
+		v = tr.Val
+	}
+	return v
+}
+
+// Toggles returns the number of value changes after the initial
+// assignment.
+func (w Waveform) Toggles() int {
+	if len(w) <= 1 {
+		return 0
+	}
+	return len(w) - 1
+}
+
+// Result is the outcome of a simulation run: the Performance entity of
+// the paper's schema.
+type Result struct {
+	Circuit   string
+	Stimuli   string
+	Library   string
+	Waveforms map[string]Waveform
+	// Samples holds, per vector, the settled value of every primary
+	// output just before the next vector is applied.
+	Samples []map[string]Value
+	// CriticalPathPS is the largest observed settle time after any
+	// vector application.
+	CriticalPathPS int
+	// Events counts scheduled events (simulator effort).
+	Events int
+	// Toggles counts all output transitions (a dynamic-power proxy).
+	Toggles int
+	// EndTimePS is the time of the last event.
+	EndTimePS int
+}
+
+// Summary renders a short human-readable performance report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "performance of %s under %s (models %s)\n", r.Circuit, r.Stimuli, r.Library)
+	fmt.Fprintf(&b, "  vectors:       %d\n", len(r.Samples))
+	fmt.Fprintf(&b, "  critical path: %d ps\n", r.CriticalPathPS)
+	fmt.Fprintf(&b, "  events:        %d\n", r.Events)
+	fmt.Fprintf(&b, "  toggles:       %d\n", r.Toggles)
+	return b.String()
+}
+
+// event is one pending net change.
+type event struct {
+	timePS int
+	seq    int // tie-break for determinism
+	net    string
+	val    Value
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].timePS != q[j].timePS {
+		return q[i].timePS < q[j].timePS
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); x := old[n-1]; *q = old[:n-1]; return x }
+func (q eventQueue) PeekTime() (int, bool) {
+	if len(q) == 0 {
+		return 0, false
+	}
+	return q[0].timePS, true
+}
+
+// Simulator is an event-driven simulator instance compiled against one
+// netlist and model library. It may be reused across stimuli sets.
+type Simulator struct {
+	nl      *netlist.Netlist
+	lib     *models.Library
+	fanout  map[string][]int // net -> gate indices reading it
+	delays  []int            // per gate, ps
+	outputs []string
+}
+
+// New builds a simulator for a gate-level netlist. The netlist must
+// validate, contain at least one gate, have no transistor section (use
+// package cosmos or a switch-level tool for those) and be combinational
+// (no feedback loops).
+func New(nl *netlist.Netlist, lib *models.Library) (*Simulator, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	if len(nl.Gates) == 0 {
+		return nil, fmt.Errorf("sim: netlist %q has no gates (gate-level simulation only)", nl.Name)
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{nl: nl, lib: lib, fanout: make(map[string][]int), outputs: nl.Outputs()}
+	for i, g := range nl.Gates {
+		for _, in := range g.Inputs {
+			s.fanout[in] = append(s.fanout[in], i)
+		}
+	}
+	for _, g := range nl.Gates {
+		s.delays = append(s.delays, lib.GateDelayPS(g.Type, len(s.fanout[g.Output])+1))
+	}
+	if err := s.checkCombinational(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// checkCombinational rejects feedback loops.
+func (s *Simulator) checkCombinational() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(s.nl.Gates))
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch color[i] {
+		case gray:
+			return fmt.Errorf("sim: netlist %q has a combinational loop through gate %s", s.nl.Name, s.nl.Gates[i].Name)
+		case black:
+			return nil
+		}
+		color[i] = gray
+		for _, j := range s.fanout[s.nl.Gates[i].Output] {
+			if err := visit(j); err != nil {
+				return err
+			}
+		}
+		color[i] = black
+		return nil
+	}
+	for i := range s.nl.Gates {
+		if err := visit(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run applies the stimuli and simulates until the circuit settles after
+// the last vector. Each vector must cover every primary input of the
+// netlist (extra stimulated nets are an error).
+func (s *Simulator) Run(st *Stimuli) (*Result, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	inputs := make(map[string]bool)
+	for _, in := range s.nl.Inputs() {
+		inputs[in] = true
+	}
+	for _, in := range st.Inputs {
+		if !inputs[in] {
+			return nil, fmt.Errorf("sim: stimuli %q drives %s, which is not an input of %s", st.Name, in, s.nl.Name)
+		}
+	}
+	if len(st.Inputs) != len(inputs) {
+		return nil, fmt.Errorf("sim: stimuli %q covers %d of %d inputs of %s", st.Name, len(st.Inputs), len(inputs), s.nl.Name)
+	}
+
+	res := &Result{
+		Circuit:   s.nl.Name,
+		Stimuli:   st.Name,
+		Library:   s.lib.Name,
+		Waveforms: make(map[string]Waveform),
+	}
+	values := make(map[string]Value)
+	values[netlist.Vdd] = H
+	values[netlist.Gnd] = L
+
+	var q eventQueue
+	seq := 0
+	schedule := func(t int, net string, v Value) {
+		seq++
+		heap.Push(&q, event{timePS: t, seq: seq, net: net, val: v})
+		res.Events++
+	}
+
+	// settle drains all events up to (and excluding) horizon, returning
+	// the time of the last applied change.
+	settle := func(horizon int) int {
+		last := 0
+		for {
+			t, ok := q.PeekTime()
+			if !ok || (horizon >= 0 && t >= horizon) {
+				return last
+			}
+			ev := heap.Pop(&q).(event)
+			if values[ev.net] == ev.val {
+				continue
+			}
+			values[ev.net] = ev.val
+			res.Waveforms[ev.net] = append(res.Waveforms[ev.net], Transition{TimePS: ev.timePS, Val: ev.val})
+			last = ev.timePS
+			for _, gi := range s.fanout[ev.net] {
+				g := s.nl.Gates[gi]
+				ins := make([]Value, len(g.Inputs))
+				for k, in := range g.Inputs {
+					ins[k] = values[in]
+				}
+				out := evalGate(g.Type, ins)
+				schedule(ev.timePS+s.delays[gi], g.Output, out)
+			}
+		}
+	}
+
+	for vi, vec := range st.Vectors {
+		t0 := vi * st.IntervalPS
+		for k, in := range st.Inputs {
+			schedule(t0, in, FromBool(vec[k]))
+		}
+		horizon := (vi + 1) * st.IntervalPS
+		last := vi == len(st.Vectors)-1
+		if last {
+			horizon = -1 // unbounded: run to quiescence
+		}
+		settled := settle(horizon)
+		if settled > res.EndTimePS {
+			res.EndTimePS = settled
+		}
+		if d := settled - t0; d > res.CriticalPathPS {
+			res.CriticalPathPS = d
+		}
+		sample := make(map[string]Value, len(s.outputs))
+		for _, out := range s.outputs {
+			sample[out] = values[out]
+		}
+		res.Samples = append(res.Samples, sample)
+	}
+	for _, w := range res.Waveforms {
+		res.Toggles += w.Toggles()
+	}
+	return res, nil
+}
+
+// Evaluate computes the settled boolean outputs for a single input
+// assignment using plain topological evaluation — the golden reference
+// the event-driven and compiled simulators are checked against.
+func Evaluate(nl *netlist.Netlist, in map[string]bool) (map[string]bool, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, err
+	}
+	values := make(map[string]bool)
+	values[netlist.Vdd] = true
+	values[netlist.Gnd] = false
+	for _, p := range nl.Inputs() {
+		v, ok := in[p]
+		if !ok {
+			return nil, fmt.Errorf("sim: Evaluate missing input %s", p)
+		}
+		values[p] = v
+	}
+	remaining := make([]netlist.Gate, len(nl.Gates))
+	copy(remaining, nl.Gates)
+	for len(remaining) > 0 {
+		progress := false
+		var next []netlist.Gate
+		for _, g := range remaining {
+			ready := true
+			for _, x := range g.Inputs {
+				if _, ok := values[x]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				next = append(next, g)
+				continue
+			}
+			ins := make([]bool, len(g.Inputs))
+			for k, x := range g.Inputs {
+				ins[k] = values[x]
+			}
+			values[g.Output] = g.Type.Eval(ins)
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("sim: Evaluate stuck (combinational loop?) with %d gates left", len(next))
+		}
+		remaining = next
+	}
+	out := make(map[string]bool)
+	for _, p := range nl.Outputs() {
+		out[p] = values[p]
+	}
+	return out, nil
+}
+
+// OutputsAtEnd returns the final settled values of the primary outputs.
+func (r *Result) OutputsAtEnd() map[string]Value {
+	if len(r.Samples) == 0 {
+		return nil
+	}
+	return r.Samples[len(r.Samples)-1]
+}
+
+// NetNames returns the recorded nets in sorted order.
+func (r *Result) NetNames() []string {
+	out := make([]string, 0, len(r.Waveforms))
+	for n := range r.Waveforms {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

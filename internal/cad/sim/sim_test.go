@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+)
+
+func TestStimuliValidate(t *testing.T) {
+	s := NewStimuli("s", 1000, "a", "b")
+	s.MustAddVector(true, false)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := s.AddVector(true); err == nil {
+		t.Error("short vector should fail")
+	}
+	bad := NewStimuli("s", 0, "a")
+	if err := bad.Validate(); err == nil {
+		t.Error("zero interval should fail")
+	}
+	bad2 := NewStimuli("s", 10, "a", "a")
+	if err := bad2.Validate(); err == nil {
+		t.Error("repeated input should fail")
+	}
+	bad3 := NewStimuli("s", 10)
+	if err := bad3.Validate(); err == nil {
+		t.Error("no inputs should fail")
+	}
+}
+
+func TestExhaustive(t *testing.T) {
+	s := Exhaustive("x", 100, "a", "b")
+	if len(s.Vectors) != 4 {
+		t.Fatalf("vectors = %d", len(s.Vectors))
+	}
+	// Counting order: 00 01 10 11 (first input is the high bit).
+	if s.Vectors[1][0] != false || s.Vectors[1][1] != true {
+		t.Errorf("vector 1 = %v", s.Vectors[1])
+	}
+	if s.Vectors[2][0] != true || s.Vectors[2][1] != false {
+		t.Errorf("vector 2 = %v", s.Vectors[2])
+	}
+}
+
+func TestWalking(t *testing.T) {
+	s := Walking("w", 100, "a", "b", "c")
+	if len(s.Vectors) != 4 {
+		t.Fatalf("vectors = %d", len(s.Vectors))
+	}
+	if s.Vectors[2][1] != true || s.Vectors[2][0] || s.Vectors[2][2] {
+		t.Errorf("vector 2 = %v", s.Vectors[2])
+	}
+}
+
+func TestStimuliRoundTrip(t *testing.T) {
+	s := Exhaustive("x", 250, "a", "b", "c")
+	text := Format(s)
+	s2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if Format(s2) != text {
+		t.Error("round trip unstable")
+	}
+}
+
+func TestStimuliParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"no header", "interval 10\ninputs a\n", "missing 'stimuli"},
+		{"bad keyword", "stimuli s\nfrob\n", "unknown keyword"},
+		{"bad interval", "stimuli s\ninterval zz\n", "bad interval"},
+		{"bad bit", "stimuli s\ninterval 5\ninputs a\nvector 2\n", "bad bit"},
+		{"len mismatch", "stimuli s\ninterval 5\ninputs a b\nvector 1\n", "want 2"},
+		{"validate", "stimuli s\ninputs a\n", "non-positive interval"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if X.String() != "x" || L.String() != "0" || H.String() != "1" {
+		t.Error("Value strings wrong")
+	}
+	if FromBool(true) != H || FromBool(false) != L {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestSimulateInverterChain(t *testing.T) {
+	nl := netlist.InverterChain(4)
+	s, err := New(nl, models.Default())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st := NewStimuli("step", 100000, "in")
+	st.MustAddVector(false)
+	st.MustAddVector(true)
+	res, err := s.Run(st)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Four inverters: out = in after even inversions.
+	if got := res.Samples[0]["out"]; got != L {
+		t.Errorf("out after 0 = %s", got)
+	}
+	if got := res.Samples[1]["out"]; got != H {
+		t.Errorf("out after 1 = %s", got)
+	}
+	// Critical path is 4 gate delays > 1 gate delay.
+	oneGate := models.Default().GateDelayPS(netlist.INV, 1)
+	if res.CriticalPathPS < 3*oneGate {
+		t.Errorf("critical path %d ps too small (one gate = %d)", res.CriticalPathPS, oneGate)
+	}
+	if res.Events == 0 || res.Toggles == 0 {
+		t.Error("no activity recorded")
+	}
+	if !strings.Contains(res.Summary(), "critical path") {
+		t.Errorf("Summary = %q", res.Summary())
+	}
+}
+
+func TestSimulateMatchesEvaluate(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{netlist.FullAdder(), netlist.Mux2(), netlist.ParityTree(4)} {
+		s, err := New(nl, models.Default())
+		if err != nil {
+			t.Fatalf("%s: New: %v", nl.Name, err)
+		}
+		ins := nl.Inputs()
+		st := Exhaustive("exh", 1000000, ins...)
+		res, err := s.Run(st)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", nl.Name, err)
+		}
+		for vi, vec := range st.Vectors {
+			in := make(map[string]bool)
+			for k, name := range ins {
+				in[name] = vec[k]
+			}
+			want, err := Evaluate(nl, in)
+			if err != nil {
+				t.Fatalf("%s: Evaluate: %v", nl.Name, err)
+			}
+			for _, out := range nl.Outputs() {
+				if got := res.Samples[vi][out]; got != FromBool(want[out]) {
+					t.Errorf("%s vec %d out %s: sim=%s eval=%v", nl.Name, vi, out, got, want[out])
+				}
+			}
+		}
+	}
+}
+
+func TestFullAdderTruth(t *testing.T) {
+	nl := netlist.FullAdder()
+	s, err := New(nl, models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Exhaustive("exh", 1000000, "a", "b", "cin")
+	res, err := s.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi, vec := range st.Vectors {
+		n := 0
+		for _, b := range vec {
+			if b {
+				n++
+			}
+		}
+		wantSum := n%2 == 1
+		wantCout := n >= 2
+		if got := res.Samples[vi]["sum"]; got != FromBool(wantSum) {
+			t.Errorf("vec %v sum = %s, want %v", vec, got, wantSum)
+		}
+		if got := res.Samples[vi]["cout"]; got != FromBool(wantCout) {
+			t.Errorf("vec %v cout = %s, want %v", vec, got, wantCout)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	nl := netlist.FullAdder()
+	s, err := New(nl, models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong input coverage.
+	st := NewStimuli("s", 100, "a", "b")
+	st.MustAddVector(true, false)
+	if _, err := s.Run(st); err == nil || !strings.Contains(err.Error(), "covers 2 of 3") {
+		t.Errorf("partial coverage err = %v", err)
+	}
+	st2 := NewStimuli("s", 100, "a", "b", "ghost")
+	st2.MustAddVector(true, false, true)
+	if _, err := s.Run(st2); err == nil || !strings.Contains(err.Error(), "not an input") {
+		t.Errorf("unknown input err = %v", err)
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	// Transistor-only netlist.
+	x, err := netlist.ToTransistor(netlist.Inverter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(x, models.Default()); err == nil || !strings.Contains(err.Error(), "no gates") {
+		t.Errorf("transistor netlist err = %v", err)
+	}
+	// Combinational loop: build by hand (Validate allows driven cycles).
+	nl := netlist.New("loop")
+	nl.AddPort("o", netlist.Out)
+	nl.AddGate("g1", netlist.INV, "w1", "w2")
+	nl.AddGate("g2", netlist.INV, "w2", "w1")
+	nl.AddGate("g3", netlist.BUF, "o", "w1")
+	if _, err := New(nl, models.Default()); err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Errorf("loop err = %v", err)
+	}
+}
+
+func TestWaveformQueries(t *testing.T) {
+	w := Waveform{{TimePS: 0, Val: L}, {TimePS: 100, Val: H}, {TimePS: 250, Val: L}}
+	if w.At(-1) != X || w.At(0) != L || w.At(99) != L || w.At(100) != H || w.At(1000) != L {
+		t.Error("Waveform.At wrong")
+	}
+	if w.Toggles() != 2 {
+		t.Errorf("Toggles = %d", w.Toggles())
+	}
+	if Waveform(nil).Toggles() != 0 {
+		t.Error("empty waveform toggles")
+	}
+}
+
+func TestModelLibraryAffectsDelay(t *testing.T) {
+	nl := netlist.InverterChain(8)
+	st := NewStimuli("step", 1000000, "in")
+	st.MustAddVector(false)
+	st.MustAddVector(true)
+	run := func(lib *models.Library) int {
+		s, err := New(nl, lib)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CriticalPathPS
+	}
+	slow := run(models.Default())
+	fast := run(models.Fast())
+	if fast >= slow {
+		t.Errorf("fast library should be faster: fast=%d slow=%d", fast, slow)
+	}
+}
+
+func TestXPropagation(t *testing.T) {
+	// Before any vector arrives, everything is X; a controlling 0 on an
+	// AND forces 0 even with an X sibling.
+	if got := evalGate(netlist.AND, []Value{L, X}); got != L {
+		t.Errorf("AND(0,x) = %s", got)
+	}
+	if got := evalGate(netlist.AND, []Value{H, X}); got != X {
+		t.Errorf("AND(1,x) = %s", got)
+	}
+	if got := evalGate(netlist.NAND, []Value{X, L}); got != H {
+		t.Errorf("NAND(x,0) = %s", got)
+	}
+	if got := evalGate(netlist.OR, []Value{X, H}); got != H {
+		t.Errorf("OR(x,1) = %s", got)
+	}
+	if got := evalGate(netlist.NOR, []Value{H, X}); got != L {
+		t.Errorf("NOR(1,x) = %s", got)
+	}
+	if got := evalGate(netlist.XOR, []Value{H, X}); got != X {
+		t.Errorf("XOR(1,x) = %s", got)
+	}
+	if got := evalGate(netlist.INV, []Value{X}); got != X {
+		t.Errorf("INV(x) = %s", got)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	nl := netlist.FullAdder()
+	if _, err := Evaluate(nl, map[string]bool{"a": true}); err == nil {
+		t.Error("missing inputs should fail")
+	}
+	bad := netlist.New("bad")
+	bad.AddPort("o", netlist.Out)
+	bad.AddGate("g", netlist.INV, "o", "ghost")
+	if _, err := Evaluate(bad, nil); err == nil {
+		t.Error("invalid netlist should fail")
+	}
+}
+
+// Property: the event-driven simulator agrees with topological evaluation
+// on random circuits and random vectors.
+func TestQuickSimAgreesWithEvaluate(t *testing.T) {
+	f := func(seed int64, bits uint16) bool {
+		nl := netlist.RandomLogic(5, 25, seed)
+		s, err := New(nl, models.Default())
+		if err != nil {
+			return false
+		}
+		ins := nl.Inputs()
+		vec := make([]bool, len(ins))
+		in := make(map[string]bool)
+		for i, name := range ins {
+			vec[i] = bits&(1<<i) != 0
+			in[name] = vec[i]
+		}
+		st := NewStimuli("q", 10000000, ins...)
+		st.MustAddVector(vec...)
+		res, err := s.Run(st)
+		if err != nil {
+			return false
+		}
+		want, err := Evaluate(nl, in)
+		if err != nil {
+			return false
+		}
+		for _, out := range nl.Outputs() {
+			if res.Samples[0][out] != FromBool(want[out]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	nl := netlist.Inverter()
+	s, err := New(nl, models.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStimuli("s", 100000, "in")
+	st.MustAddVector(true)
+	res, err := s.Run(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.OutputsAtEnd(); got["out"] != L {
+		t.Errorf("OutputsAtEnd = %v", got)
+	}
+	names := res.NetNames()
+	if len(names) < 2 {
+		t.Errorf("NetNames = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Error("NetNames unsorted")
+		}
+	}
+	empty := &Result{}
+	if empty.OutputsAtEnd() != nil {
+		t.Error("empty OutputsAtEnd should be nil")
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim implements an event-driven gate-level logic simulator —
+// the Simulator entity of the paper's Fig. 1. It consumes a Circuit
+// (netlist + device models) and Stimuli and produces a Performance
+// report plus per-net waveforms, giving the flow manager real derived
+// data whose content depends on every input instance.
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Stimuli is a sequence of input vectors applied at a fixed interval —
+// the options-as-entity example of the paper (§3.3: "define the options
+// or arguments themselves as an entity type").
+type Stimuli struct {
+	Name string
+	// Inputs names the circuit inputs the vector bits map to, in order.
+	Inputs []string
+	// Vectors holds one bool per input per step.
+	Vectors [][]bool
+	// IntervalPS is the time between vectors in picoseconds.
+	IntervalPS int
+}
+
+// NewStimuli creates an empty stimuli set over the given inputs.
+func NewStimuli(name string, intervalPS int, inputs ...string) *Stimuli {
+	return &Stimuli{Name: name, Inputs: inputs, IntervalPS: intervalPS}
+}
+
+// AddVector appends one vector; its length must match Inputs.
+func (s *Stimuli) AddVector(bits ...bool) error {
+	if len(bits) != len(s.Inputs) {
+		return fmt.Errorf("sim: vector has %d bits, want %d", len(bits), len(s.Inputs))
+	}
+	s.Vectors = append(s.Vectors, append([]bool(nil), bits...))
+	return nil
+}
+
+// MustAddVector is AddVector but panics on error.
+func (s *Stimuli) MustAddVector(bits ...bool) {
+	if err := s.AddVector(bits...); err != nil {
+		panic(err)
+	}
+}
+
+// Validate checks the stimuli set.
+func (s *Stimuli) Validate() error {
+	if len(s.Inputs) == 0 {
+		return fmt.Errorf("sim: stimuli %q has no inputs", s.Name)
+	}
+	if s.IntervalPS <= 0 {
+		return fmt.Errorf("sim: stimuli %q has non-positive interval", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, in := range s.Inputs {
+		if seen[in] {
+			return fmt.Errorf("sim: stimuli %q repeats input %s", s.Name, in)
+		}
+		seen[in] = true
+	}
+	for i, v := range s.Vectors {
+		if len(v) != len(s.Inputs) {
+			return fmt.Errorf("sim: stimuli %q vector %d has %d bits, want %d", s.Name, i, len(v), len(s.Inputs))
+		}
+	}
+	return nil
+}
+
+// Exhaustive returns stimuli enumerating all 2^k combinations of the
+// given inputs (k <= 16), in binary counting order.
+func Exhaustive(name string, intervalPS int, inputs ...string) *Stimuli {
+	if len(inputs) > 16 {
+		panic("sim: Exhaustive limited to 16 inputs")
+	}
+	s := NewStimuli(name, intervalPS, inputs...)
+	for v := 0; v < 1<<len(inputs); v++ {
+		bits := make([]bool, len(inputs))
+		for i := range inputs {
+			bits[i] = v&(1<<(len(inputs)-1-i)) != 0
+		}
+		s.Vectors = append(s.Vectors, bits)
+	}
+	return s
+}
+
+// Walking returns stimuli walking a single 1 across the inputs, starting
+// from all zeros.
+func Walking(name string, intervalPS int, inputs ...string) *Stimuli {
+	s := NewStimuli(name, intervalPS, inputs...)
+	s.Vectors = append(s.Vectors, make([]bool, len(inputs)))
+	for i := range inputs {
+		bits := make([]bool, len(inputs))
+		bits[i] = true
+		s.Vectors = append(s.Vectors, bits)
+	}
+	return s
+}
+
+// Parse reads stimuli from the text format:
+//
+//	stimuli <name>
+//	interval <ps>
+//	inputs <net> [<net> ...]
+//	vector <0|1><0|1>...
+func Parse(r io.Reader) (*Stimuli, error) {
+	s := &Stimuli{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("stimuli line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "stimuli":
+			if len(fields) != 2 {
+				return nil, fail("stimuli wants exactly one name")
+			}
+			s.Name = fields[1]
+		case "interval":
+			if len(fields) != 2 {
+				return nil, fail("interval wants one value")
+			}
+			x, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fail("bad interval %q", fields[1])
+			}
+			s.IntervalPS = x
+		case "inputs":
+			if len(fields) < 2 {
+				return nil, fail("inputs wants at least one net")
+			}
+			s.Inputs = fields[1:]
+		case "vector":
+			if len(fields) != 2 {
+				return nil, fail("vector wants one bit string")
+			}
+			bits := make([]bool, 0, len(fields[1]))
+			for _, c := range fields[1] {
+				switch c {
+				case '0':
+					bits = append(bits, false)
+				case '1':
+					bits = append(bits, true)
+				default:
+					return nil, fail("bad bit %q", string(c))
+				}
+			}
+			if len(bits) != len(s.Inputs) {
+				return nil, fail("vector has %d bits, want %d", len(bits), len(s.Inputs))
+			}
+			s.Vectors = append(s.Vectors, bits)
+		default:
+			return nil, fail("unknown keyword %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("stimuli: missing 'stimuli <name>' header")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(src string) (*Stimuli, error) { return Parse(strings.NewReader(src)) }
+
+// Format renders the stimuli; Parse(Format(s)) reproduces it.
+func Format(s *Stimuli) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stimuli %s\n", s.Name)
+	fmt.Fprintf(&b, "interval %d\n", s.IntervalPS)
+	fmt.Fprintf(&b, "inputs %s\n", strings.Join(s.Inputs, " "))
+	for _, v := range s.Vectors {
+		bits := make([]byte, len(v))
+		for i, x := range v {
+			if x {
+				bits[i] = '1'
+			} else {
+				bits[i] = '0'
+			}
+		}
+		fmt.Fprintf(&b, "vector %s\n", bits)
+	}
+	return b.String()
+}

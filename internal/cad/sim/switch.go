@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cad/netlist"
+)
+
+// Switch-level simulation of transistor netlists, in the spirit of the
+// paper's COSMOS citation (Bryant's switch-level model, simplified to
+// fully complementary static CMOS):
+//
+//   - an NMOS channel conducts when its gate is high, a PMOS channel
+//     when its gate is low; an X gate makes the channel "maybe" conduct;
+//   - a net driven definitely from vdd and not possibly from gnd is
+//     high; the dual gives low; definite drive from both rails, or only
+//     "maybe" drive, yields X;
+//   - net values and channel states are iterated to a fixpoint, which
+//     exists for acyclic complementary logic.
+//
+// This is what lets the flow manager simulate an *extracted* netlist —
+// the transistor view — with the same Simulator entity that handles the
+// logic view (Fig. 5 runs a simulation on the extracted netlist).
+
+// conduction classifies a channel in the current state.
+type conduction int
+
+const (
+	condOff conduction = iota
+	condOn
+	condMaybe
+)
+
+func channelState(m netlist.MOS, values map[string]Value) conduction {
+	g := values[m.Gate]
+	switch m.Type {
+	case netlist.NMOS:
+		switch g {
+		case H:
+			return condOn
+		case L:
+			return condOff
+		}
+	case netlist.PMOS:
+		switch g {
+		case L:
+			return condOn
+		case H:
+			return condOff
+		}
+	}
+	return condMaybe
+}
+
+// SwitchResult carries switch-level run metrics.
+type SwitchResult struct {
+	// Iterations is the largest fixpoint iteration count over all
+	// vectors (a crude depth measure).
+	Iterations int
+	// ChannelEvals counts transistor evaluations.
+	ChannelEvals int
+}
+
+// SwitchEvaluate computes the settled values of all nets of a
+// transistor netlist for one input assignment. Missing inputs are an
+// error; unresolvable (floating or fighting) nets report X.
+func SwitchEvaluate(nl *netlist.Netlist, in map[string]bool) (map[string]Value, *SwitchResult, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(nl.Devices) == 0 {
+		return nil, nil, fmt.Errorf("sim: %q has no transistor section (switch-level simulation)", nl.Name)
+	}
+	values := make(map[string]Value)
+	fixed := map[string]bool{netlist.Vdd: true, netlist.Gnd: true}
+	for _, n := range nl.Nets() {
+		values[n] = X
+	}
+	values[netlist.Vdd] = H
+	values[netlist.Gnd] = L
+	for _, p := range nl.Inputs() {
+		v, ok := in[p]
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: switch evaluate missing input %s", p)
+		}
+		values[p] = FromBool(v)
+		fixed[p] = true
+	}
+
+	// Adjacency: net -> channels incident on it.
+	type edge struct {
+		dev   int
+		other string
+	}
+	adj := make(map[string][]edge)
+	for i, m := range nl.Devices {
+		adj[m.Source] = append(adj[m.Source], edge{i, m.Drain})
+		adj[m.Drain] = append(adj[m.Drain], edge{i, m.Source})
+	}
+
+	res := &SwitchResult{}
+	// reach reports whether net start can reach target through channels
+	// whose state passes keep.
+	reach := func(start, target string, keep func(conduction) bool, values map[string]Value) bool {
+		if start == target {
+			return true
+		}
+		seen := map[string]bool{start: true}
+		stack := []string{start}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range adj[cur] {
+				res.ChannelEvals++
+				if !keep(channelState(nl.Devices[e.dev], values)) {
+					continue
+				}
+				// Paths may not pass *through* a fixed net (a rail or
+				// input is a source, not a wire), but may end at one.
+				if e.other == target {
+					return true
+				}
+				if seen[e.other] || fixed[e.other] {
+					continue
+				}
+				seen[e.other] = true
+				stack = append(stack, e.other)
+			}
+		}
+		return false
+	}
+
+	maxIter := 2*len(values) + 4
+	for iter := 0; iter < maxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := false
+		for _, n := range nl.Nets() {
+			if fixed[n] {
+				continue
+			}
+			defOn := func(c conduction) bool { return c == condOn }
+			mayOn := func(c conduction) bool { return c != condOff }
+			defVdd := reach(n, netlist.Vdd, defOn, values)
+			defGnd := reach(n, netlist.Gnd, defOn, values)
+			var next Value
+			switch {
+			case defVdd && defGnd:
+				next = X // fight
+			case defVdd && !reach(n, netlist.Gnd, mayOn, values):
+				next = H
+			case defGnd && !reach(n, netlist.Vdd, mayOn, values):
+				next = L
+			default:
+				next = X
+			}
+			if values[n] != next {
+				values[n] = next
+				changed = true
+			}
+		}
+		if !changed {
+			return values, res, nil
+		}
+	}
+	return values, res, fmt.Errorf("sim: switch-level fixpoint did not converge for %q", nl.Name)
+}
+
+// SwitchRun applies a stimuli set to a transistor netlist, sampling the
+// primary outputs per vector. The result mirrors the event-driven
+// simulator's (no timing; CriticalPathPS stays zero and the library is
+// reported as "switch").
+func SwitchRun(nl *netlist.Netlist, st *Stimuli) (*Result, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	inputs := make(map[string]bool)
+	for _, in := range nl.Inputs() {
+		inputs[in] = true
+	}
+	for _, in := range st.Inputs {
+		if !inputs[in] {
+			return nil, fmt.Errorf("sim: stimuli %q drives %s, which is not an input of %s", st.Name, in, nl.Name)
+		}
+	}
+	if len(st.Inputs) != len(inputs) {
+		return nil, fmt.Errorf("sim: stimuli %q covers %d of %d inputs of %s", st.Name, len(st.Inputs), len(inputs), nl.Name)
+	}
+	res := &Result{Circuit: nl.Name, Stimuli: st.Name, Library: "switch",
+		Waveforms: make(map[string]Waveform)}
+	outs := nl.Outputs()
+	for vi, vec := range st.Vectors {
+		in := make(map[string]bool, len(vec))
+		for i, name := range st.Inputs {
+			in[name] = vec[i]
+		}
+		values, sres, err := SwitchEvaluate(nl, in)
+		if err != nil {
+			return nil, err
+		}
+		res.Events += sres.ChannelEvals
+		sample := make(map[string]Value, len(outs))
+		t := vi * st.IntervalPS
+		for _, o := range outs {
+			sample[o] = values[o]
+			w := res.Waveforms[o]
+			if len(w) == 0 || w[len(w)-1].Val != values[o] {
+				res.Waveforms[o] = append(w, Transition{TimePS: t, Val: values[o]})
+			}
+		}
+		res.Samples = append(res.Samples, sample)
+		res.EndTimePS = t
+	}
+	for _, w := range res.Waveforms {
+		res.Toggles += w.Toggles()
+	}
+	return res, nil
+}

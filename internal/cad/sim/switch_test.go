@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cad/netlist"
+)
+
+// xtor converts a gate netlist to its transistor view.
+func xtor(t *testing.T, nl *netlist.Netlist) *netlist.Netlist {
+	t.Helper()
+	x, err := netlist.ToTransistor(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestSwitchEvaluateInverter(t *testing.T) {
+	x := xtor(t, netlist.Inverter())
+	values, res, err := SwitchEvaluate(x, map[string]bool{"in": true})
+	if err != nil {
+		t.Fatalf("SwitchEvaluate: %v", err)
+	}
+	if values["out"] != L {
+		t.Errorf("inv(1) = %s", values["out"])
+	}
+	if res.Iterations == 0 || res.ChannelEvals == 0 {
+		t.Error("no work recorded")
+	}
+	values, _, err = SwitchEvaluate(x, map[string]bool{"in": false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if values["out"] != H {
+		t.Errorf("inv(0) = %s", values["out"])
+	}
+}
+
+func TestSwitchMatchesGateLevel(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{netlist.Inverter(), netlist.Mux2(), netlist.FullAdder(), netlist.ParityTree(3)} {
+		x := xtor(t, nl)
+		ins := nl.Inputs()
+		for v := 0; v < 1<<len(ins); v++ {
+			in := make(map[string]bool, len(ins))
+			for i, name := range ins {
+				in[name] = v&(1<<i) != 0
+			}
+			want, err := Evaluate(nl, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			values, _, err := SwitchEvaluate(x, in)
+			if err != nil {
+				t.Fatalf("%s: %v", nl.Name, err)
+			}
+			for _, o := range nl.Outputs() {
+				if values[o] != FromBool(want[o]) {
+					t.Errorf("%s v=%d out %s: switch=%s gate=%v", nl.Name, v, o, values[o], want[o])
+				}
+			}
+		}
+	}
+}
+
+func TestSwitchEvaluateErrors(t *testing.T) {
+	if _, _, err := SwitchEvaluate(netlist.Inverter(), map[string]bool{"in": true}); err == nil {
+		t.Error("gate-only netlist should fail")
+	}
+	x := xtor(t, netlist.Inverter())
+	if _, _, err := SwitchEvaluate(x, nil); err == nil {
+		t.Error("missing input should fail")
+	}
+	bad := netlist.New("bad")
+	bad.AddPort("y", netlist.Out)
+	bad.AddMOS("m", netlist.NMOS, "", netlist.Gnd, "y", 2, 2)
+	if _, _, err := SwitchEvaluate(bad, nil); err == nil {
+		t.Error("invalid netlist should fail")
+	}
+}
+
+func TestSwitchRun(t *testing.T) {
+	x := xtor(t, netlist.FullAdder())
+	st := Exhaustive("exh", 1000, "a", "b", "cin")
+	res, err := SwitchRun(x, st)
+	if err != nil {
+		t.Fatalf("SwitchRun: %v", err)
+	}
+	if res.Library != "switch" {
+		t.Errorf("Library = %q", res.Library)
+	}
+	for vi, vec := range st.Vectors {
+		n := 0
+		for _, b := range vec {
+			if b {
+				n++
+			}
+		}
+		if got := res.Samples[vi]["sum"]; got != FromBool(n%2 == 1) {
+			t.Errorf("vec %v sum = %s", vec, got)
+		}
+		if got := res.Samples[vi]["cout"]; got != FromBool(n >= 2) {
+			t.Errorf("vec %v cout = %s", vec, got)
+		}
+	}
+	if res.Toggles == 0 || res.Events == 0 {
+		t.Error("metrics empty")
+	}
+	// Round trip through the result format.
+	back, err := ParseResultString(FormatResult(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(res.Samples) {
+		t.Error("result round trip lost samples")
+	}
+}
+
+func TestSwitchRunErrors(t *testing.T) {
+	x := xtor(t, netlist.FullAdder())
+	st := NewStimuli("s", 100, "a", "b")
+	st.MustAddVector(true, false)
+	if _, err := SwitchRun(x, st); err == nil || !strings.Contains(err.Error(), "covers 2 of 3") {
+		t.Errorf("err = %v", err)
+	}
+	st2 := NewStimuli("s", 100, "a", "b", "ghost")
+	st2.MustAddVector(true, false, true)
+	if _, err := SwitchRun(x, st2); err == nil || !strings.Contains(err.Error(), "not an input") {
+		t.Errorf("err = %v", err)
+	}
+	bad := NewStimuli("s", 0, "a")
+	if _, err := SwitchRun(x, bad); err == nil {
+		t.Error("invalid stimuli should fail")
+	}
+}
+
+// Property: switch-level simulation of the transistor expansion agrees
+// with gate-level evaluation on random circuits.
+func TestQuickSwitchAgreesWithGates(t *testing.T) {
+	f := func(seed int64, bits uint8) bool {
+		nl := netlist.RandomLogic(4, 10, seed)
+		x, err := netlist.ToTransistor(nl)
+		if err != nil {
+			return false
+		}
+		in := make(map[string]bool)
+		for i, name := range nl.Inputs() {
+			in[name] = bits&(1<<i) != 0
+		}
+		want, err := Evaluate(nl, in)
+		if err != nil {
+			return false
+		}
+		values, _, err := SwitchEvaluate(x, in)
+		if err != nil {
+			return false
+		}
+		for _, o := range nl.Outputs() {
+			if values[o] != FromBool(want[o]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cad/layout"
+)
+
+// This file implements a small design-rule checker over layouts — the
+// second behaviour of the multi-function Verifier tool (the paper's
+// example of one tool instantiable for several entity types, §3.3).
+
+// DRCRules parameterize the checker. Zero values disable a rule.
+type DRCRules struct {
+	// MinWidth is the minimum drawn width/height per layer.
+	MinWidth map[layout.Layer]int
+	// MinSpacing is the minimum distance between disjoint shapes on the
+	// same layer (overlapping shapes are one conductor and exempt).
+	MinSpacing map[layout.Layer]int
+}
+
+// DefaultRules returns the rule deck matching the generator's cell
+// library (2-lambda features, 1-lambda spacing).
+func DefaultRules() DRCRules {
+	return DRCRules{
+		MinWidth: map[layout.Layer]int{
+			layout.Poly: 2, layout.Metal1: 2, layout.Metal2: 2,
+			layout.Ndiff: 2, layout.Pdiff: 2, layout.Contact: 2, layout.Via: 2,
+		},
+		MinSpacing: map[layout.Layer]int{
+			layout.Poly: 1, layout.Metal1: 1, layout.Metal2: 1,
+		},
+	}
+}
+
+// Violation is one design-rule violation.
+type Violation struct {
+	Rule string
+	Rect layout.Rect
+}
+
+// String renders the violation.
+func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Rule, v.Rect) }
+
+// DRCReport lists violations; a clean layout has none.
+type DRCReport struct {
+	Layout     string
+	Violations []Violation
+}
+
+// Clean reports whether no rule fired.
+func (r *DRCReport) Clean() bool { return len(r.Violations) == 0 }
+
+// Summary renders the report.
+func (r *DRCReport) Summary() string {
+	var b strings.Builder
+	if r.Clean() {
+		fmt.Fprintf(&b, "DRC %s: clean\n", r.Layout)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "DRC %s: %d violation(s)\n", r.Layout, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// DRC checks the layout against the rules.
+func DRC(l *layout.Layout, rules DRCRules) *DRCReport {
+	rep := &DRCReport{Layout: l.Name}
+
+	for _, r := range l.Rects {
+		min := rules.MinWidth[r.Layer]
+		if min == 0 {
+			continue
+		}
+		if r.X1-r.X0 < min || r.Y1-r.Y0 < min {
+			rep.Violations = append(rep.Violations, Violation{
+				Rule: fmt.Sprintf("min-width %d on %s", min, r.Layer), Rect: r})
+		}
+	}
+
+	// Spacing: disjoint same-layer shapes closer than the minimum. Only
+	// shapes that do not overlap are checked — overlapping shapes merge
+	// into one conductor.
+	byLayer := make(map[layout.Layer][]layout.Rect)
+	for _, r := range l.Rects {
+		byLayer[r.Layer] = append(byLayer[r.Layer], r)
+	}
+	var layers []layout.Layer
+	for l := range byLayer {
+		layers = append(layers, l)
+	}
+	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
+	for _, layer := range layers {
+		min := rules.MinSpacing[layer]
+		if min == 0 {
+			continue
+		}
+		rects := byLayer[layer]
+		for i := 0; i < len(rects); i++ {
+			for j := i + 1; j < len(rects); j++ {
+				a, b := rects[i], rects[j]
+				if a.Overlaps(b) {
+					continue
+				}
+				dx := gap(a.X0, a.X1, b.X0, b.X1)
+				dy := gap(a.Y0, a.Y1, b.Y0, b.Y1)
+				// Shapes that share an edge or corner (gap 0 in one
+				// axis) electrically touch only if they overlap; our
+				// connectivity model requires positive-area overlap, so
+				// an abutting pair is a spacing violation too when the
+				// other axis overlaps.
+				if dx < min && dy < min {
+					rep.Violations = append(rep.Violations, Violation{
+						Rule: fmt.Sprintf("min-spacing %d on %s (near %s)", min, layer, b), Rect: a})
+				}
+			}
+		}
+	}
+	return rep
+}
+
+// gap returns the distance between intervals [a0,a1) and [b0,b1); 0 when
+// they touch, negative when they overlap (returned as -overlap, but DRC
+// only compares < min, so any overlap in one axis plus a short gap in
+// the other fires).
+func gap(a0, a1, b0, b1 int) int {
+	if a1 <= b0 {
+		return b0 - a1
+	}
+	if b1 <= a0 {
+		return a0 - b1
+	}
+	return -1
+}

@@ -1,0 +1,265 @@
+// Package verify implements the Verifier entity of the paper's Fig. 1:
+// layout-versus-schematic (LVS) comparison of two transistor netlists —
+// the tool behind Fig. 8's "verify that the physical view is consistent
+// with the transistor view" flow — plus a small design-rule checker for
+// layouts.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cad/netlist"
+)
+
+// LVSOptions control the comparison.
+type LVSOptions struct {
+	// CheckSizes also requires W/L of matched devices to agree. Off by
+	// default: extracted geometry encodes sizes differently from
+	// schematic conventions.
+	CheckSizes bool
+}
+
+// Report is the Verification entity: the outcome of comparing a
+// reference (schematic) netlist against a subject (extracted) netlist.
+type Report struct {
+	Reference, Subject string
+	Match              bool
+	Reasons            []string
+	// NetMap maps reference nets to subject nets for matched designs.
+	NetMap map[string]string
+}
+
+// Summary renders the verification result.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	verdict := "MATCH"
+	if !r.Match {
+		verdict = "MISMATCH"
+	}
+	fmt.Fprintf(&b, "LVS %s vs %s: %s\n", r.Reference, r.Subject, verdict)
+	for _, why := range r.Reasons {
+		fmt.Fprintf(&b, "  %s\n", why)
+	}
+	return b.String()
+}
+
+// device is the canonicalized form used by matching: source/drain are an
+// unordered pair (MOS devices are symmetric).
+type device struct {
+	name string
+	typ  netlist.MOSType
+	gate string
+	sd   [2]string // sorted
+	w, l int
+}
+
+func canonDevices(nl *netlist.Netlist) []device {
+	out := make([]device, 0, len(nl.Devices))
+	for _, m := range nl.Devices {
+		d := device{name: m.Name, typ: m.Type, gate: m.Gate, w: m.W, l: m.L}
+		if m.Source <= m.Drain {
+			d.sd = [2]string{m.Source, m.Drain}
+		} else {
+			d.sd = [2]string{m.Drain, m.Source}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// LVS compares two transistor-level netlists for structural equivalence
+// by iterative signature refinement (a Weisfeiler-Lehman-style coloring
+// of the device/net bipartite graph), then checks that the resulting
+// correspondence is a consistent bijection and that equally named ports
+// land on corresponding nets.
+func LVS(ref, sub *netlist.Netlist, opt LVSOptions) *Report {
+	rep := &Report{Reference: ref.Name, Subject: sub.Name, NetMap: make(map[string]string)}
+	fail := func(format string, args ...any) *Report {
+		rep.Match = false
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(format, args...))
+		return rep
+	}
+	if len(ref.Gates) != 0 || len(sub.Gates) != 0 {
+		return fail("LVS compares transistor views; found gate-level sections (ref %d, sub %d gates)",
+			len(ref.Gates), len(sub.Gates))
+	}
+	rd, sd := canonDevices(ref), canonDevices(sub)
+	if len(rd) != len(sd) {
+		return fail("device count differs: %d vs %d", len(rd), len(sd))
+	}
+	if len(rd) == 0 {
+		return fail("no devices to compare")
+	}
+
+	// Port sets must agree by name.
+	refPorts := portSet(ref)
+	subPorts := portSet(sub)
+	for p := range refPorts {
+		if _, ok := subPorts[p]; !ok {
+			return fail("port %s missing from subject", p)
+		}
+	}
+	for p := range subPorts {
+		if _, ok := refPorts[p]; !ok {
+			return fail("port %s missing from reference", p)
+		}
+	}
+
+	refSig, refDev := refine(ref, rd, refPorts, opt)
+	subSig, subDev := refine(sub, sd, subPorts, opt)
+
+	// Compare net and device signature multisets.
+	if why := compareMultisets("net", sigValues(refSig), sigValues(subSig)); why != "" {
+		return fail("%s", why)
+	}
+	sort.Strings(refDev)
+	sort.Strings(subDev)
+	if why := compareMultisets("device", refDev, subDev); why != "" {
+		return fail("%s", why)
+	}
+
+	// Build the net correspondence from unique signatures; ambiguous
+	// signature classes (symmetric nets) are accepted as long as class
+	// sizes agree, which the multiset comparison established. For the
+	// NetMap we pair same-signature nets deterministically.
+	bySigRef := groupBySig(refSig)
+	bySigSub := groupBySig(subSig)
+	for sig, rnets := range bySigRef {
+		snets := bySigSub[sig]
+		sort.Strings(rnets)
+		sort.Strings(snets)
+		for i := range rnets {
+			rep.NetMap[rnets[i]] = snets[i]
+		}
+	}
+
+	// Ports must map to same-named nets.
+	for p := range refPorts {
+		if got := rep.NetMap[p]; got != p {
+			// The signature classes may have paired symmetric port nets
+			// arbitrarily; verify the port's own signatures agree.
+			if refSig[p] != subSig[p] {
+				return fail("port %s connects differently (signature mismatch)", p)
+			}
+			rep.NetMap[p] = p
+		}
+	}
+
+	rep.Match = true
+	return rep
+}
+
+func portSet(nl *netlist.Netlist) map[string]bool {
+	out := make(map[string]bool)
+	for _, p := range nl.Ports {
+		out[p.Name] = true
+	}
+	return out
+}
+
+// refine computes stable net signatures. Initial colors: port name for
+// ports (ports are observable, so their identity participates), rail
+// names for rails, "" otherwise. Then alternately recolor devices from
+// their terminals' colors and nets from the multiset of (device color,
+// terminal role) incidences, for enough rounds to stabilize.
+func refine(nl *netlist.Netlist, devs []device, ports map[string]bool, opt LVSOptions) (map[string]string, []string) {
+	sig := make(map[string]string)
+	for _, n := range nl.Nets() {
+		switch {
+		case ports[n]:
+			sig[n] = "port:" + n
+		case n == netlist.Vdd || n == netlist.Gnd:
+			sig[n] = "rail:" + n
+		default:
+			sig[n] = "."
+		}
+	}
+	devSig := make([]string, len(devs))
+	rounds := len(sig) + 2
+	if rounds > 24 {
+		rounds = 24
+	}
+	for round := 0; round < rounds; round++ {
+		for i, d := range devs {
+			size := ""
+			if opt.CheckSizes {
+				size = fmt.Sprintf("w%d l%d ", d.w, d.l)
+			}
+			// Source/drain are unordered: order their signatures, not
+			// their names.
+			s1, s2 := sig[d.sd[0]], sig[d.sd[1]]
+			if s1 > s2 {
+				s1, s2 = s2, s1
+			}
+			devSig[i] = fmt.Sprintf("%s %sg{%s} sd{%s,%s}", d.typ, size, sig[d.gate], s1, s2)
+		}
+		incid := make(map[string][]string)
+		for i, d := range devs {
+			incid[d.gate] = append(incid[d.gate], "G:"+devSig[i])
+			incid[d.sd[0]] = append(incid[d.sd[0]], "D:"+devSig[i])
+			incid[d.sd[1]] = append(incid[d.sd[1]], "D:"+devSig[i])
+		}
+		next := make(map[string]string, len(sig))
+		for n, cur := range sig {
+			inc := incid[n]
+			sort.Strings(inc)
+			// Next color = hash(current color, sorted incidences): a
+			// Weisfeiler-Lehman step with fixed-size colors.
+			next[n] = hashStrings(append([]string{cur}, inc...))
+		}
+		sig = next
+	}
+	return sig, devSig
+}
+
+// hashStrings compresses a string list into a short stable token (FNV-1a
+// over the joined list) to keep signatures from growing exponentially.
+func hashStrings(xs []string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, s := range xs {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func sigValues(sig map[string]string) []string {
+	out := make([]string, 0, len(sig))
+	for _, v := range sig {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func groupBySig(sig map[string]string) map[string][]string {
+	out := make(map[string][]string)
+	for n, s := range sig {
+		out[s] = append(out[s], n)
+	}
+	return out
+}
+
+// compareMultisets reports the first difference between two sorted
+// string slices as a human-readable reason, or "".
+func compareMultisets(kind string, a, b []string) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%s count differs: %d vs %d", kind, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("%s structure differs (first differing signature class at %d)", kind, i)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,220 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/layout"
+	"repro/internal/cad/netlist"
+)
+
+func xtor(t *testing.T, nl *netlist.Netlist) *netlist.Netlist {
+	t.Helper()
+	x, err := netlist.ToTransistor(nl)
+	if err != nil {
+		t.Fatalf("ToTransistor(%s): %v", nl.Name, err)
+	}
+	return x
+}
+
+func TestLVSSelfMatch(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{netlist.Inverter(), netlist.FullAdder(), netlist.Mux2()} {
+		a, b := xtor(t, nl), xtor(t, nl)
+		rep := LVS(a, b, LVSOptions{CheckSizes: true})
+		if !rep.Match {
+			t.Errorf("%s: self LVS failed:\n%s", nl.Name, rep.Summary())
+		}
+		if !strings.Contains(rep.Summary(), "MATCH") {
+			t.Errorf("Summary = %q", rep.Summary())
+		}
+	}
+}
+
+func TestLVSMatchesUnderRenaming(t *testing.T) {
+	// Rename internal nets and devices; structure is unchanged.
+	a := xtor(t, netlist.FullAdder())
+	b := a.Clone()
+	for i := range b.Devices {
+		b.Devices[i].Name = b.Devices[i].Name + "_renamed"
+		for _, f := range []*string{&b.Devices[i].Gate, &b.Devices[i].Source, &b.Devices[i].Drain} {
+			if !isPortOrRail(a, *f) {
+				*f = "net_" + *f
+			}
+		}
+	}
+	rep := LVS(a, b, LVSOptions{})
+	if !rep.Match {
+		t.Fatalf("renamed LVS failed:\n%s", rep.Summary())
+	}
+}
+
+func isPortOrRail(nl *netlist.Netlist, n string) bool {
+	if n == netlist.Vdd || n == netlist.Gnd {
+		return true
+	}
+	_, ok := nl.Port(n)
+	return ok
+}
+
+func TestLVSMatchesUnderSourceDrainSwap(t *testing.T) {
+	a := xtor(t, netlist.Mux2())
+	b := a.Clone()
+	for i := range b.Devices {
+		b.Devices[i].Source, b.Devices[i].Drain = b.Devices[i].Drain, b.Devices[i].Source
+	}
+	if rep := LVS(a, b, LVSOptions{CheckSizes: true}); !rep.Match {
+		t.Fatalf("s/d swap LVS failed:\n%s", rep.Summary())
+	}
+}
+
+func TestLVSMatchesUnderDeviceReorder(t *testing.T) {
+	a := xtor(t, netlist.FullAdder())
+	b := a.Clone()
+	for i, j := 0, len(b.Devices)-1; i < j; i, j = i+1, j-1 {
+		b.Devices[i], b.Devices[j] = b.Devices[j], b.Devices[i]
+	}
+	if rep := LVS(a, b, LVSOptions{CheckSizes: true}); !rep.Match {
+		t.Fatalf("reorder LVS failed:\n%s", rep.Summary())
+	}
+}
+
+func TestLVSDetectsMissingDevice(t *testing.T) {
+	a := xtor(t, netlist.FullAdder())
+	b := a.Clone()
+	b.Devices = b.Devices[:len(b.Devices)-1]
+	rep := LVS(a, b, LVSOptions{})
+	if rep.Match {
+		t.Fatal("missing device not detected")
+	}
+	if !strings.Contains(rep.Summary(), "device count differs") {
+		t.Errorf("Summary = %q", rep.Summary())
+	}
+}
+
+func TestLVSDetectsRewiredGate(t *testing.T) {
+	a := xtor(t, netlist.FullAdder())
+	b := a.Clone()
+	// Move one transistor's gate to a different net.
+	b.Devices[3].Gate = b.Devices[7].Gate
+	rep := LVS(a, b, LVSOptions{})
+	if rep.Match {
+		t.Fatal("rewired gate not detected")
+	}
+}
+
+func TestLVSDetectsTypeFlip(t *testing.T) {
+	a := xtor(t, netlist.Inverter())
+	b := a.Clone()
+	b.Devices[0].Type = netlist.NMOS
+	b.Devices[1].Type = netlist.PMOS
+	// Both flipped: counts match but structure (rail connections)
+	// differs.
+	rep := LVS(a, b, LVSOptions{})
+	if rep.Match {
+		t.Fatal("type flip not detected")
+	}
+}
+
+func TestLVSDetectsPortMismatch(t *testing.T) {
+	a := xtor(t, netlist.Inverter())
+	b := a.Clone()
+	b.Ports[0].Name = "zzz"
+	for i := range b.Devices {
+		if b.Devices[i].Gate == "in" {
+			b.Devices[i].Gate = "zzz"
+		}
+	}
+	rep := LVS(a, b, LVSOptions{})
+	if rep.Match {
+		t.Fatal("port rename not detected")
+	}
+	if !strings.Contains(rep.Summary(), "port") {
+		t.Errorf("Summary = %q", rep.Summary())
+	}
+}
+
+func TestLVSDetectsSizeChangeWhenChecking(t *testing.T) {
+	a := xtor(t, netlist.Inverter())
+	b := a.Clone()
+	b.Devices[0].W *= 3
+	if rep := LVS(a, b, LVSOptions{}); !rep.Match {
+		t.Fatal("size change should pass with sizes off")
+	}
+	if rep := LVS(a, b, LVSOptions{CheckSizes: true}); rep.Match {
+		t.Fatal("size change not detected with sizes on")
+	}
+}
+
+func TestLVSRejectsGateLevel(t *testing.T) {
+	rep := LVS(netlist.Inverter(), xtor(t, netlist.Inverter()), LVSOptions{})
+	if rep.Match || !strings.Contains(rep.Summary(), "transistor views") {
+		t.Errorf("gate-level input: %s", rep.Summary())
+	}
+}
+
+func TestLVSEmpty(t *testing.T) {
+	a, b := netlist.New("a"), netlist.New("b")
+	if rep := LVS(a, b, LVSOptions{}); rep.Match {
+		t.Error("empty netlists should not report a meaningful match")
+	}
+}
+
+func TestDRCCleanOnGenerated(t *testing.T) {
+	for _, nl := range []*netlist.Netlist{netlist.Inverter(), netlist.FullAdder(), netlist.RippleAdder(2)} {
+		l, err := layout.Generate(nl, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", nl.Name, err)
+		}
+		rep := DRC(l, DefaultRules())
+		if !rep.Clean() {
+			t.Errorf("%s: DRC violations:\n%s", nl.Name, rep.Summary())
+		}
+		if !strings.Contains(rep.Summary(), "clean") {
+			t.Errorf("Summary = %q", rep.Summary())
+		}
+	}
+}
+
+func TestDRCDetectsThinWire(t *testing.T) {
+	l := layout.New("thin")
+	l.Add(layout.R(layout.Metal1, 0, 0, 1, 10)) // width 1 < min 2
+	rep := DRC(l, DefaultRules())
+	if rep.Clean() {
+		t.Fatal("thin wire not flagged")
+	}
+	if !strings.Contains(rep.Violations[0].String(), "min-width") {
+		t.Errorf("violation = %s", rep.Violations[0])
+	}
+}
+
+func TestDRCDetectsSpacing(t *testing.T) {
+	l := layout.New("close")
+	l.Add(layout.R(layout.Metal1, 0, 0, 4, 4))
+	l.Add(layout.R(layout.Metal1, 4, 0, 8, 4)) // abutting: spacing 0 < 1
+	rep := DRC(l, DefaultRules())
+	if rep.Clean() {
+		t.Fatal("abutting wires not flagged")
+	}
+	// Overlapping shapes are one conductor: exempt.
+	l2 := layout.New("merged")
+	l2.Add(layout.R(layout.Metal1, 0, 0, 5, 4))
+	l2.Add(layout.R(layout.Metal1, 4, 0, 8, 4))
+	if rep := DRC(l2, DefaultRules()); !rep.Clean() {
+		t.Errorf("overlap flagged: %s", rep.Summary())
+	}
+	// Properly spaced shapes pass.
+	l3 := layout.New("spaced")
+	l3.Add(layout.R(layout.Metal1, 0, 0, 4, 4))
+	l3.Add(layout.R(layout.Metal1, 5, 0, 9, 4))
+	if rep := DRC(l3, DefaultRules()); !rep.Clean() {
+		t.Errorf("spaced shapes flagged: %s", rep.Summary())
+	}
+}
+
+func TestDRCZeroRulesDisable(t *testing.T) {
+	l := layout.New("thin")
+	l.Add(layout.R(layout.Metal1, 0, 0, 1, 10))
+	if rep := DRC(l, DRCRules{}); !rep.Clean() {
+		t.Error("empty rules should disable all checks")
+	}
+}

@@ -1,0 +1,169 @@
+// Package catalog implements the four catalogs of the Hercules user
+// interface (Fig. 9) — entity-, tool-, data- and flow-catalog — and the
+// four design approaches of §3.4 built on them: a designer may start a
+// task from its goal entity, from a tool, from a piece of data, or from
+// a predefined plan, and in every case ends up with the same kind of
+// dynamically defined flow.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flow"
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+// Catalogs bundles the four catalogs over one schema, history database
+// and flow library.
+type Catalogs struct {
+	schema *schema.Schema
+	db     *history.DB
+	flows  *flow.Catalog
+}
+
+// New creates the catalogs.
+func New(s *schema.Schema, db *history.DB, flows *flow.Catalog) *Catalogs {
+	return &Catalogs{schema: s, db: db, flows: flows}
+}
+
+// EntityEntry is one row of the entity catalog.
+type EntityEntry struct {
+	Name      string
+	Kind      schema.Kind
+	Abstract  bool
+	Composite bool
+	Doc       string
+	Instances int // recorded instances satisfying the type
+}
+
+// Entities lists every entity type with its instance count, in schema
+// order — the entity-catalog of Fig. 9.
+func (c *Catalogs) Entities() []EntityEntry {
+	var out []EntityEntry
+	for _, t := range c.schema.Types() {
+		out = append(out, EntityEntry{
+			Name: t.Name, Kind: t.Kind, Abstract: t.Abstract,
+			Composite: t.Composite, Doc: t.Doc,
+			Instances: len(c.db.InstancesOf(t.Name)),
+		})
+	}
+	return out
+}
+
+// ToolEntry is one row of the tool catalog: a tool type with its
+// installed (or generated) instances.
+type ToolEntry struct {
+	Type      string
+	Doc       string
+	Instances []*history.Instance
+}
+
+// Tools lists tool types and their instances — the tool-catalog.
+func (c *Catalogs) Tools() []ToolEntry {
+	var out []ToolEntry
+	for _, t := range c.schema.Types() {
+		if t.Kind != schema.KindTool {
+			continue
+		}
+		entry := ToolEntry{Type: t.Name, Doc: t.Doc}
+		for _, in := range c.db.InstancesOf(t.Name) {
+			if in.Type == t.Name { // avoid double-listing subtypes
+				entry.Instances = append(entry.Instances, in)
+			}
+		}
+		out = append(out, entry)
+	}
+	return out
+}
+
+// Data lists data instances matching the filter — the data-catalog,
+// backed by the browser query machinery.
+func (c *Catalogs) Data(f history.Filter) []*history.Instance {
+	var out []*history.Instance
+	for _, in := range c.db.Select(f) {
+		if t := c.schema.Type(in.Type); t != nil && t.Kind == schema.KindData {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// FlowNames lists the flow catalog's entries — the flow-catalog.
+func (c *Catalogs) FlowNames() []string {
+	if c.flows == nil {
+		return nil
+	}
+	return c.flows.Names()
+}
+
+// StartFromGoal begins a flow from a goal entity type (§3.4
+// goal-based): the node is created unexpanded, ready for ExpandDown.
+func (c *Catalogs) StartFromGoal(goalType string) (*flow.Flow, flow.NodeID, error) {
+	f := flow.New(c.schema, c.db)
+	id, err := f.Add(goalType)
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, id, nil
+}
+
+// StartFromTool begins a flow from an installed tool instance (§3.4
+// tool-based): a node of the instance's type, already bound. UpChoices
+// on the node lists what the tool can produce.
+func (c *Catalogs) StartFromTool(inst history.ID) (*flow.Flow, flow.NodeID, error) {
+	return c.startFromInstance(inst, schema.KindTool)
+}
+
+// StartFromData begins a flow from an existing piece of data (§3.4
+// data-based): a bound node of the instance's type.
+func (c *Catalogs) StartFromData(inst history.ID) (*flow.Flow, flow.NodeID, error) {
+	return c.startFromInstance(inst, schema.KindData)
+}
+
+func (c *Catalogs) startFromInstance(inst history.ID, kind schema.Kind) (*flow.Flow, flow.NodeID, error) {
+	in := c.db.Get(inst)
+	if in == nil {
+		return nil, 0, fmt.Errorf("catalog: no instance %s", inst)
+	}
+	t := c.schema.Type(in.Type)
+	if t == nil {
+		return nil, 0, fmt.Errorf("catalog: instance %s has unknown type %q", inst, in.Type)
+	}
+	if t.Kind != kind {
+		return nil, 0, fmt.Errorf("catalog: instance %s is %s, not %s", inst, t.Kind, kind)
+	}
+	f := flow.New(c.schema, c.db)
+	id, err := f.Add(in.Type)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := f.Bind(id, inst); err != nil {
+		return nil, 0, err
+	}
+	return f, id, nil
+}
+
+// StartFromPlan checks a predefined flow out of the flow catalog (§3.4
+// plan-based). The copy is the designer's to instantiate or modify.
+func (c *Catalogs) StartFromPlan(name string) (*flow.Flow, error) {
+	if c.flows == nil {
+		return nil, fmt.Errorf("catalog: no flow catalog configured")
+	}
+	return c.flows.Checkout(name)
+}
+
+// GoalsFor answers the tool-based designer's first question — "what can
+// this tool produce?" — as a sorted list of entity types.
+func (c *Catalogs) GoalsFor(toolType string) []string {
+	out := c.schema.ProductsOf(toolType)
+	sort.Strings(out)
+	return out
+}
+
+// UsesFor answers the data-based designer's first question — "what can
+// consume this data?" — as the schema's consumer relation.
+func (c *Catalogs) UsesFor(typeName string) []schema.Use {
+	return c.schema.Consumers(typeName)
+}

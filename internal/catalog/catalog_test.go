@@ -1,0 +1,126 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+func fixtures(t *testing.T) (*Catalogs, map[string]history.ID) {
+	t.Helper()
+	s := schema.Full()
+	db := history.NewDB(s)
+	ids := map[string]history.ID{}
+	rec := func(key, typ, name string) {
+		in, err := db.Record(history.Instance{Type: typ, Name: name, User: "t"})
+		if err != nil {
+			t.Fatalf("record %s: %v", key, err)
+		}
+		ids[key] = in.ID
+	}
+	rec("extractor", "Extractor", "mextra")
+	rec("sim", "InstalledSimulator", "hspice")
+	rec("stim", "Stimuli", "vectors")
+	flows := flow.NewCatalog()
+	f := flow.New(s, db)
+	f.MustAdd("Performance")
+	if err := flows.Install("p", f); err != nil {
+		t.Fatal(err)
+	}
+	return New(s, db, flows), ids
+}
+
+func TestEntities(t *testing.T) {
+	c, _ := fixtures(t)
+	entries := c.Entities()
+	byName := map[string]EntityEntry{}
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	if e := byName["Netlist"]; !e.Abstract {
+		t.Error("Netlist should be abstract")
+	}
+	if e := byName["Circuit"]; !e.Composite {
+		t.Error("Circuit should be composite")
+	}
+	if e := byName["Extractor"]; e.Instances != 1 {
+		t.Errorf("Extractor instances = %d", e.Instances)
+	}
+	// Simulator counts subtype instances.
+	if e := byName["Simulator"]; e.Instances != 1 {
+		t.Errorf("Simulator instances = %d", e.Instances)
+	}
+}
+
+func TestToolsExcludeSubtypeDoubleCounting(t *testing.T) {
+	c, _ := fixtures(t)
+	for _, te := range c.Tools() {
+		if te.Type == "Simulator" && len(te.Instances) != 0 {
+			t.Error("abstract Simulator row should not list the installed subtype instance")
+		}
+		if te.Type == "InstalledSimulator" && len(te.Instances) != 1 {
+			t.Errorf("InstalledSimulator instances = %d", len(te.Instances))
+		}
+	}
+}
+
+func TestDataExcludesTools(t *testing.T) {
+	c, _ := fixtures(t)
+	data := c.Data(history.Filter{})
+	if len(data) != 1 || data[0].Type != "Stimuli" {
+		t.Errorf("Data = %v", data)
+	}
+}
+
+func TestFlowNames(t *testing.T) {
+	c, _ := fixtures(t)
+	if got := c.FlowNames(); len(got) != 1 || got[0] != "p" {
+		t.Errorf("FlowNames = %v", got)
+	}
+	empty := New(schema.Full(), history.NewDB(schema.Full()), nil)
+	if got := empty.FlowNames(); got != nil {
+		t.Errorf("nil catalog FlowNames = %v", got)
+	}
+	if _, err := empty.StartFromPlan("p"); err == nil {
+		t.Error("StartFromPlan without catalog should fail")
+	}
+}
+
+func TestStartPoints(t *testing.T) {
+	c, ids := fixtures(t)
+	f, id, err := c.StartFromGoal("Performance")
+	if err != nil || f.Node(id).Type != "Performance" {
+		t.Errorf("StartFromGoal: %v", err)
+	}
+	f, id, err = c.StartFromTool(ids["sim"])
+	if err != nil || !f.Node(id).IsBound() {
+		t.Errorf("StartFromTool: %v", err)
+	}
+	f, id, err = c.StartFromData(ids["stim"])
+	if err != nil || f.Node(id).Type != "Stimuli" {
+		t.Errorf("StartFromData: %v", err)
+	}
+	if _, err := c.StartFromPlan("p"); err != nil {
+		t.Errorf("StartFromPlan: %v", err)
+	}
+}
+
+func TestGoalsForAndUsesFor(t *testing.T) {
+	c, _ := fixtures(t)
+	goals := c.GoalsFor("InstalledSimulator")
+	if len(goals) != 1 || goals[0] != "Performance" {
+		t.Errorf("GoalsFor = %v", goals)
+	}
+	uses := c.UsesFor("Performance")
+	found := false
+	for _, u := range uses {
+		if u.Consumer == "PerformancePlot" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("UsesFor(Performance) = %v", uses)
+	}
+}

@@ -1,0 +1,76 @@
+package datastore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestArchivesCollection(t *testing.T) {
+	as := NewArchives()
+	a := as.Open("x.cct")
+	if a == nil {
+		t.Fatal("Open returned nil")
+	}
+	if as.Open("x.cct") != a {
+		t.Error("Open should return the same archive")
+	}
+	a.Checkin("rev one")
+	a.Checkin("rev two")
+	got, err := as.Checkout("x.cct", 1)
+	if err != nil || got != "rev one" {
+		t.Errorf("Checkout = %q, %v", got, err)
+	}
+	if _, err := as.Checkout("nope", 1); err == nil {
+		t.Error("unknown archive should fail")
+	}
+	as.Open("a.lay")
+	names := as.Names()
+	if len(names) != 2 || names[0] != "a.lay" || names[1] != "x.cct" {
+		t.Errorf("Names = %v", names)
+	}
+	// Zero value usable.
+	var zero Archives
+	if zero.Open("y") == nil {
+		t.Error("zero-value Archives unusable")
+	}
+}
+
+func TestStoreDumpRestore(t *testing.T) {
+	s := NewStore()
+	r1 := s.Put([]byte("alpha"))
+	r2 := s.Put([]byte("beta"))
+	var buf bytes.Buffer
+	if err := s.DumpJSON(&buf); err != nil {
+		t.Fatalf("DumpJSON: %v", err)
+	}
+	s2 := NewStore()
+	if err := s2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for _, r := range []Ref{r1, r2} {
+		a, _ := s.Get(r)
+		b, ok := s2.Get(r)
+		if !ok || string(a) != string(b) {
+			t.Errorf("blob %s lost or changed", r)
+		}
+	}
+	// Restore into non-empty dedups.
+	if err := s2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("second restore: %v", err)
+	}
+	if s2.Len() != 2 {
+		t.Errorf("Len after double restore = %d", s2.Len())
+	}
+	// Corruption rejected.
+	bad := strings.Replace(buf.String(), "YWxwaGE", "YWxwaGX", 1)
+	if bad == buf.String() {
+		t.Fatal("test fixture: expected base64 of alpha in dump")
+	}
+	if err := NewStore().Restore(strings.NewReader(bad)); err == nil {
+		t.Error("corrupted dump should fail")
+	}
+	if err := NewStore().Restore(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage dump should fail")
+	}
+}

@@ -1,0 +1,345 @@
+package datastore
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestStorePutGet(t *testing.T) {
+	s := NewStore()
+	ref := s.Put([]byte("hello"))
+	got, ok := s.Get(ref)
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if !s.Has(ref) {
+		t.Error("Has(ref) = false")
+	}
+	if s.Has("sha256:nope") {
+		t.Error("Has(bogus) = true")
+	}
+	if _, ok := s.Get("sha256:nope"); ok {
+		t.Error("Get(bogus) ok")
+	}
+}
+
+func TestStoreDedup(t *testing.T) {
+	s := NewStore()
+	r1 := s.Put([]byte("same"))
+	r2 := s.Put([]byte("same"))
+	r3 := s.Put([]byte("different"))
+	if r1 != r2 {
+		t.Error("identical content should share one ref")
+	}
+	if r1 == r3 {
+		t.Error("different content must not collide")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if s.DedupHits() != 1 {
+		t.Errorf("DedupHits = %d, want 1", s.DedupHits())
+	}
+	if s.TotalBytes() != len("same")+len("different") {
+		t.Errorf("TotalBytes = %d", s.TotalBytes())
+	}
+}
+
+func TestStoreCopies(t *testing.T) {
+	s := NewStore()
+	data := []byte("mutable")
+	ref := s.Put(data)
+	data[0] = 'X'
+	got, _ := s.Get(ref)
+	if string(got) != "mutable" {
+		t.Error("Put did not copy its input")
+	}
+	got[0] = 'Y'
+	again, _ := s.Get(ref)
+	if string(again) != "mutable" {
+		t.Error("Get did not copy its output")
+	}
+	if err := s.Verify(); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+}
+
+func TestStoreZeroValue(t *testing.T) {
+	var s Store
+	ref := s.Put([]byte("x"))
+	if !s.Has(ref) {
+		t.Error("zero-value Store unusable")
+	}
+}
+
+func TestStoreRefsSorted(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		s.Put([]byte(fmt.Sprintf("blob-%d", i)))
+	}
+	refs := s.Refs()
+	if len(refs) != 20 {
+		t.Fatalf("Refs len = %d", len(refs))
+	}
+	for i := 1; i < len(refs); i++ {
+		if refs[i-1] >= refs[i] {
+			t.Fatal("Refs not sorted")
+		}
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ref := s.Put([]byte(fmt.Sprintf("g%d-i%d", g, i%10)))
+				if _, ok := s.Get(ref); !ok {
+					t.Errorf("lost blob %s", ref)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 80 {
+		t.Errorf("Len = %d, want 80", s.Len())
+	}
+}
+
+func TestRefOfStable(t *testing.T) {
+	if RefOf([]byte("a")) != RefOf([]byte("a")) {
+		t.Error("RefOf not deterministic")
+	}
+	if !strings.HasPrefix(string(RefOf(nil)), "sha256:") {
+		t.Error("RefOf prefix missing")
+	}
+}
+
+func TestDiffApplyBasic(t *testing.T) {
+	a := []string{"one", "two", "three"}
+	b := []string{"one", "deux", "three", "four"}
+	s := Diff(a, b)
+	got, err := s.Apply(a)
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if JoinLines(got) != JoinLines(b) {
+		t.Fatalf("Apply = %v, want %v (script %v)", got, b, s)
+	}
+}
+
+func TestDiffEmptyCases(t *testing.T) {
+	cases := []struct{ a, b []string }{
+		{nil, nil},
+		{nil, []string{"x"}},
+		{[]string{"x"}, nil},
+		{[]string{"x"}, []string{"x"}},
+		{[]string{"a", "b"}, []string{"b", "a"}},
+	}
+	for _, c := range cases {
+		s := Diff(c.a, c.b)
+		got, err := s.Apply(c.a)
+		if err != nil {
+			t.Errorf("Apply(%v -> %v): %v", c.a, c.b, err)
+			continue
+		}
+		if JoinLines(got) != JoinLines(c.b) {
+			t.Errorf("Diff(%v, %v) round trip = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestDiffIdenticalIsEmpty(t *testing.T) {
+	a := []string{"x", "y", "z"}
+	if s := Diff(a, a); len(s) != 0 {
+		t.Errorf("Diff(a, a) = %v, want empty", s)
+	}
+}
+
+func TestApplyRejectsWrongBase(t *testing.T) {
+	a := []string{"one", "two", "three"}
+	s := Diff(a, []string{"one"})
+	if _, err := s.Apply([]string{"one"}); err == nil {
+		t.Error("Apply on too-short base should fail")
+	}
+}
+
+func TestSplitJoinLines(t *testing.T) {
+	cases := []string{"", "a", "a\nb", "a\nb\n", "\n", "a\n\nb"}
+	for _, c := range cases {
+		if got := JoinLines(SplitLines(c)); got != c {
+			t.Errorf("JoinLines(SplitLines(%q)) = %q", c, got)
+		}
+	}
+}
+
+func TestEditOpString(t *testing.T) {
+	if got := (EditOp{Pos: 3, Count: 2}).String(); got != "d3 2" {
+		t.Errorf("delete op = %q", got)
+	}
+	if got := (EditOp{Insert: true, Pos: 1, Lines: []string{"x", "y"}}).String(); got != "a1 2" {
+		t.Errorf("insert op = %q", got)
+	}
+}
+
+// Property: Diff(a, b).Apply(a) == b for arbitrary small line slices.
+func TestQuickDiffRoundTrip(t *testing.T) {
+	f := func(xa, xb []uint8) bool {
+		toLines := func(xs []uint8) []string {
+			var out []string
+			for _, x := range xs {
+				out = append(out, fmt.Sprintf("line-%d", x%7))
+			}
+			return out
+		}
+		a, b := toLines(xa), toLines(xb)
+		got, err := Diff(a, b).Apply(a)
+		if err != nil {
+			return false
+		}
+		return JoinLines(got) == JoinLines(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArchiveBasics(t *testing.T) {
+	a := NewArchive("counter.cct")
+	if a.Head() != 0 {
+		t.Errorf("empty Head = %d", a.Head())
+	}
+	if _, err := a.Checkout(1); err == nil {
+		t.Error("Checkout on empty archive should fail")
+	}
+	if r := a.Checkin("v1 line1\nv1 line2"); r != 1 {
+		t.Errorf("first Checkin rev = %d", r)
+	}
+	if r := a.Checkin("v1 line1\nv2 line2\nadded"); r != 2 {
+		t.Errorf("second Checkin rev = %d", r)
+	}
+	if a.Head() != 2 {
+		t.Errorf("Head = %d", a.Head())
+	}
+	if a.Name() != "counter.cct" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	got, err := a.Checkout(2)
+	if err != nil || got != "v1 line1\nv2 line2\nadded" {
+		t.Errorf("Checkout(2) = %q, %v", got, err)
+	}
+	got, err = a.Checkout(1)
+	if err != nil || got != "v1 line1\nv1 line2" {
+		t.Errorf("Checkout(1) = %q, %v", got, err)
+	}
+	if _, err := a.Checkout(3); err == nil {
+		t.Error("Checkout(3) should fail")
+	}
+	if _, err := a.Checkout(0); err == nil {
+		t.Error("Checkout(0) should fail")
+	}
+}
+
+func TestArchiveEmptyRevision(t *testing.T) {
+	a := NewArchive("x")
+	a.Checkin("")
+	a.Checkin("content")
+	got, err := a.Checkout(1)
+	if err != nil || got != "" {
+		t.Errorf("Checkout(1) = %q, %v; want empty", got, err)
+	}
+}
+
+func TestArchiveManyRevisions(t *testing.T) {
+	a := NewArchive("x")
+	var want []string
+	for i := 0; i < 25; i++ {
+		text := fmt.Sprintf("header\nbody %d\nfooter", i)
+		want = append(want, text)
+		a.Checkin(text)
+	}
+	for i, w := range want {
+		got, err := a.Checkout(i + 1)
+		if err != nil || got != w {
+			t.Fatalf("Checkout(%d) = %q, %v; want %q", i+1, got, err, w)
+		}
+	}
+}
+
+func TestArchiveStorageSavings(t *testing.T) {
+	// 50 revisions of a 100-line file, one line changed per revision:
+	// delta storage must be far below full storage.
+	base := make([]string, 100)
+	for i := range base {
+		base[i] = fmt.Sprintf("line %d", i)
+	}
+	a := NewArchive("big")
+	for rev := 0; rev < 50; rev++ {
+		lines := append([]string(nil), base...)
+		lines[rev%100] = fmt.Sprintf("line %d (edited rev %d)", rev%100, rev)
+		a.Checkin(JoinLines(lines))
+	}
+	full := 100 * 50
+	if got := a.StorageLines(); got > full/5 {
+		t.Errorf("StorageLines = %d; want < %d (full copies would be %d)", got, full/5, full)
+	}
+}
+
+func TestArchiveConcurrentReaders(t *testing.T) {
+	a := NewArchive("x")
+	for i := 0; i < 10; i++ {
+		a.Checkin(fmt.Sprintf("rev %d", i+1))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= 10; i++ {
+				got, err := a.Checkout(i)
+				if err != nil || got != fmt.Sprintf("rev %d", i) {
+					t.Errorf("Checkout(%d) = %q, %v", i, got, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: an archive faithfully reproduces every revision checked in.
+func TestQuickArchiveFidelity(t *testing.T) {
+	f := func(edits []uint8) bool {
+		if len(edits) > 30 {
+			edits = edits[:30]
+		}
+		a := NewArchive("q")
+		var want []string
+		text := "seed\nfile"
+		for _, e := range edits {
+			text += fmt.Sprintf("\nedit %d", e%5)
+			if e%3 == 0 {
+				text = fmt.Sprintf("edit %d\n", e%5) + text
+			}
+			want = append(want, text)
+			a.Checkin(text)
+		}
+		for i, w := range want {
+			got, err := a.Checkout(i + 1)
+			if err != nil || got != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,146 @@
+package datastore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Line-based diffing used by the RCS-like Archive. The edit script model
+// is the classic one: a minimal sequence of delete and insert operations,
+// computed from the longest common subsequence of the two line slices.
+
+// EditOp is one operation in an edit script.
+type EditOp struct {
+	// Delete: remove Count lines starting at (0-based) line Pos of the
+	// source. Insert: insert Lines before (0-based) line Pos of the
+	// source. Positions refer to the original source; Apply processes
+	// operations in order with an offset.
+	Insert bool
+	Pos    int
+	Count  int      // valid when !Insert
+	Lines  []string // valid when Insert
+}
+
+// String renders the op in a compact rcs-ish notation.
+func (op EditOp) String() string {
+	if op.Insert {
+		return fmt.Sprintf("a%d %d", op.Pos, len(op.Lines))
+	}
+	return fmt.Sprintf("d%d %d", op.Pos, op.Count)
+}
+
+// Script is an edit script transforming one line sequence into another.
+type Script []EditOp
+
+// SplitLines splits text into lines, keeping an exact inverse with
+// JoinLines (a trailing newline is significant).
+func SplitLines(text string) []string {
+	if text == "" {
+		return nil
+	}
+	return strings.Split(text, "\n")
+}
+
+// JoinLines is the inverse of SplitLines.
+func JoinLines(lines []string) string {
+	return strings.Join(lines, "\n")
+}
+
+// Diff computes an edit script that transforms a into b. The script is
+// minimal in the LCS sense.
+func Diff(a, b []string) Script {
+	// Dynamic-programming LCS table. Design files in this system are
+	// small (netlists, layouts), so O(len(a)*len(b)) is acceptable and
+	// keeps the code obvious.
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	// Emit one op per line while walking the table, then merge adjacent
+	// ops of the same kind into ranges.
+	var raw Script
+	i, j := 0, 0
+	for i < n || j < m {
+		switch {
+		case i < n && j < m && a[i] == b[j]:
+			i++
+			j++
+		case j < m && (i == n || lcs[i][j+1] >= lcs[i+1][j]):
+			raw = append(raw, EditOp{Insert: true, Pos: i, Lines: []string{b[j]}})
+			j++
+		default:
+			raw = append(raw, EditOp{Pos: i, Count: 1})
+			i++
+		}
+	}
+	return mergeOps(raw)
+}
+
+// mergeOps coalesces runs of single-line ops into range ops.
+func mergeOps(raw Script) Script {
+	var out Script
+	for _, op := range raw {
+		if len(out) > 0 {
+			last := &out[len(out)-1]
+			switch {
+			case op.Insert && last.Insert && op.Pos == last.Pos:
+				last.Lines = append(last.Lines, op.Lines...)
+				continue
+			case !op.Insert && !last.Insert && op.Pos == last.Pos+last.Count:
+				last.Count += op.Count
+				continue
+			}
+		}
+		out = append(out, op)
+	}
+	return out
+}
+
+// Apply runs the edit script over a and returns the transformed lines. It
+// fails if the script refers outside a — e.g. when applied to the wrong
+// base revision.
+func (s Script) Apply(a []string) ([]string, error) {
+	out := make([]string, 0, len(a))
+	src := 0 // next unconsumed source line
+	for _, op := range s {
+		if op.Pos < src || op.Pos > len(a) {
+			return nil, fmt.Errorf("datastore: edit op %s out of order or out of range", op)
+		}
+		out = append(out, a[src:op.Pos]...)
+		src = op.Pos
+		if op.Insert {
+			out = append(out, op.Lines...)
+		} else {
+			if src+op.Count > len(a) {
+				return nil, fmt.Errorf("datastore: delete %s exceeds source length %d", op, len(a))
+			}
+			src += op.Count
+		}
+	}
+	out = append(out, a[src:]...)
+	return out, nil
+}
+
+// Size returns the number of lines the script carries (its storage cost,
+// in lines) plus one bookkeeping unit per op.
+func (s Script) Size() int {
+	n := 0
+	for _, op := range s {
+		n++
+		n += len(op.Lines)
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+// Package encap implements tool encapsulation (§3.3 of the paper): the
+// adapter layer through which the flow manager executes tools. An
+// encapsulation receives the artifacts bound to a task's dependencies and
+// returns the artifacts the task produces, keyed by entity type — one
+// task execution can therefore produce multiple outputs (Fig. 5).
+//
+// The package demonstrates each encapsulation idiom the paper names:
+//
+//   - multiple behaviours of one tool selected by the *tool instance's
+//     own data* (an editor whose artifact says "generate ripple 4" or
+//     "copy" — the options-as-arguments case);
+//   - one encapsulation shared by several tools (the three statistical
+//     optimizers register the same code under three tool types);
+//   - tools as data inputs to other tools (the optimizer receives a
+//     simulator);
+//   - tools created during design (the simulator compiler emits a
+//     compiled-simulator artifact that is later executed as a tool).
+package encap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/schema"
+)
+
+// Request carries one task execution's inputs to an encapsulation.
+type Request struct {
+	// Goal is the primary entity type the task constructs.
+	Goal string
+	// ToolType is the concrete entity type of the tool instance.
+	ToolType string
+	// Tool is the tool instance's own artifact (scripts, compiled
+	// programs, ...). Installed tools often have empty or descriptive
+	// artifacts.
+	Tool []byte
+	// Inputs maps dependency keys to input artifacts, one per key (the
+	// engine fans out multi-instance bindings into separate requests).
+	Inputs map[string][]byte
+}
+
+// Input returns the artifact for a dependency key, or an error naming the
+// missing key — the standard accessor for encapsulation bodies.
+func (r *Request) Input(key string) ([]byte, error) {
+	b, ok := r.Inputs[key]
+	if !ok {
+		return nil, fmt.Errorf("encap: %s task is missing input %q", r.Goal, key)
+	}
+	return b, nil
+}
+
+// OptionalInput returns the artifact and whether it was supplied.
+func (r *Request) OptionalInput(key string) ([]byte, bool) {
+	b, ok := r.Inputs[key]
+	return b, ok
+}
+
+// Outputs maps produced entity types to artifacts.
+type Outputs map[string][]byte
+
+// Encapsulation adapts one tool (or family of tools) to the flow
+// manager.
+type Encapsulation interface {
+	// Run executes the task. The returned map must contain r.Goal;
+	// additional entries are secondary outputs of the same execution.
+	Run(r *Request) (Outputs, error)
+}
+
+// Func adapts a plain function to the Encapsulation interface.
+type Func func(r *Request) (Outputs, error)
+
+// Run implements Encapsulation.
+func (f Func) Run(r *Request) (Outputs, error) { return f(r) }
+
+// CompositeCheck is a consistency check run when a composite entity is
+// composed (§3.1: "composition functions can be used, for example, to
+// check for consistency between entities").
+type CompositeCheck func(parts map[string][]byte) error
+
+// Registry maps tool entity types to encapsulations and composite types
+// to their checks. Registering the same Encapsulation value under
+// several tool types is the paper's shared-encapsulation idiom.
+type Registry struct {
+	byTool map[string]Encapsulation
+	checks map[string]CompositeCheck
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byTool: make(map[string]Encapsulation),
+		checks: make(map[string]CompositeCheck),
+	}
+}
+
+// Register binds an encapsulation to a tool entity type. Re-registering
+// replaces the previous encapsulation (multiple encapsulations for one
+// tool are expressed as distinct tool subtypes or distinct tool-instance
+// data, not double registration).
+func (r *Registry) Register(toolType string, e Encapsulation) {
+	r.byTool[toolType] = e
+}
+
+// RegisterCheck binds a consistency check to a composite entity type.
+func (r *Registry) RegisterCheck(compositeType string, c CompositeCheck) {
+	r.checks[compositeType] = c
+}
+
+// Lookup resolves the encapsulation for a concrete tool type, walking up
+// the subtype chain: an encapsulation registered for Simulator serves
+// every Simulator subtype that lacks its own.
+func (r *Registry) Lookup(s *schema.Schema, toolType string) (Encapsulation, error) {
+	for cur := toolType; cur != ""; {
+		if e, ok := r.byTool[cur]; ok {
+			return e, nil
+		}
+		t := s.Type(cur)
+		if t == nil {
+			break
+		}
+		cur = t.Parent
+	}
+	return nil, fmt.Errorf("encap: no encapsulation registered for tool type %q", toolType)
+}
+
+// Check returns the composite check for a type (nil when none).
+func (r *Registry) Check(compositeType string) CompositeCheck {
+	return r.checks[compositeType]
+}
+
+// ToolTypes lists the registered tool types, sorted.
+func (r *Registry) ToolTypes() []string {
+	out := make([]string, 0, len(r.byTool))
+	for t := range r.byTool {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,223 @@
+package encap
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cad/netlist"
+	"repro/internal/schema"
+)
+
+func TestRegistryLookupWalksSubtypes(t *testing.T) {
+	s := schema.Full()
+	r := StandardRegistry()
+	// InstalledSimulator has no direct registration; it resolves via its
+	// Simulator supertype.
+	e1, err := r.Lookup(s, "InstalledSimulator")
+	if err != nil {
+		t.Fatalf("Lookup(InstalledSimulator): %v", err)
+	}
+	e2, err := r.Lookup(s, "Simulator")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e1
+	_ = e2
+	// CompiledSimulator has its own registration (different behaviour).
+	if _, err := r.Lookup(s, "CompiledSimulator"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup(s, "NoSuchTool"); err == nil {
+		t.Error("unknown tool should fail")
+	}
+}
+
+func TestSharedEncapsulation(t *testing.T) {
+	s := schema.Full()
+	r := StandardRegistry()
+	a, _ := r.Lookup(s, "RandomOptimizer")
+	b, _ := r.Lookup(s, "DescentOptimizer")
+	c, _ := r.Lookup(s, "AnnealOptimizer")
+	// One encapsulation value registered three times (§3.3). Function
+	// values cannot be compared directly; run all three with an
+	// unknown tool type and check they share the dispatch error text.
+	for _, e := range []Encapsulation{a, b, c} {
+		_, err := e.Run(&Request{Goal: "OptimizedModels", ToolType: "FrobOptimizer",
+			Inputs: map[string][]byte{}})
+		if err == nil || !strings.Contains(err.Error(), "missing input") {
+			// The shared body first demands its inputs; any of the three
+			// registrations behaves identically.
+			t.Errorf("shared encapsulation behaviour differs: %v", err)
+		}
+	}
+}
+
+func TestRequestAccessors(t *testing.T) {
+	r := &Request{Goal: "X", Inputs: map[string][]byte{"a": []byte("1")}}
+	if b, err := r.Input("a"); err != nil || string(b) != "1" {
+		t.Errorf("Input = %q, %v", b, err)
+	}
+	if _, err := r.Input("b"); err == nil || !strings.Contains(err.Error(), "missing input") {
+		t.Errorf("missing input err = %v", err)
+	}
+	if _, ok := r.OptionalInput("b"); ok {
+		t.Error("OptionalInput(b) should miss")
+	}
+	if b, ok := r.OptionalInput("a"); !ok || string(b) != "1" {
+		t.Error("OptionalInput(a) should hit")
+	}
+}
+
+func TestComposeDecomposeRoundTrip(t *testing.T) {
+	parts := map[string][]byte{
+		"Netlist":      []byte("netlist x\n"),
+		"DeviceModels": []byte("library l\n"),
+		"Empty":        {},
+	}
+	data := ComposeParts(parts)
+	got, err := DecomposeParts(data)
+	if err != nil {
+		t.Fatalf("DecomposeParts: %v", err)
+	}
+	if len(got) != len(parts) {
+		t.Fatalf("parts = %d", len(got))
+	}
+	for k, v := range parts {
+		if string(got[k]) != string(v) {
+			t.Errorf("part %s = %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestDecomposeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("garbage"),
+		[]byte("composite 1\n"),
+		[]byte("composite 1\npart a zz\nx\n"),
+		[]byte("composite 1\npart a 100\nshort\n"),
+		[]byte("composite 1\nnotpart a 1\nx\n"),
+	}
+	for _, c := range cases {
+		if _, err := DecomposeParts(c); err == nil {
+			t.Errorf("DecomposeParts(%q) should fail", c)
+		}
+	}
+}
+
+// Property: compose/decompose is the identity for arbitrary binary
+// parts, including newlines and empty content.
+func TestQuickComposeRoundTrip(t *testing.T) {
+	f := func(a, b []byte) bool {
+		parts := map[string][]byte{"A": a, "B/b": b}
+		got, err := DecomposeParts(ComposeParts(parts))
+		if err != nil {
+			return false
+		}
+		return string(got["A"]) == string(a) && string(got["B/b"]) == string(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetlistEditorScripts(t *testing.T) {
+	run := func(script string, inputs map[string][]byte) (Outputs, error) {
+		return runNetlistEditor(&Request{Goal: "EditedNetlist", ToolType: "NetlistEditor",
+			Tool: []byte(script), Inputs: inputs})
+	}
+	out, err := run("generate ripple 2", nil)
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !strings.Contains(string(out["EditedNetlist"]), "netlist ripple2") {
+		t.Errorf("generate output = %.60q", out["EditedNetlist"])
+	}
+	// copy requires the optional base.
+	if _, err := run("copy", nil); err == nil {
+		t.Error("copy without base should fail")
+	}
+	base := out["EditedNetlist"]
+	out2, err := run("retouch tweak", map[string][]byte{"Netlist": base})
+	if err != nil {
+		t.Fatalf("retouch: %v", err)
+	}
+	if !strings.Contains(string(out2["EditedNetlist"]), "# tweak") {
+		t.Error("retouch note missing")
+	}
+	if _, err := run("", nil); err == nil {
+		t.Error("empty script should fail")
+	}
+	if _, err := run("frob", nil); err == nil {
+		t.Error("unknown script should fail")
+	}
+	if _, err := run("generate frob", nil); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := run("generate", nil); err == nil {
+		t.Error("generate without kind should fail")
+	}
+	if _, err := run("copy", map[string][]byte{"Netlist": []byte("garbage")}); err == nil {
+		t.Error("copy of garbage should fail")
+	}
+}
+
+func TestDeviceModelEditorScripts(t *testing.T) {
+	run := func(script string) (Outputs, error) {
+		return runDeviceModelEditor(&Request{Goal: "DeviceModels", Tool: []byte(script)})
+	}
+	for _, script := range []string{"", "default", "fast"} {
+		out, err := run(script)
+		if err != nil {
+			t.Errorf("script %q: %v", script, err)
+			continue
+		}
+		if !strings.Contains(string(out["DeviceModels"]), "library") {
+			t.Errorf("script %q output = %.40q", script, out["DeviceModels"])
+		}
+	}
+	if _, err := run("frob"); err == nil {
+		t.Error("unknown library should fail")
+	}
+}
+
+func TestVerifierMismatchIsAResult(t *testing.T) {
+	a := netlist.Format(netlist.Inverter())
+	b := netlist.Format(netlist.Mux2())
+	out, err := runVerifier(&Request{Goal: "Verification",
+		Inputs: map[string][]byte{
+			"Netlist/reference": []byte(a),
+			"Netlist/subject":   []byte(b),
+		}})
+	if err != nil {
+		t.Fatalf("mismatch must be a result, not an error: %v", err)
+	}
+	if !strings.Contains(string(out["Verification"]), "MISMATCH") {
+		t.Errorf("verification = %q", out["Verification"])
+	}
+}
+
+func TestGoalParsing(t *testing.T) {
+	if _, _, _, err := parseGoal("target=100 budget=5 seed=2"); err != nil {
+		t.Errorf("parseGoal: %v", err)
+	}
+	for _, bad := range []string{"", "frob", "target=zz", "zz=1", "budget=5"} {
+		if _, _, _, err := parseGoal(bad); err == nil {
+			t.Errorf("parseGoal(%q) should fail", bad)
+		}
+	}
+}
+
+func TestToolTypesSorted(t *testing.T) {
+	r := StandardRegistry()
+	types := r.ToolTypes()
+	if len(types) < 10 {
+		t.Errorf("ToolTypes = %v", types)
+	}
+	for i := 1; i < len(types); i++ {
+		if types[i-1] >= types[i] {
+			t.Fatal("ToolTypes unsorted")
+		}
+	}
+}

@@ -1,0 +1,616 @@
+package encap
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cad/cosmos"
+	"repro/internal/cad/extract"
+	"repro/internal/cad/layout"
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/optimize"
+	"repro/internal/cad/place"
+	"repro/internal/cad/plot"
+	"repro/internal/cad/sim"
+	"repro/internal/cad/verify"
+)
+
+// This file registers the standard encapsulations for the Fig. 1 / Fig. 2
+// / optimization schema (schema.Full). Editor tools are scripted: the
+// tool *instance's* artifact carries the behaviour ("generate ripple 4",
+// "copy", "retouch"), which is how one encapsulation exposes multiple
+// tool behaviours (§3.3).
+
+// StandardRegistry returns a registry with every tool of schema.Full
+// wired to the synthetic CAD substrate.
+func StandardRegistry() *Registry {
+	r := NewRegistry()
+	r.Register("NetlistEditor", Func(runNetlistEditor))
+	r.Register("LayoutEditor", Func(runLayoutEditor))
+	r.Register("DeviceModelEditor", Func(runDeviceModelEditor))
+	r.Register("Extractor", Func(runExtractor))
+	r.Register("Simulator", Func(runInstalledSimulator)) // serves InstalledSimulator via subtype fallback
+	r.Register("CompiledSimulator", Func(runCompiledSimulator))
+	r.Register("SimulatorCompiler", Func(runSimulatorCompiler))
+	r.Register("Verifier", Func(runVerifier))
+	r.Register("Plotter", Func(runPlotter))
+	r.Register("Placer", Func(runPlacer))
+	// The three optimizers share one encapsulation value — the paper's
+	// shared-encapsulation idiom.
+	opt := Func(runOptimizer)
+	r.Register("RandomOptimizer", opt)
+	r.Register("DescentOptimizer", opt)
+	r.Register("AnnealOptimizer", opt)
+	// Composite consistency check: the device models must cover the
+	// polarities the netlist's transistor view needs.
+	r.RegisterCheck("Circuit", checkCircuit)
+	return r
+}
+
+// ---- composite plumbing -------------------------------------------------
+
+// ComposeParts builds a composite artifact from its components — the
+// implicit composition function of §3.1. Part keys are dependency keys.
+func ComposeParts(parts map[string][]byte) []byte {
+	keys := make([]string, 0, len(parts))
+	for k := range parts {
+		keys = append(keys, k)
+	}
+	// Deterministic order.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "composite %d\n", len(keys))
+	for _, k := range keys {
+		fmt.Fprintf(&b, "part %s %d\n", k, len(parts[k]))
+		b.Write(parts[k])
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// DecomposeParts is the implicit decomposition function: it splits a
+// composite artifact back into its components.
+func DecomposeParts(data []byte) (map[string][]byte, error) {
+	rest := data
+	line := func() (string, error) {
+		i := bytes.IndexByte(rest, '\n')
+		if i < 0 {
+			return "", fmt.Errorf("encap: truncated composite artifact")
+		}
+		l := string(rest[:i])
+		rest = rest[i+1:]
+		return l, nil
+	}
+	header, err := line()
+	if err != nil {
+		return nil, err
+	}
+	var n int
+	if _, err := fmt.Sscanf(header, "composite %d", &n); err != nil {
+		return nil, fmt.Errorf("encap: not a composite artifact (%q)", header)
+	}
+	out := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		ph, err := line()
+		if err != nil {
+			return nil, err
+		}
+		fields := strings.Fields(ph)
+		if len(fields) != 3 || fields[0] != "part" {
+			return nil, fmt.Errorf("encap: bad part header %q", ph)
+		}
+		size, err := strconv.Atoi(fields[2])
+		if err != nil || size < 0 || size+1 > len(rest) {
+			return nil, fmt.Errorf("encap: bad part size in %q", ph)
+		}
+		out[fields[1]] = append([]byte(nil), rest[:size]...)
+		rest = rest[size+1:]
+	}
+	return out, nil
+}
+
+// circuitParts extracts the netlist and model library from a Circuit
+// composite artifact.
+func circuitParts(data []byte) (*netlist.Netlist, *models.Library, error) {
+	parts, err := DecomposeParts(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	nb, ok := parts["Netlist"]
+	if !ok {
+		return nil, nil, fmt.Errorf("encap: circuit composite lacks a Netlist part")
+	}
+	nl, err := netlist.ParseString(string(nb))
+	if err != nil {
+		return nil, nil, err
+	}
+	mb, ok := parts["DeviceModels"]
+	if !ok {
+		return nil, nil, fmt.Errorf("encap: circuit composite lacks a DeviceModels part")
+	}
+	lib, err := models.Parse(strings.NewReader(string(mb)))
+	if err != nil {
+		return nil, nil, err
+	}
+	return nl, lib, nil
+}
+
+// checkCircuit is the Circuit composite's consistency check: "can these
+// device models be used with this circuit?" (§3.1).
+func checkCircuit(parts map[string][]byte) error {
+	nb, ok := parts["Netlist"]
+	if !ok {
+		return fmt.Errorf("encap: circuit needs a Netlist part")
+	}
+	if _, err := netlist.ParseString(string(nb)); err != nil {
+		return fmt.Errorf("encap: circuit netlist: %w", err)
+	}
+	mb, ok := parts["DeviceModels"]
+	if !ok {
+		return fmt.Errorf("encap: circuit needs a DeviceModels part")
+	}
+	lib, err := models.Parse(strings.NewReader(string(mb)))
+	if err != nil {
+		return fmt.Errorf("encap: circuit models: %w", err)
+	}
+	return lib.Validate()
+}
+
+// ---- editors -------------------------------------------------------------
+
+// generateNetlist interprets the generator scripts shared by the netlist
+// and layout editors.
+func generateNetlist(args []string) (*netlist.Netlist, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("encap: generate wants a circuit kind")
+	}
+	atoi := func(i int, def int) int {
+		if i >= len(args) {
+			return def
+		}
+		x, err := strconv.Atoi(args[i])
+		if err != nil {
+			return def
+		}
+		return x
+	}
+	switch args[0] {
+	case "inverter":
+		return netlist.Inverter(), nil
+	case "invchain":
+		return netlist.InverterChain(atoi(1, 4)), nil
+	case "fulladder":
+		return netlist.FullAdder(), nil
+	case "ripple":
+		return netlist.RippleAdder(atoi(1, 4)), nil
+	case "mux2":
+		return netlist.Mux2(), nil
+	case "parity":
+		return netlist.ParityTree(atoi(1, 4)), nil
+	case "random":
+		return netlist.RandomLogic(atoi(1, 4), atoi(2, 20), int64(atoi(3, 1))), nil
+	default:
+		return nil, fmt.Errorf("encap: unknown circuit kind %q", args[0])
+	}
+}
+
+// runNetlistEditor implements the scripted netlist editor. Scripts:
+//
+//	generate <kind> [args...]   create a fresh netlist
+//	copy                        reproduce the base version (optional dd)
+//	retouch [note]              new version of the base with a comment
+func runNetlistEditor(r *Request) (Outputs, error) {
+	script := strings.Fields(string(r.Tool))
+	if len(script) == 0 {
+		return nil, fmt.Errorf("encap: netlist editor tool instance carries no script")
+	}
+	switch script[0] {
+	case "generate":
+		nl, err := generateNetlist(script[1:])
+		if err != nil {
+			return nil, err
+		}
+		return Outputs{r.Goal: []byte(netlist.Format(nl))}, nil
+	case "copy", "retouch":
+		base, ok := r.OptionalInput("Netlist")
+		if !ok {
+			return nil, fmt.Errorf("encap: netlist editor script %q needs the optional Netlist input", script[0])
+		}
+		nl, err := netlist.ParseString(string(base))
+		if err != nil {
+			return nil, err
+		}
+		text := netlist.Format(nl)
+		if script[0] == "retouch" {
+			note := "edited"
+			if len(script) > 1 {
+				note = strings.Join(script[1:], " ")
+			}
+			text += "# " + note + "\n"
+		}
+		return Outputs{r.Goal: []byte(text)}, nil
+	default:
+		return nil, fmt.Errorf("encap: unknown netlist editor script %q", script[0])
+	}
+}
+
+// runLayoutEditor implements the scripted layout editor. Scripts:
+//
+//	generate <kind> [args...]   synthesize a layout for a generated circuit
+//	copy / retouch [note]       reproduce or revise the base (optional dd)
+func runLayoutEditor(r *Request) (Outputs, error) {
+	script := strings.Fields(string(r.Tool))
+	if len(script) == 0 {
+		return nil, fmt.Errorf("encap: layout editor tool instance carries no script")
+	}
+	switch script[0] {
+	case "generate":
+		nl, err := generateNetlist(script[1:])
+		if err != nil {
+			return nil, err
+		}
+		l, err := layout.Generate(nl, nil)
+		if err != nil {
+			return nil, err
+		}
+		return Outputs{r.Goal: []byte(layout.Format(l))}, nil
+	case "copy", "retouch":
+		base, ok := r.OptionalInput("Layout")
+		if !ok {
+			return nil, fmt.Errorf("encap: layout editor script %q needs the optional Layout input", script[0])
+		}
+		l, err := layout.ParseString(string(base))
+		if err != nil {
+			return nil, err
+		}
+		text := layout.Format(l)
+		if script[0] == "retouch" {
+			note := "edited"
+			if len(script) > 1 {
+				note = strings.Join(script[1:], " ")
+			}
+			text += "# " + note + "\n"
+		}
+		return Outputs{r.Goal: []byte(text)}, nil
+	default:
+		return nil, fmt.Errorf("encap: unknown layout editor script %q", script[0])
+	}
+}
+
+// runDeviceModelEditor emits a model library named by the tool script
+// ("default" or "fast").
+func runDeviceModelEditor(r *Request) (Outputs, error) {
+	var lib *models.Library
+	switch strings.TrimSpace(string(r.Tool)) {
+	case "", "default":
+		lib = models.Default()
+	case "fast":
+		lib = models.Fast()
+	default:
+		return nil, fmt.Errorf("encap: unknown device model library %q", string(r.Tool))
+	}
+	return Outputs{r.Goal: []byte(models.Format(lib))}, nil
+}
+
+// ---- physical tools -------------------------------------------------------
+
+// runExtractor extracts a layout, producing both the netlist and the
+// statistics — one execution, two outputs (Fig. 5).
+func runExtractor(r *Request) (Outputs, error) {
+	lb, err := r.Input("Layout")
+	if err != nil {
+		return nil, err
+	}
+	l, err := layout.ParseString(string(lb))
+	if err != nil {
+		return nil, err
+	}
+	res, err := extract.Extract(l)
+	if err != nil {
+		return nil, err
+	}
+	return Outputs{
+		"ExtractedNetlist":     []byte(netlist.Format(res.Netlist)),
+		"ExtractionStatistics": []byte(res.Stats.String()),
+	}, nil
+}
+
+// runPlacer places a netlist and generates the resulting layout.
+func runPlacer(r *Request) (Outputs, error) {
+	nb, err := r.Input("Netlist")
+	if err != nil {
+		return nil, err
+	}
+	nl, err := netlist.ParseString(string(nb))
+	if err != nil {
+		return nil, err
+	}
+	ob, err := r.Input("PlacementOptions")
+	if err != nil {
+		return nil, err
+	}
+	opts, err := place.ParseOptions(string(ob))
+	if err != nil {
+		return nil, err
+	}
+	p, err := place.Place(nl, opts)
+	if err != nil {
+		return nil, err
+	}
+	l, err := layout.Generate(nl, p.Order)
+	if err != nil {
+		return nil, err
+	}
+	return Outputs{r.Goal: []byte(layout.Format(l))}, nil
+}
+
+// runVerifier compares two netlists. A structural mismatch is a valid
+// Verification result, not an error. Gate-level inputs are expanded to
+// their transistor views first, so the verifier serves both the Fig. 8
+// LVS flow (transistor vs extracted) and plain netlist comparison.
+func runVerifier(r *Request) (Outputs, error) {
+	parseSide := func(key string) (*netlist.Netlist, error) {
+		b, err := r.Input(key)
+		if err != nil {
+			return nil, err
+		}
+		nl, err := netlist.ParseString(string(b))
+		if err != nil {
+			return nil, err
+		}
+		if len(nl.Gates) > 0 {
+			return netlist.ToTransistor(nl)
+		}
+		return nl, nil
+	}
+	ref, err := parseSide("Netlist/reference")
+	if err != nil {
+		return nil, err
+	}
+	sub, err := parseSide("Netlist/subject")
+	if err != nil {
+		return nil, err
+	}
+	rep := verify.LVS(ref, sub, verify.LVSOptions{})
+	return Outputs{r.Goal: []byte(rep.Summary())}, nil
+}
+
+// ---- simulation -----------------------------------------------------------
+
+// runInstalledSimulator is the simulator behind the Simulator tool type
+// (and, by subtype fallback, InstalledSimulator). It dispatches on the
+// circuit's view: gate-level netlists run event-driven with timing;
+// transistor-level netlists (e.g. extracted from layout, as in Fig. 5)
+// run switch-level.
+func runInstalledSimulator(r *Request) (Outputs, error) {
+	cb, err := r.Input("Circuit")
+	if err != nil {
+		return nil, err
+	}
+	nl, lib, err := circuitParts(cb)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := r.Input("Stimuli")
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.ParseString(string(sb))
+	if err != nil {
+		return nil, err
+	}
+	var res *sim.Result
+	if len(nl.Gates) == 0 && len(nl.Devices) > 0 {
+		res, err = sim.SwitchRun(nl, st)
+	} else {
+		var s *sim.Simulator
+		s, err = sim.New(nl, lib)
+		if err == nil {
+			res, err = s.Run(st)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Outputs{r.Goal: []byte(sim.FormatResult(res))}, nil
+}
+
+// runSimulatorCompiler compiles a netlist into a dedicated simulator —
+// the Fig. 2 tool-created-during-design. The output artifact is the
+// compiled program itself.
+func runSimulatorCompiler(r *Request) (Outputs, error) {
+	nb, err := r.Input("Netlist")
+	if err != nil {
+		return nil, err
+	}
+	nl, err := netlist.ParseString(string(nb))
+	if err != nil {
+		return nil, err
+	}
+	p, err := cosmos.Compile(nl)
+	if err != nil {
+		return nil, err
+	}
+	return Outputs{r.Goal: []byte(cosmos.Format(p))}, nil
+}
+
+// runCompiledSimulator executes a compiled simulator: the *tool
+// artifact* is the program. Functional results only — a compiled
+// simulator reports no timing, so critpath is zero.
+func runCompiledSimulator(r *Request) (Outputs, error) {
+	p, err := cosmos.ParseString(string(r.Tool))
+	if err != nil {
+		return nil, fmt.Errorf("encap: compiled simulator artifact: %w", err)
+	}
+	cb, err := r.Input("Circuit")
+	if err != nil {
+		return nil, err
+	}
+	nl, _, err := circuitParts(cb)
+	if err != nil {
+		return nil, err
+	}
+	// The program simulates the netlist it was compiled for; the circuit
+	// input must at least present the same interface (a name check would
+	// be too brittle: an extracted netlist and its source share function
+	// and ports but not names).
+	if err := sameInterface(nl, p); err != nil {
+		return nil, err
+	}
+	sb, err := r.Input("Stimuli")
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.ParseString(string(sb))
+	if err != nil {
+		return nil, err
+	}
+	samples, err := p.RunVectors(st)
+	if err != nil {
+		return nil, err
+	}
+	res := &sim.Result{Circuit: nl.Name, Stimuli: st.Name, Library: "compiled",
+		Waveforms: map[string]sim.Waveform{}}
+	for _, s := range samples {
+		sample := make(map[string]sim.Value, len(s))
+		for k, v := range s {
+			sample[k] = sim.FromBool(v)
+		}
+		res.Samples = append(res.Samples, sample)
+	}
+	return Outputs{r.Goal: []byte(sim.FormatResult(res))}, nil
+}
+
+// sameInterface checks that a circuit's ports match a compiled program's
+// inputs and outputs.
+func sameInterface(nl *netlist.Netlist, p *cosmos.Program) error {
+	want := map[string]bool{}
+	for _, in := range p.Inputs() {
+		want[in] = true
+	}
+	for _, in := range nl.Inputs() {
+		if !want[in] {
+			return fmt.Errorf("encap: compiled simulator (for %q) has no input %s", p.Netlist, in)
+		}
+		delete(want, in)
+	}
+	if len(want) > 0 {
+		return fmt.Errorf("encap: circuit %q lacks inputs the compiled simulator (for %q) needs", nl.Name, p.Netlist)
+	}
+	outs := map[string]bool{}
+	for _, o := range p.Outputs() {
+		outs[o] = true
+	}
+	for _, o := range nl.Outputs() {
+		if !outs[o] {
+			return fmt.Errorf("encap: compiled simulator (for %q) has no output %s", p.Netlist, o)
+		}
+	}
+	return nil
+}
+
+// runPlotter renders a performance artifact.
+func runPlotter(r *Request) (Outputs, error) {
+	pb, err := r.Input("Performance")
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.ParseResultString(string(pb))
+	if err != nil {
+		return nil, err
+	}
+	return Outputs{r.Goal: []byte(plot.PerformancePlot(res))}, nil
+}
+
+// ---- optimization ----------------------------------------------------------
+
+// runOptimizer is the single encapsulation shared by the three optimizer
+// tools; the tool *type* selects the algorithm. The optimization goal
+// travels as an entity ("target=<ps> budget=<n> seed=<n>"), and the
+// simulator arrives as a data input — tools-as-data.
+func runOptimizer(r *Request) (Outputs, error) {
+	cb, err := r.Input("Circuit")
+	if err != nil {
+		return nil, err
+	}
+	nl, lib, err := circuitParts(cb)
+	if err != nil {
+		return nil, err
+	}
+	sb, err := r.Input("Stimuli")
+	if err != nil {
+		return nil, err
+	}
+	st, err := sim.ParseString(string(sb))
+	if err != nil {
+		return nil, err
+	}
+	gb, err := r.Input("OptimizationGoal")
+	if err != nil {
+		return nil, err
+	}
+	target, budget, seed, err := parseGoal(string(gb))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.Input("Simulator/engine"); err != nil {
+		return nil, err
+	}
+	// The engine input is the simulator handed to the optimizer; the
+	// evaluator below wraps it over this circuit and stimuli.
+	eval := optimize.SimEvaluator(nl, st)
+	var opt optimize.Optimizer
+	switch r.ToolType {
+	case "RandomOptimizer":
+		opt = optimize.RandomSearch
+	case "DescentOptimizer":
+		opt = optimize.CoordinateDescent
+	case "AnnealOptimizer":
+		opt = optimize.Annealing
+	default:
+		return nil, fmt.Errorf("encap: unknown optimizer tool %q", r.ToolType)
+	}
+	res, err := opt(eval, optimize.Goal{TargetPS: target, Base: lib}, seed, budget)
+	if err != nil {
+		return nil, err
+	}
+	text := models.Format(res.Library) + "# " + strings.TrimSpace(res.Summary()) + "\n"
+	return Outputs{r.Goal: []byte(text)}, nil
+}
+
+func parseGoal(s string) (target, budget int, seed int64, err error) {
+	budget, seed = 30, 1
+	for _, f := range strings.Fields(s) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return 0, 0, 0, fmt.Errorf("encap: bad goal field %q", f)
+		}
+		x, aerr := strconv.Atoi(v)
+		if aerr != nil {
+			return 0, 0, 0, fmt.Errorf("encap: bad goal value %q", f)
+		}
+		switch k {
+		case "target":
+			target = x
+		case "budget":
+			budget = x
+		case "seed":
+			seed = int64(x)
+		default:
+			return 0, 0, 0, fmt.Errorf("encap: unknown goal field %q", k)
+		}
+	}
+	if target <= 0 {
+		return 0, 0, 0, fmt.Errorf("encap: optimization goal needs target=<ps>")
+	}
+	return target, budget, seed, nil
+}

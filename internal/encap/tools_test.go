@@ -1,0 +1,385 @@
+package encap
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/cosmos"
+	"repro/internal/cad/layout"
+	"repro/internal/cad/models"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/sim"
+)
+
+// circuitArtifact builds a Circuit composite artifact for a generated
+// netlist.
+func circuitArtifact(t *testing.T, kind string) []byte {
+	t.Helper()
+	out, err := runNetlistEditor(&Request{Goal: "EditedNetlist",
+		Tool: []byte("generate " + kind)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ComposeParts(map[string][]byte{
+		"Netlist":      out["EditedNetlist"],
+		"DeviceModels": []byte(models.Format(models.Default())),
+	})
+}
+
+func stimArtifact(inputs ...string) []byte {
+	st := sim.Exhaustive("t", 10000000, inputs...)
+	return []byte(sim.Format(st))
+}
+
+func TestLayoutEditorScripts(t *testing.T) {
+	run := func(script string, inputs map[string][]byte) (Outputs, error) {
+		return runLayoutEditor(&Request{Goal: "EditedLayout", Tool: []byte(script), Inputs: inputs})
+	}
+	out, err := run("generate inverter", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := layout.ParseString(string(out["EditedLayout"]))
+	if err != nil {
+		t.Fatalf("generated layout unparseable: %v", err)
+	}
+	if len(l.Rects) == 0 {
+		t.Error("empty layout")
+	}
+	out2, err := run("retouch moved a wire", map[string][]byte{"Layout": out["EditedLayout"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out2["EditedLayout"]), "# moved a wire") {
+		t.Error("retouch note missing")
+	}
+	out3, err := run("copy", map[string][]byte{"Layout": out["EditedLayout"]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out3["EditedLayout"]) != string(out["EditedLayout"]) {
+		t.Error("copy should reproduce the base")
+	}
+	for _, bad := range []string{"", "frob", "generate frob", "copy", "retouch"} {
+		if _, err := run(bad, nil); err == nil {
+			t.Errorf("script %q should fail", bad)
+		}
+	}
+	if _, err := run("copy", map[string][]byte{"Layout": []byte("garbage")}); err == nil {
+		t.Error("copy of garbage should fail")
+	}
+}
+
+func TestExtractorEncap(t *testing.T) {
+	lay, err := runLayoutEditor(&Request{Goal: "EditedLayout", Tool: []byte("generate mux2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runExtractor(&Request{Goal: "ExtractedNetlist",
+		Inputs: map[string][]byte{"Layout": lay["EditedLayout"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := out["ExtractedNetlist"]; !ok {
+		t.Error("netlist output missing")
+	}
+	if _, ok := out["ExtractionStatistics"]; !ok {
+		t.Error("statistics output missing (multi-output task)")
+	}
+	if _, err := runExtractor(&Request{Goal: "ExtractedNetlist", Inputs: map[string][]byte{}}); err == nil {
+		t.Error("missing layout should fail")
+	}
+	if _, err := runExtractor(&Request{Goal: "ExtractedNetlist",
+		Inputs: map[string][]byte{"Layout": []byte("garbage")}}); err == nil {
+		t.Error("garbage layout should fail")
+	}
+}
+
+func TestPlacerEncap(t *testing.T) {
+	nl, _ := runNetlistEditor(&Request{Goal: "EditedNetlist", Tool: []byte("generate fulladder")})
+	out, err := runPlacer(&Request{Goal: "PlacedLayout", Inputs: map[string][]byte{
+		"Netlist":          nl["EditedNetlist"],
+		"PlacementOptions": []byte("seed=3 passes=1"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := layout.ParseString(string(out["PlacedLayout"])); err != nil {
+		t.Errorf("placed layout unparseable: %v", err)
+	}
+	cases := []map[string][]byte{
+		{},
+		{"Netlist": []byte("garbage"), "PlacementOptions": []byte("seed=1")},
+		{"Netlist": nl["EditedNetlist"], "PlacementOptions": []byte("frob")},
+		{"Netlist": nl["EditedNetlist"]},
+	}
+	for i, in := range cases {
+		if _, err := runPlacer(&Request{Goal: "PlacedLayout", Inputs: in}); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestSimulatorEncapGateLevel(t *testing.T) {
+	out, err := runInstalledSimulator(&Request{Goal: "Performance", Inputs: map[string][]byte{
+		"Circuit": circuitArtifact(t, "fulladder"),
+		"Stimuli": stimArtifact("a", "b", "cin"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.ParseResultString(string(out["Performance"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CriticalPathPS == 0 {
+		t.Error("gate-level run should report timing")
+	}
+}
+
+func TestSimulatorEncapSwitchLevel(t *testing.T) {
+	// A transistor-view circuit dispatches to the switch-level engine.
+	x, err := netlist.ToTransistor(netlist.FullAdder())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cct := ComposeParts(map[string][]byte{
+		"Netlist":      []byte(netlist.Format(x)),
+		"DeviceModels": []byte(models.Format(models.Default())),
+	})
+	out, err := runInstalledSimulator(&Request{Goal: "Performance", Inputs: map[string][]byte{
+		"Circuit": cct,
+		"Stimuli": stimArtifact("a", "b", "cin"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.ParseResultString(string(out["Performance"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Library != "switch" {
+		t.Errorf("Library = %q, want switch", res.Library)
+	}
+	// Functional agreement with gate level on the last vector (111):
+	// sum=1 cout=1.
+	last := res.Samples[len(res.Samples)-1]
+	if last["sum"] != sim.H || last["cout"] != sim.H {
+		t.Errorf("switch results wrong: %v", last)
+	}
+}
+
+func TestSimulatorEncapErrors(t *testing.T) {
+	cases := []map[string][]byte{
+		{},
+		{"Circuit": []byte("garbage"), "Stimuli": stimArtifact("a")},
+		{"Circuit": circuitArtifact(t, "fulladder")},
+		{"Circuit": circuitArtifact(t, "fulladder"), "Stimuli": []byte("garbage")},
+		{"Circuit": ComposeParts(map[string][]byte{"Netlist": []byte("garbage"),
+			"DeviceModels": []byte(models.Format(models.Default()))}),
+			"Stimuli": stimArtifact("a")},
+		{"Circuit": ComposeParts(map[string][]byte{
+			"Netlist": []byte(netlist.Format(netlist.Inverter())), "DeviceModels": []byte("garbage")}),
+			"Stimuli": stimArtifact("in")},
+		{"Circuit": ComposeParts(map[string][]byte{"DeviceModels": []byte(models.Format(models.Default()))}),
+			"Stimuli": stimArtifact("a")},
+		{"Circuit": ComposeParts(map[string][]byte{"Netlist": []byte(netlist.Format(netlist.Inverter()))}),
+			"Stimuli": stimArtifact("in")},
+	}
+	for i, in := range cases {
+		if _, err := runInstalledSimulator(&Request{Goal: "Performance", Inputs: in}); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCompilerAndCompiledSimulatorEncap(t *testing.T) {
+	nlBytes, _ := runNetlistEditor(&Request{Goal: "EditedNetlist", Tool: []byte("generate mux2")})
+	prog, err := runSimulatorCompiler(&Request{Goal: "CompiledSimulator",
+		Inputs: map[string][]byte{"Netlist": nlBytes["EditedNetlist"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cosmos.ParseString(string(prog["CompiledSimulator"])); err != nil {
+		t.Fatalf("compiled artifact unparseable: %v", err)
+	}
+	// Execute the generated tool.
+	cct := ComposeParts(map[string][]byte{
+		"Netlist":      nlBytes["EditedNetlist"],
+		"DeviceModels": []byte(models.Format(models.Default())),
+	})
+	out, err := runCompiledSimulator(&Request{Goal: "Performance",
+		Tool: prog["CompiledSimulator"],
+		Inputs: map[string][]byte{
+			"Circuit": cct,
+			"Stimuli": stimArtifact("a", "b", "sel"),
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.ParseResultString(string(out["Performance"]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Library != "compiled" || len(res.Samples) != 8 {
+		t.Errorf("compiled result: lib=%q samples=%d", res.Library, len(res.Samples))
+	}
+
+	// Mismatched circuit: the compiled tool refuses a netlist with a
+	// different interface (the mux2 program has no "cin" input).
+	other := circuitArtifact(t, "fulladder")
+	if _, err := runCompiledSimulator(&Request{Goal: "Performance",
+		Tool:   prog["CompiledSimulator"],
+		Inputs: map[string][]byte{"Circuit": other, "Stimuli": stimArtifact("a", "b", "cin")},
+	}); err == nil || !strings.Contains(err.Error(), "compiled simulator") {
+		t.Errorf("mismatched circuit err = %v", err)
+	}
+	// Garbage program artifact.
+	if _, err := runCompiledSimulator(&Request{Goal: "Performance", Tool: []byte("garbage"),
+		Inputs: map[string][]byte{"Circuit": cct, "Stimuli": stimArtifact("a", "b", "sel")},
+	}); err == nil {
+		t.Error("garbage program should fail")
+	}
+	// Compiler errors.
+	if _, err := runSimulatorCompiler(&Request{Goal: "CompiledSimulator",
+		Inputs: map[string][]byte{"Netlist": []byte("garbage")}}); err == nil {
+		t.Error("garbage netlist should fail")
+	}
+	if _, err := runSimulatorCompiler(&Request{Goal: "CompiledSimulator",
+		Inputs: map[string][]byte{}}); err == nil {
+		t.Error("missing netlist should fail")
+	}
+}
+
+func TestPlotterEncap(t *testing.T) {
+	perf, err := runInstalledSimulator(&Request{Goal: "Performance", Inputs: map[string][]byte{
+		"Circuit": circuitArtifact(t, "inverter"),
+		"Stimuli": stimArtifact("in"),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runPlotter(&Request{Goal: "PerformancePlot",
+		Inputs: map[string][]byte{"Performance": perf["Performance"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(out["PerformancePlot"])
+	if !strings.Contains(text, "waveforms of") || !strings.Contains(text, "toggles per net") {
+		t.Errorf("plot = %.120q", text)
+	}
+	if _, err := runPlotter(&Request{Goal: "PerformancePlot", Inputs: map[string][]byte{}}); err == nil {
+		t.Error("missing performance should fail")
+	}
+	if _, err := runPlotter(&Request{Goal: "PerformancePlot",
+		Inputs: map[string][]byte{"Performance": []byte("garbage")}}); err == nil {
+		t.Error("garbage performance should fail")
+	}
+}
+
+func TestVerifierEncapErrors(t *testing.T) {
+	good := netlist.Format(netlist.Inverter())
+	cases := []map[string][]byte{
+		{},
+		{"Netlist/reference": []byte(good)},
+		{"Netlist/reference": []byte("garbage"), "Netlist/subject": []byte(good)},
+		{"Netlist/reference": []byte(good), "Netlist/subject": []byte("garbage")},
+	}
+	for i, in := range cases {
+		if _, err := runVerifier(&Request{Goal: "Verification", Inputs: in}); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestOptimizerEncapFull(t *testing.T) {
+	req := func(tool string, edits func(map[string][]byte)) *Request {
+		in := map[string][]byte{
+			"Circuit":          circuitArtifact(t, "invchain 4"),
+			"Stimuli":          []byte("stimuli s\ninterval 10000000\ninputs in\nvector 0\nvector 1\n"),
+			"OptimizationGoal": []byte("target=100000 budget=4 seed=1"),
+			"Simulator/engine": []byte(""),
+		}
+		if edits != nil {
+			edits(in)
+		}
+		return &Request{Goal: "OptimizedModels", ToolType: tool, Inputs: in}
+	}
+	out, err := runOptimizer(req("RandomOptimizer", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := models.Parse(strings.NewReader(string(out["OptimizedModels"]))); err != nil {
+		t.Errorf("optimized models unparseable: %v", err)
+	}
+	if _, err := runOptimizer(req("FrobOptimizer", nil)); err == nil {
+		t.Error("unknown optimizer tool should fail")
+	}
+	if _, err := runOptimizer(req("RandomOptimizer", func(in map[string][]byte) {
+		delete(in, "Simulator/engine")
+	})); err == nil {
+		t.Error("missing engine should fail")
+	}
+	if _, err := runOptimizer(req("RandomOptimizer", func(in map[string][]byte) {
+		in["OptimizationGoal"] = []byte("garbage")
+	})); err == nil {
+		t.Error("bad goal should fail")
+	}
+	if _, err := runOptimizer(req("RandomOptimizer", func(in map[string][]byte) {
+		in["Stimuli"] = []byte("garbage")
+	})); err == nil {
+		t.Error("bad stimuli should fail")
+	}
+	if _, err := runOptimizer(req("RandomOptimizer", func(in map[string][]byte) {
+		in["Circuit"] = []byte("garbage")
+	})); err == nil {
+		t.Error("bad circuit should fail")
+	}
+}
+
+func TestCircuitCheckErrors(t *testing.T) {
+	good := circuitArtifact(t, "inverter")
+	parts, err := DecomposeParts(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkCircuit(parts); err != nil {
+		t.Errorf("good circuit flagged: %v", err)
+	}
+	if err := checkCircuit(map[string][]byte{"DeviceModels": parts["DeviceModels"]}); err == nil {
+		t.Error("missing netlist part should fail")
+	}
+	if err := checkCircuit(map[string][]byte{"Netlist": parts["Netlist"]}); err == nil {
+		t.Error("missing models part should fail")
+	}
+	if err := checkCircuit(map[string][]byte{"Netlist": []byte("garbage"),
+		"DeviceModels": parts["DeviceModels"]}); err == nil {
+		t.Error("garbage netlist should fail")
+	}
+	if err := checkCircuit(map[string][]byte{"Netlist": parts["Netlist"],
+		"DeviceModels": []byte("garbage")}); err == nil {
+		t.Error("garbage models should fail")
+	}
+}
+
+func TestGenerateNetlistKinds(t *testing.T) {
+	kinds := [][]string{
+		{"inverter"}, {"invchain", "3"}, {"fulladder"}, {"ripple", "2"},
+		{"mux2"}, {"parity", "4"}, {"random", "4", "10", "2"},
+	}
+	for _, k := range kinds {
+		nl, err := generateNetlist(k)
+		if err != nil {
+			t.Errorf("%v: %v", k, err)
+			continue
+		}
+		if err := nl.Validate(); err != nil {
+			t.Errorf("%v: invalid: %v", k, err)
+		}
+	}
+	// Default args when unparsable.
+	nl, err := generateNetlist([]string{"ripple", "zz"})
+	if err != nil || nl.Name != "ripple4" {
+		t.Errorf("default arg: %v %v", nl, err)
+	}
+}

@@ -1,0 +1,457 @@
+// Package exec is the task-execution engine of the flow manager: it
+// turns a dynamically defined flow (package flow) into tool runs
+// (package encap), records every created object in the design history
+// (package history) and its artifact in the datastore, and implements
+// the framework services of §3.3:
+//
+//   - automatic task sequencing from the dependencies in the task graph;
+//   - parallel execution of independent work, as on the "different
+//     machines" of Fig. 6 (a worker pool with optional simulated
+//     per-task dispatch latency);
+//   - fan-out over multi-instance bindings (§4.1: selecting a set of
+//     instances causes the task to be run for each combination);
+//   - multi-output tasks: sibling nodes sharing one construction are
+//     computed by a single tool run (Fig. 5);
+//   - composite entities with their implicit compose function and
+//     consistency checks;
+//   - automatic retracing of stale derivations (consistency
+//     maintenance).
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/encap"
+	"repro/internal/flow"
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+// Engine executes flows against one schema, history database, datastore
+// and encapsulation registry.
+type Engine struct {
+	schema    *schema.Schema
+	db        *history.DB
+	store     *datastore.Store
+	reg       *encap.Registry
+	archives  func(name string, rev int) (string, error)
+	user      string
+	workers   int
+	taskDelay time.Duration
+}
+
+// New creates an engine. workers defaults to 1 (fully serial); use
+// SetWorkers to allow parallel branches.
+func New(s *schema.Schema, db *history.DB, store *datastore.Store, reg *encap.Registry) *Engine {
+	return &Engine{schema: s, db: db, store: store, reg: reg, user: "designer", workers: 1}
+}
+
+// SetUser sets the user recorded on created instances.
+func (e *Engine) SetUser(u string) { e.user = u }
+
+// SetWorkers sets the number of parallel workers ("machines"); values
+// below 1 are treated as 1.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// SetTaskDelay adds a simulated dispatch latency to every tool run —
+// the stand-in for remote-machine tool startup used when demonstrating
+// Fig. 6 (parallel branches win by ~workers×).
+func (e *Engine) SetTaskDelay(d time.Duration) { e.taskDelay = d }
+
+// SetArchiveSource supplies the checkout function for archive-backed
+// instances (footnote 5: instances whose artifact lives at a revision of
+// a shared archive rather than as a blob).
+func (e *Engine) SetArchiveSource(checkout func(name string, rev int) (string, error)) {
+	e.archives = checkout
+}
+
+// artifactOf fetches an instance's artifact: from the blob store when a
+// Data ref is present, from the archive source when the instance is
+// archive-backed, or nil for artifact-less instances (installed tools).
+func (e *Engine) artifactOf(inst history.ID) ([]byte, error) {
+	in := e.db.Get(inst)
+	if in == nil {
+		return nil, fmt.Errorf("exec: instance %s disappeared", inst)
+	}
+	if in.Data != "" {
+		b, ok := e.store.Get(in.Data)
+		if !ok {
+			return nil, fmt.Errorf("exec: artifact %s of %s missing from datastore", in.Data, inst)
+		}
+		return b, nil
+	}
+	if in.Archive != "" {
+		if e.archives == nil {
+			return nil, fmt.Errorf("exec: instance %s is archive-backed but no archive source is configured", inst)
+		}
+		text, err := e.archives(in.Archive, in.Revision)
+		if err != nil {
+			return nil, fmt.Errorf("exec: checkout of %s: %w", inst, err)
+		}
+		return []byte(text), nil
+	}
+	return nil, nil
+}
+
+// DB returns the engine's history database.
+func (e *Engine) DB() *history.DB { return e.db }
+
+// Store returns the engine's datastore.
+func (e *Engine) Store() *datastore.Store { return e.store }
+
+// Result reports one flow run.
+type Result struct {
+	// Created maps each executed node to the instances that realized it
+	// (bound instances pass through unchanged).
+	Created map[flow.NodeID][]history.ID
+	// TasksRun counts tool executions (compositions included).
+	TasksRun int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// InstancesOf returns the instances created for a node.
+func (r *Result) InstancesOf(id flow.NodeID) []history.ID {
+	return append([]history.ID(nil), r.Created[id]...)
+}
+
+// One returns the single instance created for a node, failing when the
+// node fanned out to several or none.
+func (r *Result) One(id flow.NodeID) (history.ID, error) {
+	insts := r.Created[id]
+	if len(insts) != 1 {
+		return "", fmt.Errorf("exec: node %d produced %d instances, want 1", id, len(insts))
+	}
+	return insts[0], nil
+}
+
+// RunFlow executes every root of the flow (and hence every needed
+// node).
+func (e *Engine) RunFlow(f *flow.Flow) (*Result, error) {
+	return e.run(f, f.Roots())
+}
+
+// RunNode executes the sub-flow rooted at one node — §4.1's "a sub-flow
+// may be run at any stage as long as its dependencies are satisfied
+// independently of the remainder of the flow".
+func (e *Engine) RunNode(f *flow.Flow, id flow.NodeID) (*Result, error) {
+	if f.Node(id) == nil {
+		return nil, fmt.Errorf("exec: no node %d", id)
+	}
+	return e.run(f, []flow.NodeID{id})
+}
+
+// reachable returns the nodes needed to compute the targets.
+func reachable(f *flow.Flow, targets []flow.NodeID) map[flow.NodeID]bool {
+	out := make(map[flow.NodeID]bool)
+	var visit func(id flow.NodeID)
+	visit = func(id flow.NodeID) {
+		if out[id] {
+			return
+		}
+		out[id] = true
+		n := f.Node(id)
+		if n.IsBound() {
+			return // bound nodes stand in for their subtree
+		}
+		for _, k := range n.DepKeys() {
+			c, _ := n.Dep(k)
+			visit(c)
+		}
+	}
+	for _, t := range targets {
+		visit(t)
+	}
+	return out
+}
+
+// taskSignature groups sibling nodes that share one construction (same
+// tool node and same input nodes under the same keys): they are computed
+// by a single tool run with multiple outputs.
+func taskSignature(f *flow.Flow, id flow.NodeID) string {
+	n := f.Node(id)
+	keys := n.DepKeys()
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		c, _ := n.Dep(k)
+		parts = append(parts, fmt.Sprintf("%s=%d", k, c))
+	}
+	return strings.Join(parts, ",")
+}
+
+// job is one group of nodes computed by a shared sequence of tool runs.
+type job struct {
+	nodes     []flow.NodeID // group members, representative first
+	composite bool
+	// combos are the input combinations to execute, each a concrete
+	// assignment of instances to dependency keys (plus "fd").
+	combos []map[string]history.ID
+	// outputs[i] collects, per combo, the produced artifacts.
+	outputs []encap.Outputs
+	err     error
+}
+
+func (e *Engine) run(f *flow.Flow, targets []flow.NodeID) (*Result, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	for _, t := range targets {
+		if ok, why := f.Executable(t); !ok {
+			return nil, fmt.Errorf("exec: flow is not executable: %s", why)
+		}
+	}
+	needed := reachable(f, targets)
+	levels, err := f.Levels()
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	res := &Result{Created: make(map[flow.NodeID][]history.ID)}
+
+	for _, level := range levels {
+		var jobs []*job
+		grouped := make(map[string]*job)
+		for _, id := range level {
+			if !needed[id] {
+				continue
+			}
+			n := f.Node(id)
+			if n.IsBound() {
+				res.Created[id] = n.Bound()
+				continue
+			}
+			t := e.schema.Type(n.Type)
+			if t.IsPrimitiveSource() {
+				return nil, fmt.Errorf("exec: node %d (%s) is an unbound primitive source", id, n.Type)
+			}
+			sig := taskSignature(f, id)
+			if j, ok := grouped[sig]; ok && !t.Composite {
+				j.nodes = append(j.nodes, id)
+				continue
+			}
+			j := &job{nodes: []flow.NodeID{id}, composite: t.Composite}
+			combos, err := e.combosFor(f, id, res)
+			if err != nil {
+				return nil, err
+			}
+			j.combos = combos
+			if !t.Composite {
+				grouped[sig] = j
+			}
+			jobs = append(jobs, j)
+		}
+
+		// Execute the level's jobs in parallel, then record results
+		// sequentially in job order so instance IDs are deterministic.
+		e.executeJobs(f, jobs)
+		for _, j := range jobs {
+			if j.err != nil {
+				return nil, j.err
+			}
+			if err := e.recordJob(f, j, res); err != nil {
+				return nil, err
+			}
+			res.TasksRun += len(j.combos)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// combosFor enumerates the input combinations of a node: the cartesian
+// product of its dependencies' instance lists, in deterministic order.
+func (e *Engine) combosFor(f *flow.Flow, id flow.NodeID, res *Result) ([]map[string]history.ID, error) {
+	n := f.Node(id)
+	keys := n.DepKeys()
+	combos := []map[string]history.ID{{}}
+	for _, k := range keys {
+		c, _ := n.Dep(k)
+		insts := res.Created[c]
+		if len(insts) == 0 {
+			return nil, fmt.Errorf("exec: node %d dependency %q (node %d) produced no instances", id, k, c)
+		}
+		var next []map[string]history.ID
+		for _, combo := range combos {
+			for _, inst := range insts {
+				cp := make(map[string]history.ID, len(combo)+1)
+				for kk, vv := range combo {
+					cp[kk] = vv
+				}
+				cp[k] = inst
+				next = append(next, cp)
+			}
+		}
+		combos = next
+	}
+	return combos, nil
+}
+
+// executeJobs runs all (job, combo) executions of one level through the
+// worker pool, storing outputs on the jobs.
+func (e *Engine) executeJobs(f *flow.Flow, jobs []*job) {
+	type unit struct {
+		j  *job
+		ci int
+	}
+	var units []unit
+	for _, j := range jobs {
+		j.outputs = make([]encap.Outputs, len(j.combos))
+		for ci := range j.combos {
+			units = append(units, unit{j, ci})
+		}
+	}
+	if len(units) == 0 {
+		return
+	}
+	workers := e.workers
+	if workers > len(units) {
+		workers = len(units)
+	}
+	ch := make(chan unit)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards job.err
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range ch {
+				out, err := e.executeCombo(f, u.j, u.j.combos[u.ci])
+				if err != nil {
+					mu.Lock()
+					if u.j.err == nil {
+						u.j.err = err
+					}
+					mu.Unlock()
+					continue
+				}
+				u.j.outputs[u.ci] = out
+			}
+		}()
+	}
+	for _, u := range units {
+		ch <- u
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// executeCombo performs one tool run (or composition) for one input
+// combination.
+func (e *Engine) executeCombo(f *flow.Flow, j *job, combo map[string]history.ID) (encap.Outputs, error) {
+	if e.taskDelay > 0 {
+		time.Sleep(e.taskDelay)
+	}
+	rep := f.Node(j.nodes[0])
+	artifact := e.artifactOf
+
+	if j.composite {
+		parts := make(map[string][]byte, len(combo))
+		for k, inst := range combo {
+			b, err := artifact(inst)
+			if err != nil {
+				return nil, err
+			}
+			parts[k] = b
+		}
+		if check := e.reg.Check(rep.Type); check != nil {
+			if err := check(parts); err != nil {
+				return nil, fmt.Errorf("exec: composite %s consistency check failed: %w", rep.Type, err)
+			}
+		}
+		return encap.Outputs{rep.Type: encap.ComposeParts(parts)}, nil
+	}
+
+	toolInst, ok := combo["fd"]
+	if !ok {
+		return nil, fmt.Errorf("exec: task %s has no tool instance", rep.Type)
+	}
+	toolIn := e.db.Get(toolInst)
+	toolArt, err := artifact(toolInst)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := e.reg.Lookup(e.schema, toolIn.Type)
+	if err != nil {
+		return nil, err
+	}
+	req := &encap.Request{
+		Goal:     rep.Type,
+		ToolType: toolIn.Type,
+		Tool:     toolArt,
+		Inputs:   make(map[string][]byte, len(combo)-1),
+	}
+	for k, inst := range combo {
+		if k == "fd" {
+			continue
+		}
+		b, err := artifact(inst)
+		if err != nil {
+			return nil, err
+		}
+		req.Inputs[k] = b
+	}
+	out, err := enc.Run(req)
+	if err != nil {
+		return nil, fmt.Errorf("exec: %s via %s: %w", rep.Type, toolIn.Type, err)
+	}
+	return out, nil
+}
+
+// recordJob stores artifacts and records history instances for every
+// (node, combo) of a completed job.
+func (e *Engine) recordJob(f *flow.Flow, j *job, res *Result) error {
+	for ci, combo := range j.combos {
+		out := j.outputs[ci]
+		for _, id := range j.nodes {
+			n := f.Node(id)
+			data, ok := out[n.Type]
+			if !ok {
+				return fmt.Errorf("exec: tool run produced no %s output (has: %s)", n.Type, outputKeys(out))
+			}
+			rec := history.Instance{
+				Type: n.Type,
+				User: e.user,
+				Data: e.store.Put(data),
+			}
+			if tool, ok := combo["fd"]; ok {
+				rec.Tool = tool
+			}
+			var keys []string
+			for k := range combo {
+				if k != "fd" {
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				rec.Inputs = append(rec.Inputs, history.Input{Key: k, Inst: combo[k]})
+			}
+			inst, err := e.db.Record(rec)
+			if err != nil {
+				return fmt.Errorf("exec: recording %s: %w", n.Type, err)
+			}
+			res.Created[id] = append(res.Created[id], inst.ID)
+		}
+	}
+	return nil
+}
+
+func outputKeys(out encap.Outputs) string {
+	keys := make([]string, 0, len(out))
+	for k := range out {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

@@ -1,0 +1,95 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/history"
+)
+
+// TestCartesianFanOut verifies full cartesian semantics: multiple
+// instances on several dependencies multiply (§4.1 generalized), each
+// combination is recorded with its own derivation, and the combinations
+// are exactly the cartesian product — no duplicates, none missing.
+func TestCartesianFanOut(t *testing.T) {
+	r := newRig(t)
+	// A second simulator and a third stimuli instance.
+	sim2 := r.db.MustRecord(history.Instance{Type: "InstalledSimulator", Name: "spice3", User: "rig"})
+	stim3 := r.db.MustRecord(history.Instance{Type: "Stimuli", Name: "third", User: "rig",
+		Data: r.store.Put([]byte("stimuli third\ninterval 10000000\ninputs a b cin\nvector 010\n"))})
+
+	f, perf := r.perfFlow(t)
+	simN, _ := f.Node(perf).Dep("fd")
+	stimN, _ := f.Node(perf).Dep("Stimuli")
+	if err := f.Bind(simN, r.ids["sim"], sim2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Bind(stimN, r.ids["stim"], r.ids["stim2"], stim3.ID); err != nil {
+		t.Fatal(err)
+	}
+	r.engine.SetWorkers(4)
+	res, err := r.engine.RunFlow(f)
+	if err != nil {
+		t.Fatalf("RunFlow: %v", err)
+	}
+	perfs := res.InstancesOf(perf)
+	if len(perfs) != 6 { // 2 simulators x 3 stimuli
+		t.Fatalf("performances = %d, want 6", len(perfs))
+	}
+	// 3 upstream tasks (netlist, models, circuit) + 6 simulations.
+	if res.TasksRun != 9 {
+		t.Errorf("TasksRun = %d, want 9", res.TasksRun)
+	}
+	seen := map[[2]history.ID]bool{}
+	for _, pid := range perfs {
+		in := r.db.Get(pid)
+		st, _ := in.InputFor("Stimuli")
+		key := [2]history.ID{in.Tool, st}
+		if seen[key] {
+			t.Errorf("duplicate combination %v", key)
+		}
+		seen[key] = true
+	}
+	for _, simID := range []history.ID{r.ids["sim"], sim2.ID} {
+		for _, stID := range []history.ID{r.ids["stim"], r.ids["stim2"], stim3.ID} {
+			if !seen[[2]history.ID{simID, stID}] {
+				t.Errorf("combination (%s, %s) missing", simID, stID)
+			}
+		}
+	}
+}
+
+// TestFanOutPropagatesDownstream checks that a fanned-out intermediate
+// fans the parent out too: two circuits (from two model libraries) give
+// two performances.
+func TestFanOutPropagatesDownstream(t *testing.T) {
+	r := newRig(t)
+	f, perf := r.perfFlow(t)
+	cctN, _ := f.Node(perf).Dep("Circuit")
+	dmN, _ := f.Node(cctN).Dep("DeviceModels")
+	dmToolN, _ := f.Node(dmN).Dep("fd")
+	// Two model editors: default and fast libraries.
+	if err := f.Bind(dmToolN, r.ids["dmEd"], r.ids["dmEdFast"]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.engine.RunFlow(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.InstancesOf(dmN)); got != 2 {
+		t.Fatalf("device model instances = %d", got)
+	}
+	if got := len(res.InstancesOf(cctN)); got != 2 {
+		t.Fatalf("circuits = %d", got)
+	}
+	perfs := res.InstancesOf(perf)
+	if len(perfs) != 2 {
+		t.Fatalf("performances = %d", len(perfs))
+	}
+	// The two performances differ (different model libraries change the
+	// timing numbers).
+	a, _ := r.store.Get(r.db.Get(perfs[0]).Data)
+	b, _ := r.store.Get(r.db.Get(perfs[1]).Data)
+	if string(a) == string(b) {
+		t.Error("different model libraries should yield different performance artifacts")
+	}
+}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flow"
+)
+
+// TestRandomFlowsAlwaysExecute is the system-level property test: any
+// flow constructed by legal schema-guided operations — random goal,
+// random specializations, full expansion, leaves bound from the catalog
+// — validates, executes, and records well-typed derivations. It
+// exercises every tool encapsulation and the engine's scheduling in
+// random combinations.
+func TestRandomFlowsAlwaysExecute(t *testing.T) {
+	goals := []string{
+		"Performance", "PerformancePlot", "Verification",
+		"ExtractedNetlist", "ExtractionStatistics", "PlacedLayout",
+		"EditedNetlist", "EditedLayout", "OptimizedModels",
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t)
+		r.engine.SetWorkers(1 + rng.Intn(4))
+		goal := goals[rng.Intn(len(goals))]
+		f := flow.New(r.s, r.db)
+		root := f.MustAdd(goal)
+		if err := buildRandom(t, r, f, root, rng, 0, "", goal); err != nil {
+			t.Fatalf("seed %d goal %s: build: %v", seed, goal, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("seed %d goal %s: invalid flow: %v\n%s", seed, goal, err, f.Render())
+		}
+		res, err := r.engine.RunFlow(f)
+		if err != nil {
+			t.Fatalf("seed %d goal %s: run: %v\n%s", seed, goal, err, f.Render())
+		}
+		id, err := res.One(root)
+		if err != nil {
+			t.Fatalf("seed %d goal %s: %v", seed, goal, err)
+		}
+		in := r.db.Get(id)
+		if !r.s.Satisfies(in.Type, goal) {
+			t.Fatalf("seed %d: result type %s does not satisfy %s", seed, in.Type, goal)
+		}
+		// The recorded derivation is fully traversable.
+		if _, err := r.db.Backchain(id, -1); err != nil {
+			t.Fatalf("seed %d: backchain: %v", seed, err)
+		}
+	}
+}
+
+// buildRandom expands a node completely, specializing abstract types at
+// random (bounded so recursive layout<->netlist chains terminate) and
+// binding leaves from the rig's catalog.
+func buildRandom(t *testing.T, r *rig, f *flow.Flow, id flow.NodeID, rng *rand.Rand, depth int, parent, rootGoal string) error {
+	t.Helper()
+	n := f.Node(id)
+	typ := r.s.Type(n.Type)
+
+	// Abstract nodes: specialize. Beyond a depth budget, choose the
+	// terminating subtype (the edited variants need no recursive input).
+	// The standard-cell placer only accepts gate-level netlists, so a
+	// PlacedLayout's netlist is pinned to the edited (gate-level)
+	// variant — the choice a designer would make after the placer
+	// refused a transistor netlist.
+	if typ.Abstract {
+		choices := r.s.ConcreteSubtypes(n.Type)
+		var pick string
+		if n.Type == "Netlist" && parent == "PlacedLayout" {
+			pick = "EditedNetlist"
+		}
+		// The optimizers evaluate with the timing simulator, which needs
+		// the logic view; keep their circuits gate-level.
+		if n.Type == "Netlist" && rootGoal == "OptimizedModels" {
+			pick = "EditedNetlist"
+		}
+		if pick == "" && depth >= 3 {
+			for _, c := range choices {
+				if c == "EditedNetlist" || c == "EditedLayout" || c == "InstalledSimulator" {
+					pick = c
+				}
+			}
+		}
+		if pick == "" {
+			pick = choices[rng.Intn(len(choices))]
+		}
+		if err := f.Specialize(id, pick); err != nil {
+			return err
+		}
+		n = f.Node(id)
+		typ = r.s.Type(n.Type)
+	}
+
+	// Primitive sources and installed tools: bind an instance.
+	if typ.IsPrimitiveSource() {
+		key, ok := map[string]string{
+			"NetlistEditor": "netEdGen", "LayoutEditor": "layEdGen",
+			"DeviceModelEditor": "dmEd", "Extractor": "extractor",
+			"InstalledSimulator": "sim", "Verifier": "verifier",
+			"Plotter": "plotter", "Placer": "placer",
+			"SimulatorCompiler": "compiler", "RandomOptimizer": "ropt",
+			"DescentOptimizer": "dopt", "AnnealOptimizer": "aopt",
+			"Stimuli": "stim", "PlacementOptions": "popts",
+			"OptimizationGoal": "ogoal",
+		}[n.Type]
+		if !ok {
+			t.Fatalf("no rig instance for primitive type %s", n.Type)
+		}
+		return f.Bind(id, r.ids[key])
+	}
+
+	// Constructed node: expand and recurse into every child.
+	if err := f.ExpandDown(id, false); err != nil {
+		return err
+	}
+	n = f.Node(id)
+	for _, k := range n.DepKeys() {
+		c, _ := n.Dep(k)
+		if err := buildRandom(t, r, f, c, rng, depth+1, n.Type, rootGoal); err != nil {
+			return err
+		}
+	}
+	return nil
+}

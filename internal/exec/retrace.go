@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/encap"
+	"repro/internal/history"
+)
+
+// This file implements automatic retracing (§3.3): when derived design
+// data is out of date with respect to the data it was derived from, the
+// recorded derivation history is enough to re-run the affected
+// constructions with superseded inputs replaced by their newest
+// versions. No flow needs to be kept around — the history *is* the flow
+// trace.
+
+// RetraceResult reports one retrace run.
+type RetraceResult struct {
+	// Plan is the analysis that drove the run.
+	Plan *history.RetracePlan
+	// Rebuilt maps each re-run construction's old instance to its new
+	// one.
+	Rebuilt map[history.ID]history.ID
+	// Fresh is true when nothing needed to be done.
+	Fresh bool
+}
+
+// NewTarget returns the instance that now replaces the retrace target.
+func (r *RetraceResult) NewTarget(target history.ID) history.ID {
+	if n, ok := r.Rebuilt[target]; ok {
+		return n
+	}
+	return target
+}
+
+// Retrace brings the named instance up to date: it plans the retrace
+// from the history database and re-executes each stale construction
+// with substituted inputs, recording the new instances.
+func (e *Engine) Retrace(target history.ID) (*RetraceResult, error) {
+	plan, err := e.db.PlanRetrace(target)
+	if err != nil {
+		return nil, err
+	}
+	res := &RetraceResult{Plan: plan, Rebuilt: make(map[history.ID]history.ID)}
+	if plan.Fresh() {
+		res.Fresh = true
+		return res, nil
+	}
+	for _, step := range plan.Steps {
+		if err := e.retraceStep(step, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// retraceStep re-runs one construction.
+func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error {
+	old := e.db.Get(step.Rebuild)
+	if old == nil {
+		return fmt.Errorf("exec: retrace target %s disappeared", step.Rebuild)
+	}
+	resolve := func(x history.ID) history.ID {
+		if n, ok := res.Rebuilt[x]; ok {
+			return n
+		}
+		if n, ok := step.Replace[x]; ok {
+			return n
+		}
+		return x
+	}
+
+	artifact := e.artifactOf
+
+	t := e.schema.Type(old.Type)
+	rec := history.Instance{Type: old.Type, User: e.user, Name: old.Name,
+		Comment: "retrace of " + string(old.ID)}
+
+	if t.Composite {
+		parts := make(map[string][]byte, len(old.Inputs))
+		for _, in := range old.Inputs {
+			inst := resolve(in.Inst)
+			b, err := artifact(inst)
+			if err != nil {
+				return err
+			}
+			parts[in.Key] = b
+			rec.Inputs = append(rec.Inputs, history.Input{Key: in.Key, Inst: inst})
+		}
+		if check := e.reg.Check(old.Type); check != nil {
+			if err := check(parts); err != nil {
+				return fmt.Errorf("exec: retrace composite check: %w", err)
+			}
+		}
+		rec.Data = e.store.Put(encap.ComposeParts(parts))
+	} else {
+		toolInst := resolve(old.Tool)
+		toolIn := e.db.Get(toolInst)
+		if toolIn == nil {
+			return fmt.Errorf("exec: tool instance %s disappeared", toolInst)
+		}
+		toolArt, err := artifact(toolInst)
+		if err != nil {
+			return err
+		}
+		enc, err := e.reg.Lookup(e.schema, toolIn.Type)
+		if err != nil {
+			return err
+		}
+		req := &encap.Request{Goal: old.Type, ToolType: toolIn.Type, Tool: toolArt,
+			Inputs: make(map[string][]byte, len(old.Inputs))}
+		inputs := append([]history.Input(nil), old.Inputs...)
+		sort.Slice(inputs, func(i, j int) bool { return inputs[i].Key < inputs[j].Key })
+		for _, in := range inputs {
+			inst := resolve(in.Inst)
+			b, err := artifact(inst)
+			if err != nil {
+				return err
+			}
+			req.Inputs[in.Key] = b
+			rec.Inputs = append(rec.Inputs, history.Input{Key: in.Key, Inst: inst})
+		}
+		out, err := enc.Run(req)
+		if err != nil {
+			return fmt.Errorf("exec: retrace of %s: %w", old.ID, err)
+		}
+		data, ok := out[old.Type]
+		if !ok {
+			return fmt.Errorf("exec: retrace tool run produced no %s", old.Type)
+		}
+		rec.Tool = toolInst
+		rec.Data = e.store.Put(data)
+	}
+
+	inst, err := e.db.Record(rec)
+	if err != nil {
+		return fmt.Errorf("exec: recording retrace of %s: %w", old.ID, err)
+	}
+	res.Rebuilt[old.ID] = inst.ID
+	return nil
+}

@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/history"
+)
+
+// TestRetraceConvergesAfterRandomEdits is the consistency-maintenance
+// property: whatever sequence of edits lands on the netlist lineage —
+// chains, branches, edits of old versions — a single retrace of the
+// performance always yields a fresh instance derived from the newest
+// version.
+func TestRetraceConvergesAfterRandomEdits(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t)
+		f, perfN := r.perfFlow(t)
+		res, err := r.engine.RunFlow(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perf, err := res.One(perfN)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Random edits over the netlist lineage.
+		lineage := []history.ID{}
+		for _, in := range r.db.InstancesOf("Netlist") {
+			lineage = append(lineage, in.ID)
+		}
+		edits := 1 + rng.Intn(5)
+		for i := 0; i < edits; i++ {
+			base := lineage[rng.Intn(len(lineage))]
+			ef := flow.New(r.s, r.db)
+			n := ef.MustAdd("EditedNetlist")
+			if err := ef.ExpandDown(n, false); err != nil {
+				t.Fatal(err)
+			}
+			if err := ef.ExpandOptional(n, "Netlist"); err != nil {
+				t.Fatal(err)
+			}
+			tn, _ := ef.Node(n).Dep("fd")
+			bn, _ := ef.Node(n).Dep("Netlist")
+			if err := ef.Bind(tn, r.ids["netEdCopy"]); err != nil {
+				t.Fatal(err)
+			}
+			if err := ef.Bind(bn, base); err != nil {
+				t.Fatal(err)
+			}
+			eres, err := r.engine.RunFlow(ef)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, err := eres.One(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lineage = append(lineage, id)
+		}
+
+		ood, err := r.db.OutOfDate(perf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ood {
+			t.Fatalf("seed %d: performance should be stale after %d edit(s)", seed, edits)
+		}
+		rr, err := r.engine.Retrace(perf)
+		if err != nil {
+			t.Fatalf("seed %d: retrace: %v", seed, err)
+		}
+		newPerf := rr.NewTarget(perf)
+		if newPerf == perf {
+			t.Fatalf("seed %d: retrace did not rebuild the target", seed)
+		}
+		ood, err = r.db.OutOfDate(newPerf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ood {
+			t.Errorf("seed %d: retraced performance still stale", seed)
+		}
+		// The new derivation uses the lineage's newest version.
+		newest, err := r.db.NewestVersion(lineage[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets, err := r.db.DerivedWith(newPerf, "Netlist")
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, n := range nets {
+			if n == newest {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seed %d: new performance derives from %v, newest is %s", seed, nets, newest)
+		}
+	}
+}

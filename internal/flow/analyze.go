@@ -1,0 +1,258 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// This file implements structural analyses over task graphs: validation
+// against the schema, topological execution order, executability (§3.2:
+// "once instances have been selected for the leaf nodes, the non-leaf
+// nodes become executable"), disjoint-branch detection for parallel
+// execution (Fig. 6), and conversion into a history query template
+// (§4.2).
+
+// Validate checks the whole flow for structural soundness against its
+// schema: every node type exists; every edge names a real dependency of
+// the parent's type and its child's type satisfies it; at most the
+// schema-declared dependencies are filled; the graph is acyclic.
+func (f *Flow) Validate() error {
+	var errs []string
+	for _, id := range f.order {
+		n := f.nodes[id]
+		t := f.schema.Type(n.Type)
+		if t == nil {
+			errs = append(errs, fmt.Sprintf("node %d: unknown type %q", id, n.Type))
+			continue
+		}
+		for _, key := range n.DepKeys() {
+			cid := n.deps[key]
+			c := f.nodes[cid]
+			if c == nil {
+				errs = append(errs, fmt.Sprintf("node %d: dependency %q points at missing node %d", id, key, cid))
+				continue
+			}
+			var wantType string
+			if key == "fd" {
+				if t.FuncDep == nil {
+					errs = append(errs, fmt.Sprintf("node %d (%s): has fd edge but type declares none", id, n.Type))
+					continue
+				}
+				wantType = t.FuncDep.Type
+			} else {
+				d, ok := t.DepByKey(key)
+				if !ok || (t.FuncDep != nil && key == t.FuncDep.Key()) {
+					errs = append(errs, fmt.Sprintf("node %d (%s): type has no data dependency %q", id, n.Type, key))
+					continue
+				}
+				wantType = d.Type
+			}
+			if !f.schema.Satisfies(c.Type, wantType) {
+				errs = append(errs, fmt.Sprintf("node %d (%s): dependency %q filled by node %d of type %s, want %s",
+					id, n.Type, key, cid, c.Type, wantType))
+			}
+		}
+	}
+	if _, err := f.Order(); err != nil {
+		errs = append(errs, err.Error())
+	}
+	if len(errs) > 0 {
+		sort.Strings(errs)
+		return fmt.Errorf("flow invalid:\n  %s", strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// Order returns the nodes in execution order: every node after all of its
+// dependencies. It fails if the graph has a cycle (which the construction
+// operations prevent, but a hand-assembled flow might not).
+func (f *Flow) Order() ([]NodeID, error) {
+	indeg := make(map[NodeID]int, len(f.order))
+	for _, id := range f.order {
+		// Edges point parent -> child; a parent waits on its children.
+		indeg[id] += len(f.nodes[id].deps)
+	}
+	// Process children before parents: start from nodes with no deps.
+	var queue []NodeID
+	for _, id := range f.order {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	parents := make(map[NodeID][]NodeID)
+	for _, id := range f.order {
+		for _, cid := range f.nodes[id].deps {
+			parents[cid] = append(parents[cid], id)
+		}
+	}
+	var out []NodeID
+	for len(queue) > 0 {
+		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+		cur := queue[0]
+		queue = queue[1:]
+		out = append(out, cur)
+		for _, p := range parents[cur] {
+			indeg[p]--
+			if indeg[p] == 0 {
+				queue = append(queue, p)
+			}
+		}
+	}
+	if len(out) != len(f.order) {
+		return nil, fmt.Errorf("flow: dependency cycle among %d node(s)", len(f.order)-len(out))
+	}
+	return out, nil
+}
+
+// Levels groups nodes into dependency levels: level 0 has no
+// dependencies, level k+1 depends only on levels <= k. Nodes within one
+// level are mutually independent — the disjoint work that can proceed in
+// parallel (Fig. 6).
+func (f *Flow) Levels() ([][]NodeID, error) {
+	order, err := f.Order()
+	if err != nil {
+		return nil, err
+	}
+	level := make(map[NodeID]int, len(order))
+	var out [][]NodeID
+	for _, id := range order {
+		l := 0
+		for _, cid := range f.nodes[id].deps {
+			if level[cid]+1 > l {
+				l = level[cid] + 1
+			}
+		}
+		level[id] = l
+		for len(out) <= l {
+			out = append(out, nil)
+		}
+		out[l] = append(out[l], id)
+	}
+	return out, nil
+}
+
+// Branches partitions the flow into its connected components (treating
+// edges as undirected): fully disjoint branches that share no entity and
+// can execute on different machines (Fig. 6).
+func (f *Flow) Branches() [][]NodeID {
+	parent := make(map[NodeID]NodeID, len(f.order))
+	var find func(x NodeID) NodeID
+	find = func(x NodeID) NodeID {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b NodeID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, id := range f.order {
+		parent[id] = id
+	}
+	for _, id := range f.order {
+		for _, cid := range f.nodes[id].deps {
+			union(id, cid)
+		}
+	}
+	groups := make(map[NodeID][]NodeID)
+	for _, id := range f.order {
+		r := find(id)
+		groups[r] = append(groups[r], id)
+	}
+	var roots []NodeID
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	out := make([][]NodeID, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// Executable reports whether the node can be run now or is already
+// satisfied: a node is satisfied when it is bound to instances, and
+// runnable when its type has a construction (task or composite) and every
+// required dependency edge is present and leads to an executable node.
+// Missing explanations are returned as a reason string when not
+// executable.
+func (f *Flow) Executable(id NodeID) (bool, string) {
+	n := f.nodes[id]
+	if n == nil {
+		return false, fmt.Sprintf("no node %d", id)
+	}
+	if n.IsBound() {
+		return true, ""
+	}
+	t := f.schema.Type(n.Type)
+	if t == nil {
+		return false, fmt.Sprintf("unknown type %q", n.Type)
+	}
+	if t.Abstract {
+		return false, fmt.Sprintf("node %d: type %s is abstract and unbound", id, n.Type)
+	}
+	if t.IsPrimitiveSource() {
+		return false, fmt.Sprintf("node %d: primitive %s must be bound to an instance", id, n.Type)
+	}
+	if t.FuncDep != nil {
+		if _, ok := n.deps["fd"]; !ok {
+			return false, fmt.Sprintf("node %d: tool dependency (%s) not expanded", id, t.FuncDep.Type)
+		}
+	}
+	for _, d := range t.RequiredDeps() {
+		if _, ok := n.deps[d.Key()]; !ok {
+			return false, fmt.Sprintf("node %d: required dependency %q not filled", id, d.Key())
+		}
+	}
+	for _, key := range n.DepKeys() {
+		if ok, why := f.Executable(n.deps[key]); !ok {
+			return false, why
+		}
+	}
+	return true, ""
+}
+
+// ExecutableSubflow reports whether the subflow rooted at id can run
+// independently of the remainder of the flow (§4.1: "a subflow may be run
+// at any stage as long as its dependencies are satisfied independently of
+// the remainder of the flow"). It is Executable restricted to the
+// subtree, which — because dependencies only point downward — is the same
+// predicate.
+func (f *Flow) ExecutableSubflow(id NodeID) (bool, string) {
+	return f.Executable(id)
+}
+
+// AsPattern converts the flow into a history query template (§4.2: "the
+// task graph can be used to formulate ... queries into the design history
+// database"). Node refs are "n<id>"; bound nodes with exactly one
+// instance pin the pattern node; multi-bound nodes contribute their type
+// only.
+func (f *Flow) AsPattern() history.Pattern {
+	var p history.Pattern
+	for _, id := range f.order {
+		n := f.nodes[id]
+		pn := history.PatternNode{Ref: fmt.Sprintf("n%d", id), Type: n.Type}
+		if len(n.bound) == 1 {
+			pn.Bound = n.bound[0]
+		}
+		p.Nodes = append(p.Nodes, pn)
+	}
+	for _, id := range f.order {
+		n := f.nodes[id]
+		for _, key := range n.DepKeys() {
+			p.Edges = append(p.Edges, history.PatternEdge{
+				Parent: fmt.Sprintf("n%d", id),
+				Child:  fmt.Sprintf("n%d", n.deps[key]),
+				Key:    key,
+			})
+		}
+	}
+	return p
+}

@@ -1,0 +1,79 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Catalog is the flow catalog of §3.4's plan-based design approach: a
+// library of flows that designers (or their colleagues) built up
+// previously, kept for repeating common design activities. Checking a
+// flow out yields a deep copy, so adapting it never mutates the library.
+type Catalog struct {
+	mu    sync.RWMutex
+	flows map[string]*Flow
+}
+
+// NewCatalog returns an empty flow catalog.
+func NewCatalog() *Catalog { return &Catalog{flows: make(map[string]*Flow)} }
+
+// Install stores a copy of the flow under the given name, validating it
+// first — a broken plan helps nobody. Reinstalling under an existing name
+// replaces the stored flow.
+func (c *Catalog) Install(name string, f *Flow) error {
+	if name == "" {
+		return fmt.Errorf("flow: catalog entry needs a name")
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("flow: refusing to install %q: %w", name, err)
+	}
+	cp := f.Clone()
+	cp.Name = name
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.flows[name] = cp
+	return nil
+}
+
+// Checkout returns a fresh copy of the named flow for the designer to
+// instantiate and run (possibly after modifying it).
+func (c *Catalog) Checkout(name string) (*Flow, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	f, ok := c.flows[name]
+	if !ok {
+		return nil, fmt.Errorf("flow: no catalog entry %q", name)
+	}
+	return f.Clone(), nil
+}
+
+// Names lists the catalog entries in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.flows))
+	for n := range c.flows {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove deletes a catalog entry.
+func (c *Catalog) Remove(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.flows[name]; !ok {
+		return fmt.Errorf("flow: no catalog entry %q", name)
+	}
+	delete(c.flows, name)
+	return nil
+}
+
+// Len returns the number of stored flows.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.flows)
+}

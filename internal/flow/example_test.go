@@ -1,0 +1,55 @@
+package flow_test
+
+import (
+	"fmt"
+
+	"repro/internal/flow"
+	"repro/internal/schema"
+)
+
+// Building the paper's Fig. 3 flow goal-first and printing its three
+// representations.
+func Example() {
+	f := flow.New(schema.Full(), nil)
+	lay := f.MustAdd("PlacedLayout")
+	if err := f.ExpandDown(lay, false); err != nil {
+		panic(err)
+	}
+	netN, _ := f.Node(lay).Dep("Netlist")
+	if err := f.Specialize(netN, "EditedNetlist"); err != nil {
+		panic(err)
+	}
+	if err := f.ExpandDown(netN, false); err != nil {
+		panic(err)
+	}
+
+	fmt.Print(f.Render())
+	fmt.Println(f.LispForm())
+	// Output:
+	// PlacedLayout
+	//   fd: Placer
+	//   Netlist: EditedNetlist
+	//     fd: NetlistEditor
+	//   PlacementOptions: PlacementOptions
+	// placed_layout <- (placer, (netlist_editor), placement_options)
+}
+
+// Upward expansion: the data-based approach starts from an entity and
+// asks the schema what can consume it.
+func ExampleFlow_ExpandUp() {
+	f := flow.New(schema.Fig1(), nil)
+	net := f.MustAdd("ExtractedNetlist")
+	ver, err := f.ExpandUp(net, "Verification", "Netlist/subject")
+	if err != nil {
+		panic(err)
+	}
+	if err := f.ExpandDown(ver, false); err != nil {
+		panic(err)
+	}
+	fmt.Print(f.Render())
+	// Output:
+	// Verification
+	//   fd: Verifier
+	//   Netlist/reference: Netlist
+	//   Netlist/subject: ExtractedNetlist
+}

@@ -1,0 +1,97 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+// JSON serialization for flows, used to persist the flow catalog (and a
+// designer's open task windows) across sessions.
+
+type nodeJSON struct {
+	ID       NodeID            `json:"id"`
+	Type     string            `json:"type"`
+	Deps     map[string]NodeID `json:"deps,omitempty"`
+	Bound    []history.ID      `json:"bound,omitempty"`
+	Original bool              `json:"original,omitempty"`
+}
+
+type flowJSON struct {
+	Name  string     `json:"name,omitempty"`
+	Next  NodeID     `json:"next"`
+	Nodes []nodeJSON `json:"nodes"`
+}
+
+// Encode writes the flow as JSON.
+func (f *Flow) Encode(w io.Writer) error {
+	out := flowJSON{Name: f.Name, Next: f.next}
+	for _, id := range f.order {
+		n := f.nodes[id]
+		nj := nodeJSON{ID: id, Type: n.Type, Original: f.original[id]}
+		if len(n.deps) > 0 {
+			nj.Deps = make(map[string]NodeID, len(n.deps))
+			for k, v := range n.deps {
+				nj.Deps[k] = v
+			}
+		}
+		nj.Bound = append([]history.ID(nil), n.bound...)
+		out.Nodes = append(out.Nodes, nj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// Decode reads a flow previously written by Encode. The result is
+// validated against the schema, and bindings are re-checked against the
+// resolver when one is supplied (pass the session's history DB so stale
+// bindings surface at load time rather than at run time).
+func Decode(r io.Reader, s *schema.Schema, resolver Resolver) (*Flow, error) {
+	var in flowJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("flow: decode: %w", err)
+	}
+	f := New(s, resolver)
+	f.Name = in.Name
+	for _, nj := range in.Nodes {
+		if nj.ID <= 0 {
+			return nil, fmt.Errorf("flow: decode: bad node id %d", nj.ID)
+		}
+		if f.nodes[nj.ID] != nil {
+			return nil, fmt.Errorf("flow: decode: duplicate node id %d", nj.ID)
+		}
+		if !s.Has(nj.Type) {
+			return nil, fmt.Errorf("flow: decode: node %d has unknown type %q", nj.ID, nj.Type)
+		}
+		n := &Node{ID: nj.ID, Type: nj.Type, deps: make(map[string]NodeID, len(nj.Deps))}
+		for k, v := range nj.Deps {
+			n.deps[k] = v
+		}
+		f.nodes[nj.ID] = n
+		f.order = append(f.order, nj.ID)
+		f.original[nj.ID] = nj.Original
+		if nj.ID > f.next {
+			f.next = nj.ID
+		}
+	}
+	if in.Next > f.next {
+		f.next = in.Next
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	// Bindings last, so the resolver check sees a structurally sound
+	// flow.
+	for _, nj := range in.Nodes {
+		if len(nj.Bound) > 0 {
+			if err := f.Bind(nj.ID, nj.Bound...); err != nil {
+				return nil, fmt.Errorf("flow: decode: %w", err)
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,146 @@
+package hercules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/netlist"
+	"repro/internal/history"
+)
+
+// TestFootnote5ArchiveSharing reproduces the paper's footnote 5: several
+// design-history instances point to the same physical archive, carrying
+// different version numbers in their meta-data only.
+func TestFootnote5ArchiveSharing(t *testing.T) {
+	s := newSession(t)
+	base := netlist.Format(netlist.FullAdder())
+	ed := s.Must("netEd.retouch")
+	v1, err := s.CheckinRevision(history.Instance{Type: "EditedNetlist", Name: "adder v1",
+		Tool: ed}, "adder.cct", base)
+	if err != nil {
+		t.Fatalf("CheckinRevision: %v", err)
+	}
+	v2, err := s.CheckinRevision(history.Instance{Type: "EditedNetlist", Name: "adder v2",
+		Tool: ed, Inputs: []history.Input{{Key: "Netlist", Inst: v1}}}, "adder.cct", base+"# tweak\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3, err := s.CheckinRevision(history.Instance{Type: "EditedNetlist", Name: "adder v3",
+		Tool: ed, Inputs: []history.Input{{Key: "Netlist", Inst: v2}}}, "adder.cct", base+"# tweak\n# more\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One shared archive, three instances with distinct revisions.
+	if got := s.Archives.Names(); len(got) != 1 || got[0] != "adder.cct" {
+		t.Fatalf("Archives = %v", got)
+	}
+	for i, id := range []history.ID{v1, v2, v3} {
+		in := s.DB.Get(id)
+		if in.Archive != "adder.cct" || in.Revision != i+1 {
+			t.Errorf("%s meta = %s r%d", id, in.Archive, in.Revision)
+		}
+		if in.Data != "" {
+			t.Errorf("%s should carry no blob ref", id)
+		}
+	}
+
+	// Each instance's artifact checks out its own revision.
+	t1, err := s.ArtifactText(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != base {
+		t.Error("v1 text wrong")
+	}
+	t3, err := s.ArtifactText(v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t3, "# more") {
+		t.Error("v3 text wrong")
+	}
+
+	// Archive-backed instances are usable in flows like any other: bind
+	// v2 into a simulation.
+	f := s.NewFlow()
+	perf := f.MustAdd("Performance")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(f.ExpandDown(perf, false))
+	simN, _ := f.Node(perf).Dep("fd")
+	cctN, _ := f.Node(perf).Dep("Circuit")
+	stimN, _ := f.Node(perf).Dep("Stimuli")
+	must(f.ExpandDown(cctN, false))
+	dmN, _ := f.Node(cctN).Dep("DeviceModels")
+	netN, _ := f.Node(cctN).Dep("Netlist")
+	must(f.ExpandDown(dmN, false))
+	dmToolN, _ := f.Node(dmN).Dep("fd")
+	must(f.Bind(netN, v2))
+	must(f.Bind(simN, s.Must("sim")))
+	must(f.Bind(stimN, s.Must("stim.exhaustive3")))
+	must(f.Bind(dmToolN, s.Must("dmEd.default")))
+	res, err := s.Run(f)
+	if err != nil {
+		t.Fatalf("flow over archive-backed netlist: %v", err)
+	}
+	pid, err := res.One(perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The performance derivation names the archive-backed instance.
+	if got, _ := s.DB.Get(mustCircuit(t, s, pid)).InputFor("Netlist"); got != v2 {
+		t.Errorf("circuit used %s, want %s", got, v2)
+	}
+	text, err := s.ArtifactText(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "performance fulladder") {
+		t.Errorf("performance artifact = %.80q", text)
+	}
+}
+
+// mustCircuit returns the Circuit instance used by a performance.
+func mustCircuit(t *testing.T, s *Session, perf history.ID) history.ID {
+	t.Helper()
+	in := s.DB.Get(perf)
+	cct, ok := in.InputFor("Circuit")
+	if !ok {
+		t.Fatalf("%s has no circuit input", perf)
+	}
+	return cct
+}
+
+// TestArchiveStorageSharing shows the storage effect: three revisions of
+// a 100-line file cost far less than three copies.
+func TestArchiveStorageSharing(t *testing.T) {
+	s := newSession(t)
+	base := netlist.Format(netlist.RippleAdder(4))
+	lines := strings.Count(base, "\n")
+	for i := 0; i < 3; i++ {
+		_, err := s.CheckinRevision(history.Instance{Type: "EditedNetlist", Name: "r",
+			Tool: s.Must("netEd.retouch")}, "big.cct", base+strings.Repeat("# rev\n", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	storage := s.Archives.Open("big.cct").StorageLines()
+	if storage >= 3*lines {
+		t.Errorf("archive stores %d lines; three copies would be %d", storage, 3*lines)
+	}
+}
+
+func TestArchivesCheckoutErrors(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.Archives.Checkout("nope", 1); err == nil {
+		t.Error("unknown archive should fail")
+	}
+	if _, err := s.CheckinRevision(history.Instance{Type: "Nope"}, "a", "text"); err == nil {
+		t.Error("unknown type should fail")
+	}
+}

@@ -1,0 +1,37 @@
+package history_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+// Recording a derivation and chasing it backward — the Fig. 10 History
+// pop-up as code.
+func ExampleDB_Backchain() {
+	db := history.NewDB(schema.Fig1())
+	t0 := time.Date(1993, 6, 14, 9, 0, 0, 0, time.UTC)
+	n := 0
+	db.SetClock(func() time.Time { n++; return t0.Add(time.Duration(n) * time.Minute) })
+
+	editor := db.MustRecord(history.Instance{Type: "LayoutEditor", Name: "magic"})
+	extractor := db.MustRecord(history.Instance{Type: "Extractor", Name: "mextra"})
+	layout := db.MustRecord(history.Instance{Type: "EditedLayout", Name: "adder layout",
+		Tool: editor.ID})
+	netlist := db.MustRecord(history.Instance{Type: "ExtractedNetlist", Name: "adder netlist",
+		Tool:   extractor.ID,
+		Inputs: []history.Input{{Key: "Layout", Inst: layout.ID}}})
+
+	d, err := db.Backchain(netlist.ID, -1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(d.Render(db))
+	// Output:
+	// ExtractedNetlist:4 (adder netlist)
+	//   Extractor:2 (mextra)
+	//   EditedLayout:3 (adder layout)
+	//     LayoutEditor:1 (magic)
+}

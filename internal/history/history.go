@@ -1,0 +1,350 @@
+// Package history implements the design-history database of Sutton,
+// Brockman and Director (DAC 1993), sections 3.3 and 4.2.
+//
+// Every design object in the framework is created by executing a flow, and
+// each object carries a small amount of meta-data: who created it, when,
+// an annotation, and — crucially — its derivation: the tool instance and
+// the data instances used to create it. From that per-instance derivation
+// record the complete derivation history of a design can be reconstructed,
+// which (as the paper argues, following van den Hamer & Treffers) obviates
+// a separate version-management subsystem: backward chaining yields an
+// instance's derivation history, forward chaining yields its dependents,
+// flow traces subsume version trees, and out-of-date detection plus
+// retracing fall out of timestamp comparison along derivations.
+//
+// The task schema (package schema) is the data schema of this database:
+// an instance's type must exist in the schema and its recorded derivation
+// must be well-typed against the type's functional and data dependencies.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/schema"
+)
+
+// ID identifies an instance within one DB. IDs read "TypeName:seq".
+type ID string
+
+// Input records that the instance identified by Inst filled the
+// dependency with key Key (see schema.Dep.Key) during construction.
+type Input struct {
+	Key  string
+	Inst ID
+}
+
+// Instance is one design object plus its meta-data. The derivation fields
+// (Tool, Inputs) are what make the history database queryable.
+type Instance struct {
+	ID      ID
+	Type    string // concrete entity type name from the schema
+	Name    string // user-supplied short name (annotation)
+	Comment string // user-supplied description (annotation)
+	User    string
+	Created time.Time
+
+	// Tool is the tool instance that executed the construction task, or
+	// empty for primitive sources (installed tools, imported data) and
+	// composite entities.
+	Tool ID
+	// Inputs are the data instances used, keyed by dependency.
+	Inputs []Input
+
+	// Data points at the physical artifact in the datastore. Several
+	// instances may share one ref (or one Archive+Revision pair): the
+	// paper's footnote-5 physical sharing.
+	Data datastore.Ref
+	// Archive/Revision optionally place the artifact in an RCS-like
+	// archive instead of (or in addition to) a plain blob.
+	Archive  string
+	Revision int
+}
+
+// InputFor returns the instance bound to the dependency key, if any.
+func (in *Instance) InputFor(key string) (ID, bool) {
+	for _, i := range in.Inputs {
+		if i.Key == key {
+			return i.Inst, true
+		}
+	}
+	return "", false
+}
+
+// InputIDs returns just the instance IDs of all inputs, in order.
+func (in *Instance) InputIDs() []ID {
+	out := make([]ID, len(in.Inputs))
+	for i, x := range in.Inputs {
+		out[i] = x.Inst
+	}
+	return out
+}
+
+// String renders "ID (name) by user".
+func (in *Instance) String() string {
+	s := string(in.ID)
+	if in.Name != "" {
+		s += " (" + in.Name + ")"
+	}
+	if in.User != "" {
+		s += " by " + in.User
+	}
+	return s
+}
+
+// DB is the design-history database. It is safe for concurrent use.
+type DB struct {
+	mu     sync.RWMutex
+	schema *schema.Schema
+	clock  func() time.Time
+	seq    int
+	byID   map[ID]*Instance
+	byType map[string][]ID // concrete type -> IDs in creation order
+	usedBy map[ID][]ID     // forward index: instance -> direct dependents
+	order  []ID            // all IDs in creation order
+}
+
+// NewDB creates an empty history database over the given schema.
+func NewDB(s *schema.Schema) *DB {
+	return &DB{
+		schema: s,
+		clock:  time.Now,
+		byID:   make(map[ID]*Instance),
+		byType: make(map[string][]ID),
+		usedBy: make(map[ID][]ID),
+	}
+}
+
+// SetClock replaces the timestamp source; tests use it for determinism.
+func (db *DB) SetClock(clock func() time.Time) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.clock = clock
+}
+
+// Schema returns the schema the database validates against.
+func (db *DB) Schema() *schema.Schema { return db.schema }
+
+// Record validates and stores a new instance described by rec, assigning
+// its ID and creation time, and returns the stored copy. The caller fills
+// Type, Name, Comment, User, Tool, Inputs, Data, Archive and Revision;
+// ID and Created are overwritten.
+//
+// Validation enforces that the database remains a well-typed derivation
+// history:
+//
+//   - Type names a concrete (non-abstract) schema type;
+//   - every referenced tool/input instance exists (no dangling
+//     derivations);
+//   - if the type has a functional dependency, Tool is present and its
+//     instance's type satisfies it; if not, Tool must be empty;
+//   - every Input key names a dependency of the type and the input
+//     instance's type satisfies that dependency;
+//   - all required (non-optional) data dependencies are filled — except
+//     for primitive sources, which have none.
+func (db *DB) Record(rec Instance) (*Instance, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	t := db.schema.Type(rec.Type)
+	if t == nil {
+		return nil, fmt.Errorf("history: unknown entity type %q", rec.Type)
+	}
+	if t.Abstract {
+		return nil, fmt.Errorf("history: cannot instantiate abstract type %q", rec.Type)
+	}
+
+	// Tool / functional dependency.
+	switch {
+	case t.FuncDep != nil && rec.Tool == "":
+		return nil, fmt.Errorf("history: %s requires a tool instance (fd %s)", rec.Type, t.FuncDep.Type)
+	case t.FuncDep == nil && rec.Tool != "":
+		return nil, fmt.Errorf("history: %s takes no tool (it has no functional dependency)", rec.Type)
+	case t.FuncDep != nil:
+		ti, ok := db.byID[rec.Tool]
+		if !ok {
+			return nil, fmt.Errorf("history: tool instance %s does not exist", rec.Tool)
+		}
+		if !db.schema.Satisfies(ti.Type, t.FuncDep.Type) {
+			return nil, fmt.Errorf("history: tool %s has type %s, which does not satisfy fd %s of %s",
+				rec.Tool, ti.Type, t.FuncDep.Type, rec.Type)
+		}
+	}
+
+	// Inputs / data dependencies.
+	seen := make(map[string]bool)
+	for _, in := range rec.Inputs {
+		d, ok := t.DepByKey(in.Key)
+		if !ok || (t.FuncDep != nil && in.Key == t.FuncDep.Key()) {
+			return nil, fmt.Errorf("history: %s has no data dependency %q", rec.Type, in.Key)
+		}
+		if seen[in.Key] {
+			return nil, fmt.Errorf("history: duplicate input for dependency %q", in.Key)
+		}
+		seen[in.Key] = true
+		ii, ok := db.byID[in.Inst]
+		if !ok {
+			return nil, fmt.Errorf("history: input instance %s does not exist", in.Inst)
+		}
+		if !db.schema.Satisfies(ii.Type, d.Type) {
+			return nil, fmt.Errorf("history: input %s has type %s, which does not satisfy dd %s of %s",
+				in.Inst, ii.Type, d, rec.Type)
+		}
+	}
+	for _, d := range t.RequiredDeps() {
+		if !seen[d.Key()] {
+			return nil, fmt.Errorf("history: %s is missing required input %q", rec.Type, d.Key())
+		}
+	}
+
+	db.seq++
+	inst := rec // copy
+	inst.ID = ID(fmt.Sprintf("%s:%d", rec.Type, db.seq))
+	inst.Created = db.clock()
+	inst.Inputs = append([]Input(nil), rec.Inputs...)
+
+	db.byID[inst.ID] = &inst
+	db.byType[inst.Type] = append(db.byType[inst.Type], inst.ID)
+	db.order = append(db.order, inst.ID)
+	if inst.Tool != "" {
+		db.usedBy[inst.Tool] = append(db.usedBy[inst.Tool], inst.ID)
+	}
+	for _, in := range inst.Inputs {
+		db.usedBy[in.Inst] = append(db.usedBy[in.Inst], inst.ID)
+	}
+	return db.get(inst.ID), nil
+}
+
+// MustRecord is Record but panics on error; for fixtures and examples.
+func (db *DB) MustRecord(rec Instance) *Instance {
+	inst, err := db.Record(rec)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// get returns a defensive copy under the caller's lock.
+func (db *DB) get(id ID) *Instance {
+	in, ok := db.byID[id]
+	if !ok {
+		return nil
+	}
+	cp := *in
+	cp.Inputs = append([]Input(nil), in.Inputs...)
+	return &cp
+}
+
+// Get returns a copy of the instance with the given ID, or nil.
+func (db *DB) Get(id ID) *Instance {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.get(id)
+}
+
+// TypeOf returns the concrete entity type of an instance and whether the
+// instance exists. It satisfies the flow package's Resolver interface so
+// flows can type-check bindings against this database.
+func (db *DB) TypeOf(id ID) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	in, ok := db.byID[id]
+	if !ok {
+		return "", false
+	}
+	return in.Type, true
+}
+
+// Has reports whether an instance exists.
+func (db *DB) Has(id ID) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.byID[id]
+	return ok
+}
+
+// Len returns the number of instances recorded.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.byID)
+}
+
+// Annotate sets the user-visible name and comment of an instance (the
+// annotation facility of §4.1).
+func (db *DB) Annotate(id ID, name, comment string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	in, ok := db.byID[id]
+	if !ok {
+		return fmt.Errorf("history: no instance %s", id)
+	}
+	in.Name = name
+	in.Comment = comment
+	return nil
+}
+
+// InstancesOf returns (copies of) all instances whose type satisfies the
+// named type — subtype instances included, matching the schema's
+// substitutability — in creation order. This is what an entity browser
+// lists for a leaf node.
+func (db *DB) InstancesOf(typeName string) []*Instance {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []*Instance
+	for _, concrete := range db.schema.ConcreteSubtypes(typeName) {
+		for _, id := range db.byType[concrete] {
+			out = append(out, db.get(id))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Created.Equal(out[j].Created) {
+			return out[i].ID < out[j].ID
+		}
+		return out[i].Created.Before(out[j].Created)
+	})
+	return out
+}
+
+// All returns copies of every instance in creation order.
+func (db *DB) All() []*Instance {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Instance, 0, len(db.order))
+	for _, id := range db.order {
+		out = append(out, db.get(id))
+	}
+	return out
+}
+
+// Newest returns the most recently created instance satisfying the named
+// type, or nil if none exists.
+func (db *DB) Newest(typeName string) *Instance {
+	insts := db.InstancesOf(typeName)
+	if len(insts) == 0 {
+		return nil
+	}
+	return insts[len(insts)-1]
+}
+
+// DirectDependents returns the instances that used id directly, as a tool
+// or as an input, in creation order.
+func (db *DB) DirectDependents(id ID) []ID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]ID(nil), db.usedBy[id]...)
+}
+
+// Dump renders the database contents for debugging, one instance per
+// line, in creation order.
+func (db *DB) Dump() string {
+	var b strings.Builder
+	for _, in := range db.All() {
+		fmt.Fprintf(&b, "%-28s tool=%-20s inputs=%v\n", in.ID, in.Tool, in.InputIDs())
+	}
+	return b.String()
+}

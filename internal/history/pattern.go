@@ -1,0 +1,185 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements flow-as-query-template (§3.3, §4.2): "the task
+// graph can be used to formulate and return the result of queries into
+// the design history database". A Pattern is the query form of a task
+// graph — nodes are entity types (optionally pinned to specific
+// instances), edges are dependencies — and MatchPattern finds every way
+// of assigning recorded instances to nodes such that the derivation
+// meta-data realizes the edges. Package flow converts a task graph into a
+// Pattern; queries like "find the simulations that were performed on this
+// netlist" are a two-node pattern with the netlist node bound.
+
+// PatternNode is one node of a query template.
+type PatternNode struct {
+	// Ref names the node within the pattern (unique).
+	Ref string
+	// Type is the entity type the matching instance must satisfy.
+	Type string
+	// Bound pins the node to one specific instance ("" = unconstrained).
+	Bound ID
+}
+
+// PatternEdge requires that the instance matched to Parent was created
+// using the instance matched to Child.
+type PatternEdge struct {
+	Parent, Child string
+	// Key selects which dependency of the parent must be filled by the
+	// child: a data-dependency key ("Netlist", "Netlist/subject", ...),
+	// the special key "fd" for the tool, or "" for "any dependency".
+	Key string
+}
+
+// Pattern is a query template over the derivation history.
+type Pattern struct {
+	Nodes []PatternNode
+	Edges []PatternEdge
+}
+
+// Match assigns an instance to every pattern node ref.
+type Match map[string]ID
+
+// Validate checks referential integrity of the pattern against the
+// database's schema: unique refs, known types, edges over declared refs.
+func (p Pattern) Validate(db *DB) error {
+	refs := make(map[string]string, len(p.Nodes)) // ref -> type
+	for _, n := range p.Nodes {
+		if n.Ref == "" {
+			return fmt.Errorf("history: pattern node with empty ref")
+		}
+		if _, dup := refs[n.Ref]; dup {
+			return fmt.Errorf("history: duplicate pattern ref %q", n.Ref)
+		}
+		if !db.schema.Has(n.Type) {
+			return fmt.Errorf("history: pattern node %q has unknown type %q", n.Ref, n.Type)
+		}
+		if n.Bound != "" && !db.Has(n.Bound) {
+			return fmt.Errorf("history: pattern node %q bound to unknown instance %s", n.Ref, n.Bound)
+		}
+		refs[n.Ref] = n.Type
+	}
+	for _, e := range p.Edges {
+		if _, ok := refs[e.Parent]; !ok {
+			return fmt.Errorf("history: pattern edge parent %q is not a node", e.Parent)
+		}
+		if _, ok := refs[e.Child]; !ok {
+			return fmt.Errorf("history: pattern edge child %q is not a node", e.Child)
+		}
+	}
+	return nil
+}
+
+// edgeSatisfied reports whether parent's derivation realizes the edge
+// with child.
+func edgeSatisfied(parent *Instance, key string, child ID) bool {
+	switch key {
+	case "fd":
+		return parent.Tool == child
+	case "":
+		if parent.Tool == child {
+			return true
+		}
+		for _, in := range parent.Inputs {
+			if in.Inst == child {
+				return true
+			}
+		}
+		return false
+	default:
+		inst, ok := parent.InputFor(key)
+		return ok && inst == child
+	}
+}
+
+// MatchPattern returns every assignment of instances to pattern nodes
+// that satisfies all node types, bindings and edges. Matches are returned
+// in a deterministic order. The search is a straightforward backtracking
+// over candidate instances; history databases are per-design and small
+// enough that this is the honest choice.
+func (db *DB) MatchPattern(p Pattern) ([]Match, error) {
+	if err := p.Validate(db); err != nil {
+		return nil, err
+	}
+	if len(p.Nodes) == 0 {
+		return nil, nil
+	}
+
+	// Candidates per node.
+	cands := make([][]ID, len(p.Nodes))
+	for i, n := range p.Nodes {
+		if n.Bound != "" {
+			in := db.Get(n.Bound)
+			if !db.schema.Satisfies(in.Type, n.Type) {
+				return nil, fmt.Errorf("history: pattern node %q bound to %s of type %s, which does not satisfy %s",
+					n.Ref, n.Bound, in.Type, n.Type)
+			}
+			cands[i] = []ID{n.Bound}
+			continue
+		}
+		for _, in := range db.InstancesOf(n.Type) {
+			cands[i] = append(cands[i], in.ID)
+		}
+	}
+
+	// Index node position by ref and group edges for early pruning: an
+	// edge is checkable once both endpoints are assigned.
+	pos := make(map[string]int, len(p.Nodes))
+	for i, n := range p.Nodes {
+		pos[n.Ref] = i
+	}
+	edgesReadyAt := make([][]PatternEdge, len(p.Nodes))
+	for _, e := range p.Edges {
+		at := pos[e.Parent]
+		if pos[e.Child] > at {
+			at = pos[e.Child]
+		}
+		edgesReadyAt[at] = append(edgesReadyAt[at], e)
+	}
+
+	assign := make([]ID, len(p.Nodes))
+	var out []Match
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(p.Nodes) {
+			m := make(Match, len(p.Nodes))
+			for j, n := range p.Nodes {
+				m[n.Ref] = assign[j]
+			}
+			out = append(out, m)
+			return
+		}
+		for _, cand := range cands[i] {
+			assign[i] = cand
+			ok := true
+			for _, e := range edgesReadyAt[i] {
+				parent := db.Get(assign[pos[e.Parent]])
+				if !edgeSatisfied(parent, e.Key, assign[pos[e.Child]]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rec(i + 1)
+			}
+		}
+		assign[i] = ""
+	}
+	rec(0)
+
+	sort.Slice(out, func(i, j int) bool { return matchLess(out[i], out[j], p.Nodes) })
+	return out, nil
+}
+
+func matchLess(a, b Match, nodes []PatternNode) bool {
+	for _, n := range nodes {
+		if a[n.Ref] != b[n.Ref] {
+			return a[n.Ref] < b[n.Ref]
+		}
+	}
+	return false
+}

@@ -1,0 +1,192 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatchPatternSimulationsOfNetlist(t *testing.T) {
+	db, ids := fixture(t)
+	// The paper's query: "find the simulations that were performed on
+	// this netlist" — the task graph Performance -> Circuit -> Netlist
+	// with the netlist node bound.
+	p := Pattern{
+		Nodes: []PatternNode{
+			{Ref: "perf", Type: "Performance"},
+			{Ref: "cct", Type: "Circuit"},
+			{Ref: "net", Type: "Netlist", Bound: ids["n1"]},
+		},
+		Edges: []PatternEdge{
+			{Parent: "perf", Child: "cct", Key: "Circuit"},
+			{Parent: "cct", Child: "net", Key: "Netlist"},
+		},
+	}
+	matches, err := db.MatchPattern(p)
+	if err != nil {
+		t.Fatalf("MatchPattern: %v", err)
+	}
+	if len(matches) != 1 {
+		t.Fatalf("matches = %v, want 1", matches)
+	}
+	if matches[0]["perf"] != ids["p1"] || matches[0]["cct"] != ids["c1"] {
+		t.Errorf("match = %v", matches[0])
+	}
+}
+
+func TestMatchPatternToolEdge(t *testing.T) {
+	db, ids := fixture(t)
+	// "which simulator ran this performance?" — fd edge.
+	p := Pattern{
+		Nodes: []PatternNode{
+			{Ref: "perf", Type: "Performance", Bound: ids["p1"]},
+			{Ref: "tool", Type: "Simulator"},
+		},
+		Edges: []PatternEdge{{Parent: "perf", Child: "tool", Key: "fd"}},
+	}
+	matches, err := db.MatchPattern(p)
+	if err != nil {
+		t.Fatalf("MatchPattern: %v", err)
+	}
+	if len(matches) != 1 || matches[0]["tool"] != ids["sim"] {
+		t.Errorf("matches = %v", matches)
+	}
+}
+
+func TestMatchPatternAnyDependency(t *testing.T) {
+	db, ids := fixture(t)
+	// Empty key: any dependency of the parent.
+	p := Pattern{
+		Nodes: []PatternNode{
+			{Ref: "parent", Type: "ExtractionStatistics"},
+			{Ref: "child", Type: "Layout", Bound: ids["l1"]},
+		},
+		Edges: []PatternEdge{{Parent: "parent", Child: "child"}},
+	}
+	matches, err := db.MatchPattern(p)
+	if err != nil {
+		t.Fatalf("MatchPattern: %v", err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("no extraction statistics exist yet; matches = %v", matches)
+	}
+	// Via any-dep to the extraction task that does exist:
+	p.Nodes[0] = PatternNode{Ref: "parent", Type: "ExtractedNetlist"}
+	matches, err = db.MatchPattern(p)
+	if err != nil {
+		t.Fatalf("MatchPattern: %v", err)
+	}
+	if len(matches) != 1 || matches[0]["parent"] != ids["n1"] {
+		t.Errorf("matches = %v", matches)
+	}
+}
+
+func TestMatchPatternUnbound(t *testing.T) {
+	db, ids := fixture(t)
+	// All (layout, netlist) extraction pairs.
+	p := Pattern{
+		Nodes: []PatternNode{
+			{Ref: "net", Type: "ExtractedNetlist"},
+			{Ref: "lay", Type: "Layout"},
+		},
+		Edges: []PatternEdge{{Parent: "net", Child: "lay", Key: "Layout"}},
+	}
+	matches, err := db.MatchPattern(p)
+	if err != nil {
+		t.Fatalf("MatchPattern: %v", err)
+	}
+	if len(matches) != 1 || matches[0]["lay"] != ids["l1"] {
+		t.Errorf("matches = %v", matches)
+	}
+}
+
+func TestMatchPatternMultipleMatches(t *testing.T) {
+	db, ids := fixture(t)
+	// Add a second simulation of the same circuit.
+	p2 := db.MustRecord(Instance{Type: "Performance", User: "director", Tool: ids["sim"],
+		Inputs: []Input{{Key: "Circuit", Inst: ids["c1"]}, {Key: "Stimuli", Inst: ids["st"]}}})
+	p := Pattern{
+		Nodes: []PatternNode{
+			{Ref: "perf", Type: "Performance"},
+			{Ref: "cct", Type: "Circuit", Bound: ids["c1"]},
+		},
+		Edges: []PatternEdge{{Parent: "perf", Child: "cct", Key: "Circuit"}},
+	}
+	matches, err := db.MatchPattern(p)
+	if err != nil {
+		t.Fatalf("MatchPattern: %v", err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v, want 2", matches)
+	}
+	// Deterministic order.
+	if !(matches[0]["perf"] < matches[1]["perf"]) {
+		t.Error("matches not ordered")
+	}
+	found := false
+	for _, m := range matches {
+		if m["perf"] == p2.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("second simulation not matched")
+	}
+}
+
+func TestMatchPatternValidation(t *testing.T) {
+	db, ids := fixture(t)
+	cases := []struct {
+		name string
+		p    Pattern
+		want string
+	}{
+		{"empty ref", Pattern{Nodes: []PatternNode{{Type: "Netlist"}}}, "empty ref"},
+		{"dup ref", Pattern{Nodes: []PatternNode{{Ref: "a", Type: "Netlist"}, {Ref: "a", Type: "Layout"}}}, "duplicate"},
+		{"unknown type", Pattern{Nodes: []PatternNode{{Ref: "a", Type: "Nope"}}}, "unknown type"},
+		{"unknown bound", Pattern{Nodes: []PatternNode{{Ref: "a", Type: "Netlist", Bound: "Netlist:999"}}}, "unknown instance"},
+		{"edge bad parent", Pattern{
+			Nodes: []PatternNode{{Ref: "a", Type: "Netlist"}},
+			Edges: []PatternEdge{{Parent: "x", Child: "a"}}}, "not a node"},
+		{"edge bad child", Pattern{
+			Nodes: []PatternNode{{Ref: "a", Type: "Netlist"}},
+			Edges: []PatternEdge{{Parent: "a", Child: "x"}}}, "not a node"},
+		{"bound wrong type", Pattern{
+			Nodes: []PatternNode{{Ref: "a", Type: "Layout", Bound: ids["n1"]}}}, "does not satisfy"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := db.MatchPattern(c.p)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestMatchPatternEmpty(t *testing.T) {
+	db, _ := fixture(t)
+	matches, err := db.MatchPattern(Pattern{})
+	if err != nil || matches != nil {
+		t.Errorf("empty pattern: %v, %v", matches, err)
+	}
+}
+
+func TestMatchPatternSubtypePolymorphism(t *testing.T) {
+	db, ids := fixture(t)
+	// A node typed Netlist matches both extracted and edited netlists.
+	p := Pattern{Nodes: []PatternNode{{Ref: "n", Type: "Netlist"}}}
+	matches, err := db.MatchPattern(p)
+	if err != nil {
+		t.Fatalf("MatchPattern: %v", err)
+	}
+	if len(matches) != 2 {
+		t.Fatalf("matches = %v, want both netlists", matches)
+	}
+	seen := map[ID]bool{}
+	for _, m := range matches {
+		seen[m["n"]] = true
+	}
+	if !seen[ids["n1"]] || !seen[ids["n2"]] {
+		t.Errorf("matches = %v", matches)
+	}
+}

@@ -1,0 +1,140 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	db, ids := fixture(t)
+	var buf bytes.Buffer
+	if err := db.DumpJSON(&buf); err != nil {
+		t.Fatalf("DumpJSON: %v", err)
+	}
+	db2 := NewDB(db.Schema())
+	if err := db2.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if db2.Len() != db.Len() {
+		t.Fatalf("len %d -> %d", db.Len(), db2.Len())
+	}
+	// Every instance identical.
+	for _, in := range db.All() {
+		got := db2.Get(in.ID)
+		if got == nil {
+			t.Fatalf("lost %s", in.ID)
+		}
+		if got.String() != in.String() || got.Tool != in.Tool || len(got.Inputs) != len(in.Inputs) {
+			t.Errorf("%s changed: %v -> %v", in.ID, in, got)
+		}
+		if !got.Created.Equal(in.Created) {
+			t.Errorf("%s timestamp changed", in.ID)
+		}
+	}
+	// Derived queries agree.
+	b1, err := db.Backchain(ids["p1"], -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := db2.Backchain(ids["p1"], -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Nodes) != len(b2.Nodes) || len(b1.Edges) != len(b2.Edges) {
+		t.Error("backchain differs after restore")
+	}
+	vt1, _ := db.VersionTree(ids["l1"])
+	vt2, _ := db2.VersionTree(ids["l1"])
+	if vt1.Render() != vt2.Render() {
+		t.Error("version tree differs after restore")
+	}
+	// New records continue the sequence without collisions.
+	in := db2.MustRecord(Instance{Type: "Stimuli"})
+	if db.Has(in.ID) {
+		t.Errorf("restored DB reissued existing ID %s", in.ID)
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	db, _ := fixture(t)
+	fresh := func() *DB { return NewDB(db.Schema()) }
+	cases := []struct{ name, src string }{
+		{"garbage", "not json"},
+		{"no id", `[{"Type":"Stimuli"}]`},
+		{"dup id", `[{"ID":"Stimuli:1","Type":"Stimuli","Created":"2026-01-01T00:00:00Z"},
+		             {"ID":"Stimuli:1","Type":"Stimuli","Created":"2026-01-01T00:00:01Z"}]`},
+		{"unknown type", `[{"ID":"Nope:1","Type":"Nope","Created":"2026-01-01T00:00:00Z"}]`},
+		{"abstract", `[{"ID":"Netlist:1","Type":"Netlist","Created":"2026-01-01T00:00:00Z"}]`},
+		{"tool on primitive", `[{"ID":"Stimuli:1","Type":"Stimuli","Tool":"Stimuli:1","Created":"2026-01-01T00:00:00Z"}]`},
+		{"missing tool field", `[{"ID":"DeviceModels:1","Type":"DeviceModels","Created":"2026-01-01T00:00:00Z"}]`},
+		{"dangling input", `[{"ID":"NetlistEditor:1","Type":"NetlistEditor","Created":"2026-01-01T00:00:00Z"},
+			{"ID":"EditedNetlist:2","Type":"EditedNetlist","Tool":"NetlistEditor:1",
+			 "Inputs":[{"Key":"Netlist","Inst":"EditedNetlist:99"}],"Created":"2026-01-01T00:00:01Z"}]`},
+		{"bad input key", `[{"ID":"NetlistEditor:1","Type":"NetlistEditor","Created":"2026-01-01T00:00:00Z"},
+			{"ID":"EditedNetlist:2","Type":"EditedNetlist","Tool":"NetlistEditor:1",
+			 "Inputs":[{"Key":"Bogus","Inst":"NetlistEditor:1"}],"Created":"2026-01-01T00:00:01Z"}]`},
+		{"missing required", `[{"ID":"LayoutEditor:1","Type":"LayoutEditor","Created":"2026-01-01T00:00:00Z"},
+			{"ID":"Extractor:2","Type":"Extractor","Created":"2026-01-01T00:00:00Z"},
+			{"ID":"ExtractedNetlist:3","Type":"ExtractedNetlist","Tool":"Extractor:2","Created":"2026-01-01T00:00:01Z"}]`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := fresh()
+			if err := d.Restore(strings.NewReader(c.src)); err == nil {
+				t.Errorf("Restore(%s) should fail", c.name)
+			}
+			if d.Len() != 0 {
+				t.Error("failed restore left data behind")
+			}
+		})
+	}
+	// Restore into non-empty.
+	if err := db.Restore(strings.NewReader("[]")); err == nil {
+		t.Error("restore into non-empty should fail")
+	}
+}
+
+func TestInstanceHelpers(t *testing.T) {
+	db, ids := fixture(t)
+	p := db.Get(ids["p1"])
+	if got := p.InputIDs(); len(got) != 2 {
+		t.Errorf("InputIDs = %v", got)
+	}
+	if s := p.String(); !strings.Contains(s, "adder perf") || !strings.Contains(s, "by sutton") {
+		t.Errorf("String = %q", s)
+	}
+	anon := db.Get(ids["st"])
+	anon.Name = ""
+	anon.User = ""
+	if s := anon.String(); s != string(anon.ID) {
+		t.Errorf("bare String = %q", s)
+	}
+	if db.Schema() == nil {
+		t.Error("Schema() nil")
+	}
+	if tn, ok := db.TypeOf(ids["p1"]); !ok || tn != "Performance" {
+		t.Errorf("TypeOf = %q, %v", tn, ok)
+	}
+	if _, ok := db.TypeOf("Nope:1"); ok {
+		t.Error("TypeOf of missing should miss")
+	}
+	dump := db.Dump()
+	if !strings.Contains(dump, string(ids["p1"])) {
+		t.Errorf("Dump missing instance:\n%s", dump)
+	}
+}
+
+func TestSeqOf(t *testing.T) {
+	cases := map[ID]int{
+		"Performance:17": 17,
+		"NoColon":        0,
+		"Bad:xx":         0,
+		"A:B:9":          9,
+	}
+	for id, want := range cases {
+		if got := seqOf(id); got != want {
+			t.Errorf("seqOf(%s) = %d, want %d", id, got, want)
+		}
+	}
+}

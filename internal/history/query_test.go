@@ -1,0 +1,80 @@
+package history
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSelectByUser(t *testing.T) {
+	db, _ := fixture(t)
+	got := db.Select(Filter{User: "director"})
+	if len(got) != 1 || got[0].User != "director" {
+		t.Errorf("Select(user=director) = %v", got)
+	}
+	if n := len(db.Select(Filter{User: "nobody"})); n != 0 {
+		t.Errorf("Select(user=nobody) = %d", n)
+	}
+}
+
+func TestSelectByType(t *testing.T) {
+	db, _ := fixture(t)
+	nets := db.Select(Filter{Type: "Netlist"})
+	if len(nets) != 2 {
+		t.Errorf("Select(type=Netlist) = %d, want 2 (subtypes included)", len(nets))
+	}
+	tools := db.Select(Filter{Type: "Simulator"})
+	if len(tools) != 1 {
+		t.Errorf("Select(type=Simulator) = %d, want 1", len(tools))
+	}
+}
+
+func TestSelectByKeyword(t *testing.T) {
+	db, ids := fixture(t)
+	got := db.Select(Filter{Keyword: "ADDER"})
+	if len(got) < 4 {
+		t.Errorf("case-insensitive keyword: got %d", len(got))
+	}
+	got = db.Select(Filter{Keyword: "low pass"})
+	if len(got) != 1 || got[0].ID != ids["p1"] {
+		t.Errorf("keyword over comments: %v", got)
+	}
+}
+
+func TestSelectByDateRange(t *testing.T) {
+	db, _ := fixture(t)
+	all := db.All()
+	mid := all[7].Created
+	early := db.Select(Filter{To: mid})
+	late := db.Select(Filter{From: mid.Add(time.Second)})
+	if len(early)+len(late) != len(all) {
+		t.Errorf("date partition: %d + %d != %d", len(early), len(late), len(all))
+	}
+	for _, in := range early {
+		if in.Created.After(mid) {
+			t.Error("early result after cutoff")
+		}
+	}
+	// Inclusive bounds.
+	exact := db.Select(Filter{From: mid, To: mid})
+	if len(exact) != 1 {
+		t.Errorf("inclusive bounds: %d", len(exact))
+	}
+}
+
+func TestSelectCombined(t *testing.T) {
+	db, ids := fixture(t)
+	got := db.Select(Filter{Type: "Layout", User: "sutton", Keyword: "v2"})
+	if len(got) != 1 || got[0].ID != ids["l2"] {
+		t.Errorf("combined filter = %v", got)
+	}
+}
+
+func TestSelectSorted(t *testing.T) {
+	db, _ := fixture(t)
+	got := db.Select(Filter{})
+	for i := 1; i < len(got); i++ {
+		if got[i].Created.Before(got[i-1].Created) {
+			t.Fatal("Select output not sorted by creation time")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// versionFixture reproduces Fig. 11: a circuit edited into a small version
+// tree:
+//
+//	c1 --e1--> c2 --e2--> c3
+//	c1 --e2--> c4 --e1--> c5   (branch)
+//
+// using two netlist-editor instances e1, e2 so the flow trace can show
+// which editor produced each version.
+func versionFixture(t *testing.T) (*DB, map[string]ID) {
+	t.Helper()
+	db := NewDB(schema.Fig1())
+	db.SetClock(fakeClock())
+	ids := make(map[string]ID)
+	rec := func(key string, in Instance) {
+		t.Helper()
+		stored, err := db.Record(in)
+		if err != nil {
+			t.Fatalf("record %s: %v", key, err)
+		}
+		ids[key] = stored.ID
+	}
+	rec("e1", Instance{Type: "NetlistEditor", Name: "cct editor 1"})
+	rec("e2", Instance{Type: "NetlistEditor", Name: "cct editor 2"})
+	rec("c1", Instance{Type: "EditedNetlist", Tool: ids["e1"], Name: "c1"})
+	rec("c2", Instance{Type: "EditedNetlist", Tool: ids["e1"], Name: "c2",
+		Inputs: []Input{{Key: "Netlist", Inst: ids["c1"]}}})
+	rec("c3", Instance{Type: "EditedNetlist", Tool: ids["e2"], Name: "c3",
+		Inputs: []Input{{Key: "Netlist", Inst: ids["c2"]}}})
+	rec("c4", Instance{Type: "EditedNetlist", Tool: ids["e2"], Name: "c4",
+		Inputs: []Input{{Key: "Netlist", Inst: ids["c1"]}}})
+	rec("c5", Instance{Type: "EditedNetlist", Tool: ids["e1"], Name: "c5",
+		Inputs: []Input{{Key: "Netlist", Inst: ids["c4"]}}})
+	return db, ids
+}
+
+func TestIsEditType(t *testing.T) {
+	db, _ := fixture(t)
+	if !db.IsEditType("EditedNetlist") {
+		t.Error("EditedNetlist should be an edit type")
+	}
+	if !db.IsEditType("EditedLayout") {
+		t.Error("EditedLayout should be an edit type")
+	}
+	if db.IsEditType("ExtractedNetlist") {
+		t.Error("ExtractedNetlist is not an edit type (Layout is a different root)")
+	}
+	if db.IsEditType("Performance") || db.IsEditType("Nope") {
+		t.Error("non-edit types misclassified")
+	}
+}
+
+func TestLineageRoot(t *testing.T) {
+	db, ids := versionFixture(t)
+	for _, k := range []string{"c1", "c2", "c3", "c4", "c5"} {
+		root, err := db.LineageRoot(ids[k])
+		if err != nil {
+			t.Fatalf("LineageRoot(%s): %v", k, err)
+		}
+		if root != ids["c1"] {
+			t.Errorf("LineageRoot(%s) = %s, want c1=%s", k, root, ids["c1"])
+		}
+	}
+	if _, err := db.LineageRoot("Nope:9"); err == nil {
+		t.Error("LineageRoot on missing instance should fail")
+	}
+}
+
+func TestVersionTreeShape(t *testing.T) {
+	db, ids := versionFixture(t)
+	tree, err := db.VersionTree(ids["c3"]) // any version yields same tree
+	if err != nil {
+		t.Fatalf("VersionTree: %v", err)
+	}
+	if tree.Inst != ids["c1"] {
+		t.Fatalf("tree root = %s, want c1", tree.Inst)
+	}
+	if tree.Count() != 5 {
+		t.Errorf("tree count = %d, want 5", tree.Count())
+	}
+	if len(tree.Children) != 2 {
+		t.Fatalf("c1 should have 2 children, got %d", len(tree.Children))
+	}
+	// Branch via c2 leads to c3; branch via c4 leads to c5.
+	byInst := map[ID]*VersionNode{}
+	for _, c := range tree.Children {
+		byInst[c.Inst] = c
+	}
+	if n := byInst[ids["c2"]]; n == nil || len(n.Children) != 1 || n.Children[0].Inst != ids["c3"] {
+		t.Errorf("c2 branch wrong: %+v", byInst[ids["c2"]])
+	}
+	if n := byInst[ids["c4"]]; n == nil || len(n.Children) != 1 || n.Children[0].Inst != ids["c5"] {
+		t.Errorf("c4 branch wrong: %+v", byInst[ids["c4"]])
+	}
+}
+
+func TestVersionTreeRender(t *testing.T) {
+	db, ids := versionFixture(t)
+	tree, _ := db.VersionTree(ids["c1"])
+	out := tree.Render()
+	for _, k := range []string{"c1", "c2", "c3", "c4", "c5"} {
+		if !strings.Contains(out, string(ids[k])) {
+			t.Errorf("Render missing %s:\n%s", k, out)
+		}
+	}
+}
+
+func TestFlowTraceShowsTools(t *testing.T) {
+	db, ids := versionFixture(t)
+	trace, err := db.FlowTrace(ids["c5"])
+	if err != nil {
+		t.Fatalf("FlowTrace: %v", err)
+	}
+	if trace.Count() != 5 {
+		t.Errorf("trace count = %d", trace.Count())
+	}
+	if trace.Tool != "" {
+		t.Errorf("original version should have no producing edit tool in trace, got %s", trace.Tool)
+	}
+	// Find c4's node: it must record editor e2.
+	var findC4 func(n *TraceNode) *TraceNode
+	findC4 = func(n *TraceNode) *TraceNode {
+		if n.Inst == ids["c4"] {
+			return n
+		}
+		for _, c := range n.Children {
+			if r := findC4(c); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	c4 := findC4(trace)
+	if c4 == nil {
+		t.Fatal("c4 not in trace")
+	}
+	if c4.Tool != ids["e2"] {
+		t.Errorf("c4 tool = %s, want e2=%s — the flow trace must show the tool used (Fig. 11b)", c4.Tool, ids["e2"])
+	}
+	out := trace.Render()
+	if !strings.Contains(out, "[via "+string(ids["e2"])+"]") {
+		t.Errorf("trace render missing tool labels:\n%s", out)
+	}
+}
+
+func TestVersionsOfOrdered(t *testing.T) {
+	db, ids := versionFixture(t)
+	vs, err := db.VersionsOf(ids["c4"])
+	if err != nil {
+		t.Fatalf("VersionsOf: %v", err)
+	}
+	want := []ID{ids["c1"], ids["c2"], ids["c3"], ids["c4"], ids["c5"]}
+	if len(vs) != len(want) {
+		t.Fatalf("VersionsOf = %v", vs)
+	}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Errorf("VersionsOf[%d] = %s, want %s", i, vs[i], want[i])
+		}
+	}
+}
+
+func TestVersionTreeSingleton(t *testing.T) {
+	db, ids := fixture(t)
+	// st (Stimuli) has no versions; its tree is itself alone.
+	tree, err := db.VersionTree(ids["st"])
+	if err != nil {
+		t.Fatalf("VersionTree: %v", err)
+	}
+	if tree.Inst != ids["st"] || tree.Count() != 1 {
+		t.Errorf("singleton tree wrong: %+v", tree)
+	}
+}
+
+func TestVersionLineageCrossesSubtypes(t *testing.T) {
+	db, ids := fixture(t)
+	// n2 (EditedNetlist) is a new version of n1 (ExtractedNetlist):
+	// lineage crosses Netlist subtypes because they share a root.
+	root, err := db.LineageRoot(ids["n2"])
+	if err != nil {
+		t.Fatalf("LineageRoot: %v", err)
+	}
+	if root != ids["n1"] {
+		t.Errorf("LineageRoot(n2) = %s, want n1=%s", root, ids["n1"])
+	}
+	newest, err := db.NewestVersion(ids["n1"])
+	if err != nil {
+		t.Fatalf("NewestVersion: %v", err)
+	}
+	if newest != ids["n2"] {
+		t.Errorf("NewestVersion(n1) = %s, want n2", newest)
+	}
+}

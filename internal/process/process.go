@@ -1,0 +1,304 @@
+// Package process is a compact version of the Design Process Level the
+// paper delegates to the Minerva Design Process Manager [11] (§3.1:
+// "more complicated notions of design decomposition (such as a hierarchy
+// of cells within a design) can be handled at a higher level of
+// abstraction").
+//
+// A Design is a hierarchy of cells; each cell declares goals — entity
+// types that must exist (and be up to date) for the cell to be done.
+// Goals are achieved by assigning history instances to them, so the
+// process level sits entirely on top of the flow manager: flows produce
+// the instances, the history database judges their freshness, and this
+// package only rolls status up the hierarchy and says what to do next.
+package process
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// Goal is one obligation of a cell: an instance of EntityType must be
+// assigned and fresh.
+type Goal struct {
+	Name       string
+	EntityType string
+}
+
+// Cell is one node of the design hierarchy.
+type Cell struct {
+	Name     string
+	Goals    []Goal
+	Children []*Cell
+}
+
+// AddChild appends a child cell and returns it.
+func (c *Cell) AddChild(name string) *Cell {
+	child := &Cell{Name: name}
+	c.Children = append(c.Children, child)
+	return child
+}
+
+// AddGoal appends a goal.
+func (c *Cell) AddGoal(name, entityType string) {
+	c.Goals = append(c.Goals, Goal{Name: name, EntityType: entityType})
+}
+
+// Status of one goal or cell.
+type Status int
+
+const (
+	// Pending: no instance assigned yet.
+	Pending Status = iota
+	// Stale: an instance is assigned but its derivation used superseded
+	// data (or the instance itself was superseded).
+	Stale
+	// Done: assigned and fresh.
+	Done
+)
+
+// String returns "pending", "stale" or "done".
+func (s Status) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Stale:
+		return "stale"
+	default:
+		return "done"
+	}
+}
+
+// Manager tracks goal assignments for one design over one history
+// database.
+type Manager struct {
+	db     *history.DB
+	root   *Cell
+	assign map[string]history.ID // "cell/goal" -> instance
+}
+
+// NewManager creates a manager for the design rooted at root.
+func NewManager(db *history.DB, root *Cell) (*Manager, error) {
+	m := &Manager{db: db, root: root, assign: make(map[string]history.ID)}
+	seen := make(map[string]bool)
+	var visit func(path string, c *Cell) error
+	visit = func(path string, c *Cell) error {
+		if c.Name == "" || strings.ContainsAny(c.Name, "/") {
+			return fmt.Errorf("process: bad cell name %q", c.Name)
+		}
+		p := path + "/" + c.Name
+		if seen[p] {
+			return fmt.Errorf("process: duplicate cell path %q", p)
+		}
+		seen[p] = true
+		goalNames := make(map[string]bool)
+		for _, g := range c.Goals {
+			if g.Name == "" || goalNames[g.Name] {
+				return fmt.Errorf("process: cell %s has bad or duplicate goal %q", p, g.Name)
+			}
+			goalNames[g.Name] = true
+			if !db.Schema().Has(g.EntityType) {
+				return fmt.Errorf("process: cell %s goal %s wants unknown type %q", p, g.Name, g.EntityType)
+			}
+		}
+		for _, ch := range c.Children {
+			if err := visit(p, ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if root == nil {
+		return nil, fmt.Errorf("process: nil design root")
+	}
+	if err := visit("", root); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// findCell resolves a path like "chip/alu" from the root.
+func (m *Manager) findCell(path string) (*Cell, error) {
+	parts := strings.Split(path, "/")
+	if len(parts) == 0 || parts[0] != m.root.Name {
+		return nil, fmt.Errorf("process: path %q does not start at root %q", path, m.root.Name)
+	}
+	cur := m.root
+outer:
+	for _, p := range parts[1:] {
+		for _, ch := range cur.Children {
+			if ch.Name == p {
+				cur = ch
+				continue outer
+			}
+		}
+		return nil, fmt.Errorf("process: no cell %q under %q", p, cur.Name)
+	}
+	return cur, nil
+}
+
+// Assign records that an instance achieves a cell's goal. The instance's
+// type must satisfy the goal's entity type.
+func (m *Manager) Assign(cellPath, goal string, inst history.ID) error {
+	cell, err := m.findCell(cellPath)
+	if err != nil {
+		return err
+	}
+	var g *Goal
+	for i := range cell.Goals {
+		if cell.Goals[i].Name == goal {
+			g = &cell.Goals[i]
+		}
+	}
+	if g == nil {
+		return fmt.Errorf("process: cell %s has no goal %q", cellPath, goal)
+	}
+	in := m.db.Get(inst)
+	if in == nil {
+		return fmt.Errorf("process: no instance %s", inst)
+	}
+	if !m.db.Schema().Satisfies(in.Type, g.EntityType) {
+		return fmt.Errorf("process: instance %s has type %s, goal %s wants %s", inst, in.Type, goal, g.EntityType)
+	}
+	m.assign[cellPath+"#"+goal] = inst
+	return nil
+}
+
+// GoalStatus reports one goal's status plus the assigned instance (if
+// any). Freshness consults the history database: a goal regresses from
+// Done to Stale when its instance is superseded or out of date — the
+// process level inherits consistency maintenance for free.
+func (m *Manager) GoalStatus(cellPath, goal string) (Status, history.ID, error) {
+	if _, err := m.findCell(cellPath); err != nil {
+		return Pending, "", err
+	}
+	inst, ok := m.assign[cellPath+"#"+goal]
+	if !ok {
+		return Pending, "", nil
+	}
+	sup, err := m.db.Superseded(inst)
+	if err != nil {
+		return Pending, "", err
+	}
+	ood, err := m.db.OutOfDate(inst)
+	if err != nil {
+		return Pending, "", err
+	}
+	if sup || ood {
+		return Stale, inst, nil
+	}
+	return Done, inst, nil
+}
+
+// CellStatus rolls a cell's status up from its goals and children:
+// Pending if anything is pending, otherwise Stale if anything is stale,
+// otherwise Done. A cell with no goals and no children is Done.
+func (m *Manager) CellStatus(cellPath string) (Status, error) {
+	cell, err := m.findCell(cellPath)
+	if err != nil {
+		return Pending, err
+	}
+	worst := Done
+	consider := func(s Status) {
+		if s < worst {
+			worst = s
+		}
+	}
+	for _, g := range cell.Goals {
+		s, _, err := m.GoalStatus(cellPath, g.Name)
+		if err != nil {
+			return Pending, err
+		}
+		consider(s)
+	}
+	for _, ch := range cell.Children {
+		s, err := m.CellStatus(cellPath + "/" + ch.Name)
+		if err != nil {
+			return Pending, err
+		}
+		consider(s)
+	}
+	return worst, nil
+}
+
+// Item is one outstanding piece of work.
+type Item struct {
+	CellPath string
+	Goal     Goal
+	Status   Status
+}
+
+// Agenda lists the non-Done goals in depth-first order — "what should I
+// work on next" for the whole design.
+func (m *Manager) Agenda() ([]Item, error) {
+	var out []Item
+	var visit func(path string, c *Cell) error
+	visit = func(path string, c *Cell) error {
+		p := path + "/" + c.Name
+		if path == "" {
+			p = c.Name
+		}
+		for _, g := range c.Goals {
+			s, _, err := m.GoalStatus(p, g.Name)
+			if err != nil {
+				return err
+			}
+			if s != Done {
+				out = append(out, Item{CellPath: p, Goal: g, Status: s})
+			}
+		}
+		for _, ch := range c.Children {
+			if err := visit(p, ch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit("", m.root); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Render prints the design hierarchy with per-goal and per-cell status.
+func (m *Manager) Render() (string, error) {
+	var b strings.Builder
+	var visit func(path string, c *Cell, depth int) error
+	visit = func(path string, c *Cell, depth int) error {
+		p := path + "/" + c.Name
+		if path == "" {
+			p = c.Name
+		}
+		cs, err := m.CellStatus(p)
+		if err != nil {
+			return err
+		}
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%s%s [%s]\n", indent, c.Name, cs)
+		goals := append([]Goal(nil), c.Goals...)
+		sort.Slice(goals, func(i, j int) bool { return goals[i].Name < goals[j].Name })
+		for _, g := range goals {
+			s, inst, err := m.GoalStatus(p, g.Name)
+			if err != nil {
+				return err
+			}
+			if inst != "" {
+				fmt.Fprintf(&b, "%s  · %s (%s) = %s [%s]\n", indent, g.Name, g.EntityType, inst, s)
+			} else {
+				fmt.Fprintf(&b, "%s  · %s (%s) [%s]\n", indent, g.Name, g.EntityType, s)
+			}
+		}
+		for _, ch := range c.Children {
+			if err := visit(p, ch, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit("", m.root, 0); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,238 @@
+package process
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hercules"
+	"repro/internal/history"
+)
+
+// design builds a two-level hierarchy:
+//
+//	chip
+//	  · floorplan (Layout)
+//	  alu
+//	    · netlist (Netlist)
+//	    · perf    (Performance)
+//	  regfile
+//	    · netlist (Netlist)
+func design() *Cell {
+	chip := &Cell{Name: "chip"}
+	chip.AddGoal("floorplan", "Layout")
+	alu := chip.AddChild("alu")
+	alu.AddGoal("netlist", "Netlist")
+	alu.AddGoal("perf", "Performance")
+	rf := chip.AddChild("regfile")
+	rf.AddGoal("netlist", "Netlist")
+	return chip
+}
+
+// sessionWithNetlist returns a bootstrapped session plus one netlist and
+// one performance instance.
+func sessionWithNetlist(t *testing.T) (*hercules.Session, history.ID, history.ID) {
+	t.Helper()
+	s := hercules.NewSession("proc")
+	if err := s.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := s.Catalogs.StartFromPlan("simulate-netlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := func(typeName, key string) {
+		for _, id := range f.Leaves() {
+			if f.Node(id).Type == typeName && !f.Node(id).IsBound() {
+				if err := f.Bind(id, s.Must(key)); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+		t.Fatalf("no %s leaf", typeName)
+	}
+	bind("Simulator", "sim")
+	bind("Stimuli", "stim.exhaustive3")
+	bind("NetlistEditor", "netEd.fulladder")
+	bind("DeviceModelEditor", "dmEd.default")
+	res, err := s.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var net, perf history.ID
+	for _, id := range f.NodeIDs() {
+		for _, inst := range res.InstancesOf(id) {
+			switch s.DB.Get(inst).Type {
+			case "EditedNetlist":
+				net = inst
+			case "Performance":
+				perf = inst
+			}
+		}
+	}
+	if net == "" || perf == "" {
+		t.Fatal("fixture instances missing")
+	}
+	return s, net, perf
+}
+
+func TestManagerValidation(t *testing.T) {
+	s, _, _ := sessionWithNetlist(t)
+	if _, err := NewManager(s.DB, nil); err == nil {
+		t.Error("nil root should fail")
+	}
+	bad := &Cell{Name: "x"}
+	bad.AddGoal("g", "Nope")
+	if _, err := NewManager(s.DB, bad); err == nil {
+		t.Error("unknown goal type should fail")
+	}
+	dup := &Cell{Name: "x"}
+	dup.AddChild("a")
+	dup.AddChild("a")
+	if _, err := NewManager(s.DB, dup); err == nil {
+		t.Error("duplicate cell should fail")
+	}
+	g2 := &Cell{Name: "x"}
+	g2.AddGoal("g", "Netlist")
+	g2.AddGoal("g", "Netlist")
+	if _, err := NewManager(s.DB, g2); err == nil {
+		t.Error("duplicate goal should fail")
+	}
+	slash := &Cell{Name: "a/b"}
+	if _, err := NewManager(s.DB, slash); err == nil {
+		t.Error("slash in name should fail")
+	}
+}
+
+func TestStatusRollup(t *testing.T) {
+	s, net, perf := sessionWithNetlist(t)
+	m, err := NewManager(s.DB, design())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Everything pending initially.
+	if st, _ := m.CellStatus("chip"); st != Pending {
+		t.Errorf("chip = %s", st)
+	}
+	agenda, err := m.Agenda()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agenda) != 4 {
+		t.Fatalf("agenda = %v", agenda)
+	}
+	if agenda[0].CellPath != "chip" || agenda[1].CellPath != "chip/alu" {
+		t.Errorf("agenda order: %v", agenda)
+	}
+
+	// Assign the alu goals.
+	if err := m.Assign("chip/alu", "netlist", net); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("chip/alu", "perf", perf); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.CellStatus("chip/alu"); st != Done {
+		t.Errorf("alu = %s", st)
+	}
+	if st, _ := m.CellStatus("chip"); st != Pending {
+		t.Errorf("chip should still be pending (floorplan, regfile): %s", st)
+	}
+	agenda, _ = m.Agenda()
+	if len(agenda) != 2 {
+		t.Errorf("agenda after alu = %v", agenda)
+	}
+
+	// Render shows statuses.
+	out, err := m.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"chip [pending]", "alu [done]", "perf (Performance)", "[done]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStalenessRegressesGoals(t *testing.T) {
+	s, net, perf := sessionWithNetlist(t)
+	m, err := NewManager(s.DB, design())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("chip/alu", "netlist", net); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("chip/alu", "perf", perf); err != nil {
+		t.Fatal(err)
+	}
+	// Edit the netlist: both goals regress — the netlist goal because
+	// its instance is superseded, the perf goal because its derivation
+	// is stale.
+	data, _ := s.ArtifactText(net)
+	_, err = s.DB.Record(history.Instance{Type: "EditedNetlist", User: "proc",
+		Tool:   s.Must("netEd.retouch"),
+		Inputs: []history.Input{{Key: "Netlist", Inst: net}},
+		Data:   s.Store.Put([]byte(data + "# v2\n"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _, _ := m.GoalStatus("chip/alu", "netlist"); st != Stale {
+		t.Errorf("netlist goal = %s, want stale", st)
+	}
+	if st, _, _ := m.GoalStatus("chip/alu", "perf"); st != Stale {
+		t.Errorf("perf goal = %s, want stale", st)
+	}
+	if st, _ := m.CellStatus("chip/alu"); st != Stale {
+		t.Errorf("alu = %s, want stale", st)
+	}
+	// Retrace the performance and reassign: fresh again.
+	rr, err := s.Retrace(perf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newest, err := s.DB.NewestVersion(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("chip/alu", "netlist", newest); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("chip/alu", "perf", rr.NewTarget(perf)); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := m.CellStatus("chip/alu"); st != Done {
+		t.Errorf("alu after retrace = %s", st)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	s, net, _ := sessionWithNetlist(t)
+	m, err := NewManager(s.DB, design())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Assign("chip/alu", "netlist", "Nope:1"); err == nil {
+		t.Error("unknown instance should fail")
+	}
+	if err := m.Assign("chip/alu", "nope", net); err == nil {
+		t.Error("unknown goal should fail")
+	}
+	if err := m.Assign("chip/nope", "netlist", net); err == nil {
+		t.Error("unknown cell should fail")
+	}
+	if err := m.Assign("wrong/alu", "netlist", net); err == nil {
+		t.Error("wrong root should fail")
+	}
+	if err := m.Assign("chip/alu", "perf", net); err == nil {
+		t.Error("ill-typed assignment should fail")
+	}
+	if _, _, err := m.GoalStatus("chip/nope", "g"); err == nil {
+		t.Error("GoalStatus on unknown cell should fail")
+	}
+	if _, err := m.CellStatus("chip/nope"); err == nil {
+		t.Error("CellStatus on unknown cell should fail")
+	}
+}

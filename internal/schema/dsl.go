@@ -1,0 +1,229 @@
+package schema
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// This file implements a small line-oriented text format for task schemas,
+// so that methodology managers can maintain the schema (the paper's §3.3
+// point that "only the task schema need be maintained") as a plain file.
+//
+// Grammar (one declaration per line, '#' starts a comment):
+//
+//	tool <Name> [: <Parent>] [abstract] [-- doc text]
+//	data <Name> [: <Parent>] [abstract] [-- doc text]
+//	composite <Name> [: <Parent>] [-- doc text]
+//	  fd <ToolType>
+//	  dd <Type> [as <role>] [optional]
+//
+// fd/dd lines attach to the most recently declared entity. Indentation is
+// ignored. Example (a fragment of the paper's Fig. 1):
+//
+//	tool Simulator
+//	data Netlist abstract
+//	data ExtractedNetlist : Netlist
+//	  fd Extractor
+//	  dd Layout
+//	data Performance
+//	  fd Simulator
+//	  dd Netlist
+//	  dd Stimuli
+
+// Parse reads a schema from r in the DSL described above and validates it.
+func Parse(r io.Reader) (*Schema, error) {
+	s := New()
+	var cur *EntityType
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		doc := ""
+		if i := strings.Index(line, "--"); i >= 0 {
+			doc = strings.TrimSpace(line[i+2:])
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("schema dsl line %d: %s", lineno, fmt.Sprintf(format, args...))
+		}
+		switch fields[0] {
+		case "tool", "data", "composite":
+			t, err := parseEntityLine(fields, doc)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if err := s.Add(t); err != nil {
+				return nil, fail("%v", err)
+			}
+			cur = t
+		case "fd":
+			if cur == nil {
+				return nil, fail("fd before any entity declaration")
+			}
+			if cur.FuncDep != nil {
+				return nil, fail("%s: second functional dependency (at most one allowed)", cur.Name)
+			}
+			if len(fields) != 2 {
+				return nil, fail("fd wants exactly one tool type")
+			}
+			cur.FuncDep = &Dep{Type: fields[1]}
+		case "dd":
+			if cur == nil {
+				return nil, fail("dd before any entity declaration")
+			}
+			d, err := parseDepLine(fields)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cur.DataDeps = append(cur.DataDeps, d)
+		default:
+			return nil, fail("unknown keyword %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("schema dsl: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(src string) (*Schema, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// MustParseString is ParseString but panics on error; for fixtures.
+func MustParseString(src string) *Schema {
+	s, err := ParseString(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseEntityLine(fields []string, doc string) (*EntityType, error) {
+	t := &EntityType{Doc: doc}
+	switch fields[0] {
+	case "tool":
+		t.Kind = KindTool
+	case "data":
+		t.Kind = KindData
+	case "composite":
+		t.Kind = KindData
+		t.Composite = true
+	}
+	rest := fields[1:]
+	if len(rest) == 0 {
+		return nil, fmt.Errorf("%s declaration without a name", fields[0])
+	}
+	t.Name = rest[0]
+	rest = rest[1:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case ":":
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("%s: ':' without parent name", t.Name)
+			}
+			t.Parent = rest[1]
+			rest = rest[2:]
+		case "abstract":
+			if t.Composite {
+				return nil, fmt.Errorf("%s: composite entities cannot be abstract", t.Name)
+			}
+			t.Abstract = true
+			rest = rest[1:]
+		default:
+			return nil, fmt.Errorf("%s: unexpected token %q", t.Name, rest[0])
+		}
+	}
+	return t, nil
+}
+
+func parseDepLine(fields []string) (Dep, error) {
+	if len(fields) < 2 {
+		return Dep{}, fmt.Errorf("dd wants a type name")
+	}
+	d := Dep{Type: fields[1]}
+	rest := fields[2:]
+	for len(rest) > 0 {
+		switch rest[0] {
+		case "as":
+			if len(rest) < 2 {
+				return Dep{}, fmt.Errorf("dd %s: 'as' without role", d.Type)
+			}
+			d.Role = rest[1]
+			rest = rest[2:]
+		case "optional":
+			d.Optional = true
+			rest = rest[1:]
+		default:
+			return Dep{}, fmt.Errorf("dd %s: unexpected token %q", d.Type, rest[0])
+		}
+	}
+	return d, nil
+}
+
+// Format writes the schema back out in the DSL, one entity per block, in
+// insertion order. Parse(Format(s)) reproduces s.
+func Format(w io.Writer, s *Schema) error {
+	bw := bufio.NewWriter(w)
+	for i, t := range s.Types() {
+		if i > 0 {
+			fmt.Fprintln(bw)
+		}
+		kw := "data"
+		if t.Kind == KindTool {
+			kw = "tool"
+		}
+		if t.Composite {
+			kw = "composite"
+		}
+		fmt.Fprintf(bw, "%s %s", kw, t.Name)
+		if t.Parent != "" {
+			fmt.Fprintf(bw, " : %s", t.Parent)
+		}
+		if t.Abstract {
+			fmt.Fprint(bw, " abstract")
+		}
+		if t.Doc != "" {
+			fmt.Fprintf(bw, " -- %s", t.Doc)
+		}
+		fmt.Fprintln(bw)
+		if t.FuncDep != nil {
+			fmt.Fprintf(bw, "  fd %s\n", t.FuncDep.Type)
+		}
+		for _, d := range t.DataDeps {
+			fmt.Fprintf(bw, "  dd %s", d.Type)
+			if d.Role != "" {
+				fmt.Fprintf(bw, " as %s", d.Role)
+			}
+			if d.Optional {
+				fmt.Fprint(bw, " optional")
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+// FormatString is Format into a string.
+func FormatString(s *Schema) string {
+	var b strings.Builder
+	if err := Format(&b, s); err != nil {
+		// strings.Builder writes cannot fail.
+		panic(err)
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMinimal(t *testing.T) {
+	s, err := ParseString(`
+tool T
+data D
+  fd T
+`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	d := s.Type("D")
+	if d.FuncDep == nil || d.FuncDep.Type != "T" {
+		t.Errorf("D.FuncDep = %v", d.FuncDep)
+	}
+}
+
+func TestParseFullFeatures(t *testing.T) {
+	s, err := ParseString(`
+# comment line
+tool Editor -- edits
+tool Checker
+data Base abstract -- base type
+data Sub : Base    -- subtype   # trailing comment
+  fd Editor
+  dd Base optional
+data Report
+  fd Checker
+  dd Base as left
+  dd Base as right
+composite Pair
+  dd Base
+  dd Report
+`)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if s.Type("Editor").Doc != "edits" {
+		t.Errorf("doc = %q", s.Type("Editor").Doc)
+	}
+	if !s.Type("Base").Abstract {
+		t.Error("Base should be abstract")
+	}
+	if s.Type("Sub").Parent != "Base" {
+		t.Errorf("Sub.Parent = %q", s.Type("Sub").Parent)
+	}
+	if !s.Type("Sub").DataDeps[0].Optional {
+		t.Error("Sub dd should be optional")
+	}
+	rep := s.Type("Report")
+	if len(rep.DataDeps) != 2 || rep.DataDeps[0].Role != "left" || rep.DataDeps[1].Role != "right" {
+		t.Errorf("Report deps = %v", rep.DataDeps)
+	}
+	if !s.Type("Pair").Composite {
+		t.Error("Pair should be composite")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown keyword", "frob X\n", "unknown keyword"},
+		{"fd before entity", "fd T\n", "before any entity"},
+		{"dd before entity", "dd T\n", "before any entity"},
+		{"second fd", "tool T\ntool U\ndata D\n fd T\n fd U\n", "second functional"},
+		{"fd arity", "tool T\ndata D\n fd T U\n", "exactly one"},
+		{"dd no type", "data D\n dd\n", "wants a type"},
+		{"entity no name", "data\n", "without a name"},
+		{"colon no parent", "data D :\n", "without parent"},
+		{"abstract composite", "composite C abstract\n", "cannot be abstract"},
+		{"as no role", "data D\ndata E\n dd D as\n", "'as' without role"},
+		{"bad dep token", "data D\ndata E\n dd D frob\n", "unexpected token"},
+		{"bad entity token", "data D frob\n", "unexpected token"},
+		{"validation runs", "data D\n fd Missing\n", "unknown functional"},
+		{"duplicate entity", "data D\ndata D\n", "duplicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseString(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("ParseString(%q) err = %v, want substring %q", c.src, err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseReportsLineNumbers(t *testing.T) {
+	_, err := ParseString("tool T\n\nfrob X\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("want line 3 in error, got %v", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	s1 := Fig2()
+	text := FormatString(s1)
+	s2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("reparse formatted schema: %v\n%s", err, text)
+	}
+	if FormatString(s2) != text {
+		t.Error("Format/Parse/Format is not a fixed point")
+	}
+	if s2.Len() != s1.Len() {
+		t.Fatalf("round trip changed type count: %d -> %d", s1.Len(), s2.Len())
+	}
+	for _, n := range s1.Names() {
+		a, b := s1.Type(n), s2.Type(n)
+		if a.String() != b.String() {
+			t.Errorf("%s changed: %q -> %q", n, a, b)
+		}
+	}
+}
+
+func TestMustParseStringPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseString should panic on bad input")
+		}
+	}()
+	MustParseString("frob\n")
+}
+
+func TestFig1Valid(t *testing.T) {
+	for _, s := range []*Schema{Fig1(), Fig2()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("fixture invalid: %v", err)
+		}
+	}
+	if !Fig2().Has("CompiledSimulator") {
+		t.Error("Fig2 missing CompiledSimulator")
+	}
+	if Fig1().Has("CompiledSimulator") {
+		t.Error("Fig1 should not have CompiledSimulator")
+	}
+}
+
+func TestFig1Structure(t *testing.T) {
+	s := Fig1()
+	// The loop-breaking optional dependency from the paper.
+	en := s.Type("EditedNetlist")
+	if len(en.DataDeps) != 1 || !en.DataDeps[0].Optional || en.DataDeps[0].Type != "Netlist" {
+		t.Errorf("EditedNetlist dd = %v, want optional Netlist", en.DataDeps)
+	}
+	// The composite Circuit.
+	c := s.Type("Circuit")
+	if !c.Composite || c.FuncDep != nil || len(c.DataDeps) != 2 {
+		t.Errorf("Circuit = %v", c)
+	}
+	// Multiple outputs of one task: same (fd, dd) construction.
+	xn, xs := s.Type("ExtractedNetlist"), s.Type("ExtractionStatistics")
+	if xn.FuncDep.Type != xs.FuncDep.Type {
+		t.Error("ExtractedNetlist and ExtractionStatistics should share a tool")
+	}
+}
+
+// Property: every concrete subtype listed for a type satisfies that type,
+// and every consumer returned for a type accepts it.
+func TestQuickSubtypeConsistency(t *testing.T) {
+	s := Fig2()
+	names := s.Names()
+	f := func(i uint) bool {
+		name := names[i%uint(len(names))]
+		for _, sub := range s.ConcreteSubtypes(name) {
+			if !s.Satisfies(sub, name) {
+				return false
+			}
+		}
+		for _, u := range s.Consumers(name) {
+			if !s.IsSubtypeOf(name, u.Dep.Type) {
+				return false
+			}
+			if _, ok := s.Type(u.Consumer).DepByKey(u.Dep.Key()); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Root is idempotent and IsSubtypeOf is reflexive/transitive up
+// the chain.
+func TestQuickRootIdempotent(t *testing.T) {
+	s := Fig2()
+	names := s.Names()
+	f := func(i uint) bool {
+		name := names[i%uint(len(names))]
+		r := s.Root(name)
+		return s.Root(r) == r && s.IsSubtypeOf(name, name) && s.IsSubtypeOf(name, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: format/parse round trip preserves each entity's rendering, for
+// randomly generated flat schemas.
+func TestQuickDSLRoundTrip(t *testing.T) {
+	f := func(toolDocs []bool, optionals []bool) bool {
+		s := New()
+		s.MustAdd(&EntityType{Name: "T0", Kind: KindTool})
+		for i, opt := range optionals {
+			if i >= 8 {
+				break
+			}
+			name := "D" + string(rune('0'+i))
+			var deps []Dep
+			if i > 0 {
+				deps = append(deps, Dep{Type: "D0", Optional: opt, Role: "r"})
+			}
+			s.MustAdd(&EntityType{Name: name, Kind: KindData,
+				FuncDep: &Dep{Type: "T0"}, DataDeps: deps})
+		}
+		_ = toolDocs
+		if err := s.Validate(); err != nil {
+			return true // not a round-trip concern
+		}
+		text := FormatString(s)
+		s2, err := ParseString(text)
+		if err != nil {
+			return false
+		}
+		return FormatString(s2) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

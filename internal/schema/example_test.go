@@ -1,0 +1,33 @@
+package schema_test
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// A minimal task schema in the DSL: an extractor producing netlists from
+// layouts, with the loop broken by an optional dependency.
+func ExampleParseString() {
+	s, err := schema.ParseString(`
+tool Extractor
+tool Editor
+data Layout
+  fd Editor
+  dd Layout optional
+data Netlist
+  fd Extractor
+  dd Layout
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(s.Type("Netlist"))
+	for _, u := range s.Consumers("Layout") {
+		fmt.Println(u)
+	}
+	// Output:
+	// data Netlist fd=Extractor dd=[Layout]
+	// Layout <- Layout?
+	// Netlist <- Layout
+}

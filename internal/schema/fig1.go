@@ -1,0 +1,116 @@
+package schema
+
+// This file provides the example task schema of the paper's Fig. 1 and the
+// compiled-simulator extension of Fig. 2 as reusable fixtures. The figures
+// in the DAC'93 paper are drawings; the reconstruction below includes every
+// feature the text calls out:
+//
+//   - tools and data as uniform entities;
+//   - Netlist subtyping (ExtractedNetlist vs EditedNetlist) separating
+//     construction methods;
+//   - a schema loop (EditedNetlist --dd--> Netlist) broken by marking the
+//     dependency optional;
+//   - the composite Circuit entity (only data dependencies);
+//   - Stimuli as an options-as-entity example;
+//   - multiple outputs of one task (ExtractedNetlist and
+//     ExtractionStatistics share the Extractor/Layout construction);
+//   - Fig. 2's tool-created-during-design: CompiledSimulator is a
+//     Simulator subtype produced by SimulatorCompiler from a Netlist.
+
+// Fig1Text is the paper's Fig. 1 schema in the DSL of this package.
+const Fig1Text = `
+# Reconstruction of Fig. 1 of Sutton/Brockman/Director, DAC 1993.
+tool DeviceModelEditor -- edits device model libraries
+tool NetlistEditor     -- interactive netlist editor
+tool LayoutEditor      -- interactive layout editor
+tool Extractor         -- extracts a netlist from a layout
+tool Simulator abstract -- simulates a circuit
+tool InstalledSimulator : Simulator -- an installed, ready-to-run simulator
+tool Verifier          -- compares two netlists (LVS-style)
+tool Plotter           -- renders performance plots
+tool Placer            -- places a netlist to produce a layout
+
+data DeviceModels -- device model library
+  fd DeviceModelEditor
+data Stimuli -- simulation stimuli; an options-as-entity example
+data PlacementOptions -- placer arguments as an entity
+
+data Netlist abstract -- any netlist, however constructed
+data ExtractedNetlist : Netlist -- netlist extracted from a layout
+  fd Extractor
+  dd Layout
+data EditedNetlist : Netlist -- netlist produced or revised by hand
+  fd NetlistEditor
+  dd Netlist optional
+
+data Layout abstract -- any layout, however constructed
+data EditedLayout : Layout -- layout produced or revised by hand
+  fd LayoutEditor
+  dd Layout optional
+data PlacedLayout : Layout -- layout produced by the placer
+  fd Placer
+  dd Netlist
+  dd PlacementOptions
+
+composite Circuit -- a netlist grouped with its device models
+  dd DeviceModels
+  dd Netlist
+
+data ExtractionStatistics -- second output of the extraction task
+  fd Extractor
+  dd Layout
+
+data Performance -- simulated circuit performance
+  fd Simulator
+  dd Circuit
+  dd Stimuli
+data Verification -- result of comparing two netlists
+  fd Verifier
+  dd Netlist as reference
+  dd Netlist as subject
+data PerformancePlot -- plotted performance
+  fd Plotter
+  dd Performance
+`
+
+// Fig2Text extends Fig1Text with the Fig. 2 subgraph: a simulator compiled
+// for a given netlist (the COSMOS example), i.e. a tool created during the
+// design.
+const Fig2Text = Fig1Text + `
+tool SimulatorCompiler -- compiles a netlist into a dedicated simulator
+tool CompiledSimulator : Simulator -- simulator generated for one netlist
+  fd SimulatorCompiler
+  dd Netlist
+`
+
+// FullText extends Fig2Text with the statistical-optimization subgraph
+// discussed in §3.3: three optimizer tools sharing one calling convention,
+// a simulator passed to them as a data input (tools-as-data), and
+// optimized device models as a DeviceModels subtype with its own
+// construction method.
+const FullText = Fig2Text + `
+tool Optimizer abstract -- statistical circuit optimizer
+tool RandomOptimizer : Optimizer -- uniform random search
+tool DescentOptimizer : Optimizer -- coordinate descent
+tool AnnealOptimizer : Optimizer -- simulated annealing
+
+data OptimizationGoal -- target critical path and budget, as an entity
+data OptimizedModels : DeviceModels -- models tuned to meet a goal
+  fd Optimizer
+  dd Circuit
+  dd Stimuli
+  dd OptimizationGoal
+  dd Simulator as engine
+`
+
+// Fig1 returns a fresh copy of the Fig. 1 schema. The schema is validated;
+// construction failure is a programming error and panics.
+func Fig1() *Schema { return MustParseString(Fig1Text) }
+
+// Fig2 returns a fresh copy of the Fig. 1 schema extended with the Fig. 2
+// compiled-simulator subgraph.
+func Fig2() *Schema { return MustParseString(Fig2Text) }
+
+// Full returns the complete example schema: Fig. 1, Fig. 2 and the
+// optimization subgraph.
+func Full() *Schema { return MustParseString(FullText) }

@@ -1,0 +1,459 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustFig1(t *testing.T) *Schema {
+	t.Helper()
+	s := Fig1()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Fig1 schema invalid: %v", err)
+	}
+	return s
+}
+
+func TestAddAndLookup(t *testing.T) {
+	s := New()
+	if err := s.Add(&EntityType{Name: "Netlist"}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if s.Type("Netlist") == nil {
+		t.Fatal("Type(Netlist) = nil after Add")
+	}
+	if s.Type("Layout") != nil {
+		t.Fatal("Type(Layout) != nil for absent type")
+	}
+	if !s.Has("Netlist") || s.Has("Layout") {
+		t.Fatal("Has wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestAddRejectsDuplicatesAndEmpty(t *testing.T) {
+	s := New()
+	if err := s.Add(&EntityType{Name: ""}); err == nil {
+		t.Error("Add empty name: want error")
+	}
+	if err := s.Add(nil); err == nil {
+		t.Error("Add nil: want error")
+	}
+	if err := s.Add(&EntityType{Name: "X"}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := s.Add(&EntityType{Name: "X"}); err == nil {
+		t.Error("Add duplicate: want error")
+	}
+}
+
+func TestZeroValueSchemaUsable(t *testing.T) {
+	var s Schema
+	if err := s.Add(&EntityType{Name: "X"}); err != nil {
+		t.Fatalf("Add on zero value: %v", err)
+	}
+	if s.Type("X") == nil {
+		t.Fatal("lookup after Add on zero value failed")
+	}
+}
+
+func TestIsSubtypeOf(t *testing.T) {
+	s := mustFig1(t)
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"ExtractedNetlist", "Netlist", true},
+		{"EditedNetlist", "Netlist", true},
+		{"Netlist", "Netlist", true},
+		{"Netlist", "ExtractedNetlist", false},
+		{"Layout", "Netlist", false},
+		{"InstalledSimulator", "Simulator", true},
+		{"NoSuchType", "Netlist", false},
+		{"Netlist", "NoSuchType", false},
+	}
+	for _, c := range cases {
+		if got := s.IsSubtypeOf(c.sub, c.super); got != c.want {
+			t.Errorf("IsSubtypeOf(%s, %s) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestRoot(t *testing.T) {
+	s := mustFig1(t)
+	if got := s.Root("ExtractedNetlist"); got != "Netlist" {
+		t.Errorf("Root(ExtractedNetlist) = %q, want Netlist", got)
+	}
+	if got := s.Root("Netlist"); got != "Netlist" {
+		t.Errorf("Root(Netlist) = %q, want Netlist", got)
+	}
+	if got := s.Root("NoSuchType"); got != "" {
+		t.Errorf("Root(NoSuchType) = %q, want \"\"", got)
+	}
+}
+
+func TestSubtypesAndConcreteSubtypes(t *testing.T) {
+	s := mustFig1(t)
+	subs := s.Subtypes("Netlist")
+	if len(subs) != 2 || subs[0] != "ExtractedNetlist" || subs[1] != "EditedNetlist" {
+		t.Errorf("Subtypes(Netlist) = %v", subs)
+	}
+	conc := s.ConcreteSubtypes("Netlist")
+	if len(conc) != 2 {
+		t.Errorf("ConcreteSubtypes(Netlist) = %v, want 2 entries", conc)
+	}
+	for _, n := range conc {
+		if s.Type(n).Abstract {
+			t.Errorf("ConcreteSubtypes returned abstract %s", n)
+		}
+	}
+	// A concrete type with no subtypes is its own only concrete subtype.
+	self := s.ConcreteSubtypes("Performance")
+	if len(self) != 1 || self[0] != "Performance" {
+		t.Errorf("ConcreteSubtypes(Performance) = %v", self)
+	}
+	// An abstract type is not among its own concrete subtypes.
+	for _, n := range s.ConcreteSubtypes("Layout") {
+		if n == "Layout" {
+			t.Error("abstract Layout listed as concrete subtype of itself")
+		}
+	}
+}
+
+func TestConsumers(t *testing.T) {
+	s := mustFig1(t)
+	uses := s.Consumers("ExtractedNetlist")
+	// ExtractedNetlist is a Netlist, so everything depending on Netlist
+	// must appear: EditedNetlist, PlacedLayout, Circuit, Verification
+	// (twice: reference and subject roles).
+	byConsumer := map[string]int{}
+	for _, u := range uses {
+		byConsumer[u.Consumer]++
+	}
+	for _, want := range []string{"EditedNetlist", "PlacedLayout", "Circuit"} {
+		if byConsumer[want] == 0 {
+			t.Errorf("Consumers(ExtractedNetlist) missing %s (got %v)", want, uses)
+		}
+	}
+	if byConsumer["Verification"] != 2 {
+		t.Errorf("Verification should consume Netlist in 2 roles, got %d", byConsumer["Verification"])
+	}
+}
+
+func TestConsumersOfTool(t *testing.T) {
+	s := mustFig1(t)
+	uses := s.Consumers("InstalledSimulator")
+	found := false
+	for _, u := range uses {
+		if u.Consumer == "Performance" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Consumers(InstalledSimulator) should include Performance via fd; got %v", uses)
+	}
+}
+
+func TestToolsProducing(t *testing.T) {
+	s := mustFig1(t)
+	tools := s.ToolsProducing("Netlist")
+	want := map[string]bool{"Extractor": true, "NetlistEditor": true}
+	if len(tools) != 2 {
+		t.Fatalf("ToolsProducing(Netlist) = %v, want 2 tools", tools)
+	}
+	for _, tl := range tools {
+		if !want[tl] {
+			t.Errorf("unexpected tool %s", tl)
+		}
+	}
+}
+
+func TestProductsOf(t *testing.T) {
+	s := mustFig1(t)
+	prods := s.ProductsOf("Extractor")
+	want := map[string]bool{"ExtractedNetlist": true, "ExtractionStatistics": true}
+	if len(prods) != 2 {
+		t.Fatalf("ProductsOf(Extractor) = %v, want 2", prods)
+	}
+	for _, p := range prods {
+		if !want[p] {
+			t.Errorf("unexpected product %s", p)
+		}
+	}
+	// A subtype tool produces what its supertype's consumers require.
+	prods = s.ProductsOf("InstalledSimulator")
+	if len(prods) != 1 || prods[0] != "Performance" {
+		t.Errorf("ProductsOf(InstalledSimulator) = %v, want [Performance]", prods)
+	}
+}
+
+func TestDepKeyAndString(t *testing.T) {
+	d := Dep{Type: "Netlist"}
+	if d.Key() != "Netlist" || d.String() != "Netlist" {
+		t.Errorf("plain dep: key=%q str=%q", d.Key(), d.String())
+	}
+	d = Dep{Type: "Netlist", Role: "golden", Optional: true}
+	if d.Key() != "Netlist/golden" {
+		t.Errorf("role dep key = %q", d.Key())
+	}
+	if d.String() != "Netlist/golden?" {
+		t.Errorf("role dep string = %q", d.String())
+	}
+}
+
+func TestEntityTypeHelpers(t *testing.T) {
+	s := mustFig1(t)
+	perf := s.Type("Performance")
+	if !perf.HasTask() {
+		t.Error("Performance should have a task")
+	}
+	if perf.IsPrimitiveSource() {
+		t.Error("Performance is not a primitive source")
+	}
+	stim := s.Type("Stimuli")
+	if stim.HasTask() || !stim.IsPrimitiveSource() {
+		t.Error("Stimuli should be a primitive source without a task")
+	}
+	circ := s.Type("Circuit")
+	if circ.HasTask() {
+		t.Error("composite Circuit has no task")
+	}
+	if circ.IsPrimitiveSource() {
+		t.Error("composite Circuit is not a primitive source")
+	}
+	en := s.Type("EditedNetlist")
+	if got := len(en.RequiredDeps()); got != 0 {
+		t.Errorf("EditedNetlist required deps = %d, want 0 (its dd is optional)", got)
+	}
+	if got := len(en.AllDeps()); got != 2 {
+		t.Errorf("EditedNetlist all deps = %d, want 2 (fd + optional dd)", got)
+	}
+	if _, ok := perf.DepByKey("Circuit"); !ok {
+		t.Error("DepByKey(Circuit) should find Performance's dd")
+	}
+	if _, ok := perf.DepByKey("Simulator"); !ok {
+		t.Error("DepByKey(Simulator) should find Performance's fd")
+	}
+	if _, ok := perf.DepByKey("Nope"); ok {
+		t.Error("DepByKey(Nope) should miss")
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	s := mustFig1(t)
+	if !s.Satisfies("ExtractedNetlist", "Netlist") {
+		t.Error("ExtractedNetlist should satisfy Netlist")
+	}
+	if s.Satisfies("Netlist", "ExtractedNetlist") {
+		t.Error("Netlist must not satisfy ExtractedNetlist")
+	}
+}
+
+func TestValidateCatchesUnknownTargets(t *testing.T) {
+	s := New()
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, FuncDep: &Dep{Type: "NoTool"}})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "NoTool") {
+		t.Errorf("want unknown-fd error, got %v", err)
+	}
+
+	s = New()
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, DataDeps: []Dep{{Type: "NoData"}}})
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "NoData") {
+		t.Errorf("want unknown-dd error, got %v", err)
+	}
+
+	s = New()
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, Parent: "NoParent"})
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "NoParent") {
+		t.Errorf("want unknown-parent error, got %v", err)
+	}
+}
+
+func TestValidateCatchesFdOnNonTool(t *testing.T) {
+	s := New()
+	s.MustAdd(&EntityType{Name: "D", Kind: KindData})
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, FuncDep: &Dep{Type: "D"}})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "not a tool") {
+		t.Errorf("want not-a-tool error, got %v", err)
+	}
+}
+
+func TestValidateCatchesOptionalFd(t *testing.T) {
+	s := New()
+	s.MustAdd(&EntityType{Name: "T", Kind: KindTool})
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, FuncDep: &Dep{Type: "T", Optional: true}})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cannot be optional") {
+		t.Errorf("want optional-fd error, got %v", err)
+	}
+}
+
+func TestValidateCatchesCompositeViolations(t *testing.T) {
+	s := New()
+	s.MustAdd(&EntityType{Name: "T", Kind: KindTool})
+	s.MustAdd(&EntityType{Name: "C", Kind: KindData, Composite: true, FuncDep: &Dep{Type: "T"}})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "composite") {
+		t.Errorf("want composite-fd error, got %v", err)
+	}
+
+	s = New()
+	s.MustAdd(&EntityType{Name: "C", Kind: KindData, Composite: true})
+	err = s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no components") {
+		t.Errorf("want no-components error, got %v", err)
+	}
+}
+
+func TestValidateCatchesDuplicateDepKeys(t *testing.T) {
+	s := New()
+	s.MustAdd(&EntityType{Name: "D", Kind: KindData})
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData,
+		DataDeps: []Dep{{Type: "D"}, {Type: "D"}}})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "duplicate dependency key") {
+		t.Errorf("want duplicate-key error, got %v", err)
+	}
+	// Distinct roles make the same type legal twice.
+	s = New()
+	s.MustAdd(&EntityType{Name: "D", Kind: KindData})
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData,
+		DataDeps: []Dep{{Type: "D", Role: "x"}, {Type: "D", Role: "y"}}})
+	if err := s.Validate(); err != nil {
+		t.Errorf("roles should disambiguate: %v", err)
+	}
+}
+
+func TestValidateCatchesSubtypeCycle(t *testing.T) {
+	s := New()
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, Parent: "B"})
+	s.MustAdd(&EntityType{Name: "B", Kind: KindData, Parent: "A"})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "subtype cycle") {
+		t.Errorf("want subtype-cycle error, got %v", err)
+	}
+}
+
+func TestValidateCatchesAbstractWithoutConcrete(t *testing.T) {
+	s := New()
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, Abstract: true})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "no concrete subtype") {
+		t.Errorf("want abstract error, got %v", err)
+	}
+}
+
+func TestValidateGroundedness(t *testing.T) {
+	// A requires B, B requires A: neither is constructible.
+	s := New()
+	s.MustAdd(&EntityType{Name: "T", Kind: KindTool})
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, FuncDep: &Dep{Type: "T"}, DataDeps: []Dep{{Type: "B"}}})
+	s.MustAdd(&EntityType{Name: "B", Kind: KindData, FuncDep: &Dep{Type: "T"}, DataDeps: []Dep{{Type: "A"}}})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "not grounded") {
+		t.Errorf("want groundedness error, got %v", err)
+	}
+
+	// Making one dependency optional breaks the loop (the paper's rule).
+	s = New()
+	s.MustAdd(&EntityType{Name: "T", Kind: KindTool})
+	s.MustAdd(&EntityType{Name: "A", Kind: KindData, FuncDep: &Dep{Type: "T"}, DataDeps: []Dep{{Type: "B"}}})
+	s.MustAdd(&EntityType{Name: "B", Kind: KindData, FuncDep: &Dep{Type: "T"}, DataDeps: []Dep{{Type: "A", Optional: true}}})
+	if err := s.Validate(); err != nil {
+		t.Errorf("optional dep should break loop: %v", err)
+	}
+}
+
+func TestValidateGroundednessViaSubtype(t *testing.T) {
+	// Layout <-> Netlist style loop escaped through an alternative
+	// concrete subtype: legal.
+	const src = `
+tool T
+data N abstract
+data NFromL : N
+  fd T
+  dd L
+data NByHand : N
+  fd T
+data L abstract
+data LFromN : L
+  fd T
+  dd N
+`
+	if _, err := ParseString(src); err != nil {
+		t.Errorf("subtype-escaped loop should validate: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := mustFig1(t)
+	c := s.Clone()
+	if c.Len() != s.Len() {
+		t.Fatalf("clone len %d != %d", c.Len(), s.Len())
+	}
+	// Mutate the clone's Performance deps; original must be unchanged.
+	c.Type("Performance").DataDeps[0].Type = "Mutated"
+	if s.Type("Performance").DataDeps[0].Type == "Mutated" {
+		t.Error("Clone shares DataDeps backing array with original")
+	}
+	c.Type("Performance").FuncDep.Type = "Mutated"
+	if s.Type("Performance").FuncDep.Type == "Mutated" {
+		t.Error("Clone shares FuncDep pointer with original")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindData.String() != "data" || KindTool.String() != "tool" {
+		t.Error("Kind.String basic values wrong")
+	}
+	if got := Kind(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestEntityTypeString(t *testing.T) {
+	s := mustFig1(t)
+	str := s.Type("EditedNetlist").String()
+	for _, want := range []string{"data", "EditedNetlist", ": Netlist", "fd=NetlistEditor", "Netlist?"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("EntityType.String() = %q, missing %q", str, want)
+		}
+	}
+	if !strings.Contains(s.Type("Circuit").String(), "(composite)") {
+		t.Error("composite marker missing")
+	}
+	if !strings.Contains(s.Type("Netlist").String(), "(abstract)") {
+		t.Error("abstract marker missing")
+	}
+}
+
+func TestNamesAndTypesOrder(t *testing.T) {
+	s := New()
+	for _, n := range []string{"C", "A", "B"} {
+		s.MustAdd(&EntityType{Name: n, Kind: KindData})
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "C" || names[1] != "A" || names[2] != "B" {
+		t.Errorf("Names() = %v, want insertion order [C A B]", names)
+	}
+	types := s.Types()
+	for i, ty := range types {
+		if ty.Name != names[i] {
+			t.Errorf("Types()[%d] = %s, want %s", i, ty.Name, names[i])
+		}
+	}
+	// Returned slice is a copy.
+	names[0] = "X"
+	if s.Names()[0] != "C" {
+		t.Error("Names() returned a live reference")
+	}
+}

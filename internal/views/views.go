@@ -1,0 +1,169 @@
+// Package views implements view management via flows (§3.3, Figs. 7–8):
+// the logic, transistor and physical views of a design are associated
+// with entities in the task schema, transformations between views are
+// ordinary flows, and view correspondence is checked by running the
+// verification flow (extract + LVS) rather than by a separate data
+// management subsystem.
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cad/extract"
+	"repro/internal/cad/layout"
+	"repro/internal/cad/netlist"
+	"repro/internal/cad/verify"
+	"repro/internal/flow"
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+// View names one view of a design and the schema entity type carrying
+// it.
+type View struct {
+	Name string
+	// EntityType is the schema type whose instances present the view.
+	EntityType string
+	// Accepts reports whether an artifact of that type actually presents
+	// this view (a Netlist entity presents the logic view when it has
+	// gates and the transistor view when it has devices).
+	Accepts func(data []byte) bool
+}
+
+// The three standard views of Fig. 7.
+var (
+	// Logic is the gate-level view.
+	Logic = View{Name: "logic", EntityType: "Netlist", Accepts: func(b []byte) bool {
+		nl, err := netlist.ParseString(string(b))
+		return err == nil && len(nl.Gates) > 0
+	}}
+	// Transistor is the switch-level view.
+	Transistor = View{Name: "transistor", EntityType: "Netlist", Accepts: func(b []byte) bool {
+		nl, err := netlist.ParseString(string(b))
+		return err == nil && len(nl.Devices) > 0 && len(nl.Gates) == 0
+	}}
+	// Physical is the mask-geometry view.
+	Physical = View{Name: "physical", EntityType: "Layout", Accepts: func(b []byte) bool {
+		_, err := layout.ParseString(string(b))
+		return err == nil
+	}}
+)
+
+// Standard lists the three standard views.
+func Standard() []View { return []View{Logic, Transistor, Physical} }
+
+// Classify returns the names of the views an artifact of the given
+// entity type presents, sorted.
+func Classify(s *schema.Schema, typeName string, data []byte) []string {
+	var out []string
+	for _, v := range Standard() {
+		if s.IsSubtypeOf(typeName, v.EntityType) && v.Accepts(data) {
+			out = append(out, v.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SynthesisFlow builds the Fig. 8(a) flow — synthesize the physical view
+// from a netlist via the placer — over the given netlist instance. The
+// placer tool and options nodes are returned unbound for the caller to
+// fill from the catalogs.
+type SynthesisNodes struct {
+	Flow    *flow.Flow
+	Layout  flow.NodeID // PlacedLayout goal
+	Netlist flow.NodeID // bound to the given instance
+	Placer  flow.NodeID // unbound tool leaf
+	Options flow.NodeID // unbound PlacementOptions leaf
+}
+
+// SynthesisFlow constructs the synthesis flow.
+func SynthesisFlow(s *schema.Schema, db *history.DB, netInst history.ID) (*SynthesisNodes, error) {
+	f := flow.New(s, db)
+	lay, err := f.Add("PlacedLayout")
+	if err != nil {
+		return nil, err
+	}
+	if err := f.ExpandDown(lay, false); err != nil {
+		return nil, err
+	}
+	placer, _ := f.Node(lay).Dep("fd")
+	net, _ := f.Node(lay).Dep("Netlist")
+	opts, _ := f.Node(lay).Dep("PlacementOptions")
+	if err := f.Bind(net, netInst); err != nil {
+		return nil, err
+	}
+	return &SynthesisNodes{Flow: f, Layout: lay, Netlist: net, Placer: placer, Options: opts}, nil
+}
+
+// VerificationNodes are the nodes of the Fig. 8(b) flow.
+type VerificationNodes struct {
+	Flow         *flow.Flow
+	Verification flow.NodeID
+	Extracted    flow.NodeID // ExtractedNetlist from the layout
+	Layout       flow.NodeID // bound to the physical view
+	Reference    flow.NodeID // bound to the netlist view
+	Extractor    flow.NodeID // unbound tool leaf
+	Verifier     flow.NodeID // unbound tool leaf
+}
+
+// VerificationFlow constructs the Fig. 8(b) flow: extract the physical
+// view and verify it against the netlist view.
+func VerificationFlow(s *schema.Schema, db *history.DB, layoutInst, netInst history.ID) (*VerificationNodes, error) {
+	f := flow.New(s, db)
+	lay, err := f.Add("Layout")
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Bind(lay, layoutInst); err != nil {
+		return nil, err
+	}
+	xnet, err := f.ExpandUp(lay, "ExtractedNetlist", "Layout")
+	if err != nil {
+		return nil, err
+	}
+	if err := f.ExpandDown(xnet, false); err != nil {
+		return nil, err
+	}
+	extractor, _ := f.Node(xnet).Dep("fd")
+	ver, err := f.ExpandUp(xnet, "Verification", "Netlist/subject")
+	if err != nil {
+		return nil, err
+	}
+	if err := f.ExpandDown(ver, false); err != nil {
+		return nil, err
+	}
+	verifier, _ := f.Node(ver).Dep("fd")
+	ref, _ := f.Node(ver).Dep("Netlist/reference")
+	if err := f.Bind(ref, netInst); err != nil {
+		return nil, err
+	}
+	return &VerificationNodes{Flow: f, Verification: ver, Extracted: xnet,
+		Layout: lay, Reference: ref, Extractor: extractor, Verifier: verifier}, nil
+}
+
+// Correspondence checks directly (without going through the engine)
+// whether a physical view corresponds to a netlist view: extract, expand
+// the reference to transistors when needed, LVS.
+func Correspondence(layoutText, netlistText string) (*verify.Report, error) {
+	l, err := layout.ParseString(layoutText)
+	if err != nil {
+		return nil, fmt.Errorf("views: physical view: %w", err)
+	}
+	res, err := extract.Extract(l)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := netlist.ParseString(netlistText)
+	if err != nil {
+		return nil, fmt.Errorf("views: netlist view: %w", err)
+	}
+	if len(ref.Gates) > 0 {
+		ref, err = netlist.ToTransistor(ref)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return verify.LVS(ref, res.Netlist, verify.LVSOptions{}), nil
+}

@@ -1,0 +1,29 @@
+package views
+
+import (
+	"testing"
+
+	"repro/internal/hercules"
+)
+
+func TestFlowBuildersRejectBadInstances(t *testing.T) {
+	s := hercules.NewSession("t")
+	if err := s.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	// Synthesis needs a netlist instance; a tool or a missing ID fails
+	// at bind time.
+	if _, err := SynthesisFlow(s.Schema, s.DB, "Nope:1"); err == nil {
+		t.Error("missing netlist should fail")
+	}
+	if _, err := SynthesisFlow(s.Schema, s.DB, s.Must("sim")); err == nil {
+		t.Error("tool instance as netlist should fail")
+	}
+	// Verification needs a layout and a netlist.
+	if _, err := VerificationFlow(s.Schema, s.DB, "Nope:1", "Nope:2"); err == nil {
+		t.Error("missing layout should fail")
+	}
+	if _, err := VerificationFlow(s.Schema, s.DB, s.Must("sim"), s.Must("stim.step")); err == nil {
+		t.Error("ill-typed instances should fail")
+	}
+}

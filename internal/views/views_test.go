@@ -1,0 +1,168 @@
+package views
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cad/layout"
+	"repro/internal/cad/netlist"
+	"repro/internal/hercules"
+)
+
+func TestClassify(t *testing.T) {
+	s := hercules.NewSession("t").Schema
+	gate := netlist.Format(netlist.Inverter())
+	xt, err := netlist.ToTransistor(netlist.Inverter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xtText := netlist.Format(xt)
+	lay, err := layout.Generate(netlist.Inverter(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layText := layout.Format(lay)
+
+	cases := []struct {
+		typeName, data string
+		want           []string
+	}{
+		{"EditedNetlist", gate, []string{"logic"}},
+		{"ExtractedNetlist", xtText, []string{"transistor"}},
+		{"PlacedLayout", layText, []string{"physical"}},
+		{"Stimuli", "stimuli s\ninterval 1\ninputs a\n", nil},
+		{"EditedNetlist", "garbage", nil},
+	}
+	for _, c := range cases {
+		got := Classify(s, c.typeName, []byte(c.data))
+		if len(got) != len(c.want) {
+			t.Errorf("Classify(%s) = %v, want %v", c.typeName, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Classify(%s) = %v, want %v", c.typeName, got, c.want)
+			}
+		}
+	}
+}
+
+func TestStandardViews(t *testing.T) {
+	if len(Standard()) != 3 {
+		t.Errorf("Standard() = %d views", len(Standard()))
+	}
+}
+
+func TestSynthesisAndVerificationFlows(t *testing.T) {
+	// Fig. 8 end to end through the view helpers: synthesize the
+	// physical view of a full adder, then verify it against the logic
+	// view.
+	s := hercules.NewSession("t")
+	if err := s.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	// Make the netlist first (logic view).
+	f, netN, err := s.Catalogs.StartFromGoal("EditedNetlist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ExpandDown(netN, false); err != nil {
+		t.Fatal(err)
+	}
+	toolN, _ := f.Node(netN).Dep("fd")
+	if err := f.Bind(toolN, s.Must("netEd.fulladder")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netInst, err := res.One(netN)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 8(a): synthesis.
+	syn, err := SynthesisFlow(s.Schema, s.DB, netInst)
+	if err != nil {
+		t.Fatalf("SynthesisFlow: %v", err)
+	}
+	if err := syn.Flow.Bind(syn.Placer, s.Must("placer")); err != nil {
+		t.Fatal(err)
+	}
+	if err := syn.Flow.Bind(syn.Options, s.Must("popts.default")); err != nil {
+		t.Fatal(err)
+	}
+	sres, err := s.Run(syn.Flow)
+	if err != nil {
+		t.Fatalf("synthesis run: %v", err)
+	}
+	layInst, err := sres.One(syn.Layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fig. 8(b): verification.
+	ver, err := VerificationFlow(s.Schema, s.DB, layInst, netInst)
+	if err != nil {
+		t.Fatalf("VerificationFlow: %v", err)
+	}
+	if err := ver.Flow.Bind(ver.Extractor, s.Must("extractor")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ver.Flow.Bind(ver.Verifier, s.Must("verifier")); err != nil {
+		t.Fatal(err)
+	}
+	vres, err := s.Run(ver.Flow)
+	if err != nil {
+		t.Fatalf("verification run: %v", err)
+	}
+	vid, err := vres.One(ver.Verification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := s.ArtifactText(vid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "MATCH") || strings.Contains(text, "MISMATCH") {
+		t.Errorf("views should correspond:\n%s", text)
+	}
+}
+
+func TestCorrespondenceDirect(t *testing.T) {
+	nl := netlist.FullAdder()
+	lay, err := layout.Generate(nl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Correspondence(layout.Format(lay), netlist.Format(nl))
+	if err != nil {
+		t.Fatalf("Correspondence: %v", err)
+	}
+	if !rep.Match {
+		t.Errorf("views should match:\n%s", rep.Summary())
+	}
+	// A different circuit's layout must not correspond.
+	lay2, err := layout.Generate(netlist.Mux2(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Correspondence(layout.Format(lay2), netlist.Format(nl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Match {
+		t.Error("mux layout must not match adder netlist")
+	}
+}
+
+func TestCorrespondenceErrors(t *testing.T) {
+	if _, err := Correspondence("garbage", netlist.Format(netlist.Inverter())); err == nil {
+		t.Error("bad layout should fail")
+	}
+	lay, _ := layout.Generate(netlist.Inverter(), nil)
+	if _, err := Correspondence(layout.Format(lay), "garbage"); err == nil {
+		t.Error("bad netlist should fail")
+	}
+}
