@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build vet test race ci bench flowbench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate CI runs: compile, vet, full suite under the race
+# detector (the scheduler is concurrent; -race is not optional).
+ci: build vet race
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+flowbench:
+	$(GO) run ./cmd/flowbench

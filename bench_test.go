@@ -21,6 +21,7 @@ import (
 	"repro/internal/cad/netlist"
 	"repro/internal/cad/sim"
 	"repro/internal/encap"
+	"repro/internal/exec"
 	"repro/internal/flow"
 	"repro/internal/hercules"
 	"repro/internal/history"
@@ -230,6 +231,70 @@ func BenchmarkFig6ParallelBranches(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_, err := s.Run(build())
+				mustB(b, err)
+			}
+		})
+	}
+}
+
+// buildUnbalanced makes two independent EditedNetlist chains of the
+// given depth with alternating slow/fast per-task latencies: every
+// dependency level holds one slow and one fast task, but each chain's
+// own sum is only half slow. A level-barrier scheduler pays
+// sum-of-level-maxima ≈ depth×slow; the dataflow scheduler pays
+// max-branch ≈ depth×(slow+fast)/2.
+func buildUnbalanced(b *testing.B, s *hercules.Session, depth int, slow, fast time.Duration) (*flow.Flow, map[flow.NodeID]time.Duration) {
+	b.Helper()
+	f := s.NewFlow()
+	delays := make(map[flow.NodeID]time.Duration)
+	for c := 0; c < 2; c++ {
+		base := f.MustAdd("EditedNetlist")
+		mustB(b, f.ExpandDown(base, false))
+		tn, _ := f.Node(base).Dep("fd")
+		mustB(b, f.Bind(tn, s.Must("netEd.fulladder")))
+		prev := base
+		for d := 0; d < depth; d++ {
+			if (d+c)%2 == 0 {
+				delays[prev] = slow
+			} else {
+				delays[prev] = fast
+			}
+			if d == depth-1 {
+				break
+			}
+			next, err := f.ExpandUp(prev, "EditedNetlist", "Netlist")
+			mustB(b, err)
+			mustB(b, f.ExpandDown(next, false))
+			tn, _ := f.Node(next).Dep("fd")
+			mustB(b, f.Bind(tn, s.Must("netEd.retouch")))
+			prev = next
+		}
+	}
+	return f, delays
+}
+
+// BenchmarkFig6UnbalancedBranches measures the tentpole claim: on
+// unbalanced flows the dependency-counting dataflow scheduler beats the
+// level-barrier baseline (≥1.3× at 4 workers) while recording identical
+// instance IDs — compare the two sub-benchmarks.
+func BenchmarkFig6UnbalancedBranches(b *testing.B) {
+	const depth = 6
+	const workers = 4
+	slow, fast := 8*time.Millisecond, 500*time.Microsecond
+	for _, sched := range []exec.Scheduler{exec.Barrier, exec.Dataflow} {
+		b.Run("scheduler="+sched.String(), func(b *testing.B) {
+			s := session(b)
+			s.SetWorkers(workers)
+			s.SetScheduler(sched)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f, delays := buildUnbalanced(b, s, depth, slow, fast)
+				s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
+					return delays[n]
+				})
+				b.StartTimer()
+				_, err := s.Run(f)
 				mustB(b, err)
 			}
 		})

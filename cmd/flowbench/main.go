@@ -28,6 +28,7 @@ import (
 	"repro/internal/cad/netlist"
 	"repro/internal/cad/sim"
 	"repro/internal/encap"
+	"repro/internal/exec"
 	"repro/internal/flow"
 	"repro/internal/hercules"
 	"repro/internal/history"
@@ -45,6 +46,7 @@ var sections = []struct {
 	{"fig4", "expansions of a flow, with specialization", fig4},
 	{"fig5", "complex flow: reuse, multiple outputs", fig5},
 	{"fig6", "parallel execution of disjoint branches", fig6},
+	{"sched", "dataflow scheduler vs level-barrier baseline", schedSection},
 	{"fig7", "three views of an inverter cell", fig7},
 	{"fig8", "view synthesis and verification flows", fig8},
 	{"fig9", "browser filters over the design history", fig9},
@@ -337,18 +339,81 @@ func fig6() {
 	s.Engine.SetTaskDelay(delay)
 	defer s.Engine.SetTaskDelay(0)
 	fmt.Printf("8 disjoint branches, %v simulated tool-dispatch latency each\n", delay)
-	fmt.Printf("%9s %12s %9s\n", "machines", "elapsed", "speedup")
+	fmt.Printf("%9s %12s %9s %10s\n", "machines", "elapsed", "speedup", "occupancy")
 	var base time.Duration
+	var last *exec.Stats
 	for _, w := range []int{1, 2, 4, 8} {
 		s.Engine.SetWorkers(w)
 		res := must1(s.Run(build()))
 		if w == 1 {
 			base = res.Elapsed
 		}
-		fmt.Printf("%9d %12v %8.1fx\n", w, res.Elapsed.Round(time.Millisecond),
-			float64(base)/float64(res.Elapsed))
+		fmt.Printf("%9d %12v %8.1fx %9.0f%%\n", w, res.Elapsed.Round(time.Millisecond),
+			float64(base)/float64(res.Elapsed), res.Stats.Occupancy*100)
+		last = res.Stats
 	}
+	fmt.Println("last run (8 machines):")
+	fmt.Println(indent(last.Summary()))
 	s.Engine.SetWorkers(1)
+}
+
+// ---- scheduler: dataflow vs level barrier -----------------------------------
+
+func schedSection() {
+	const depth = 6
+	const workers = 4
+	slow, fast := 20*time.Millisecond, time.Millisecond
+	fmt.Printf("two chains of %d tasks, slow/fast latencies interleaved per level (%v / %v), %d machines\n",
+		depth, slow, fast, workers)
+	fmt.Printf("level-barrier lower bound (sum of level maxima): %v; dataflow ideal (max branch): %v\n",
+		time.Duration(depth)*slow, time.Duration(depth/2)*(slow+fast))
+	run := func(sched exec.Scheduler) (*hercules.Session, *exec.Result) {
+		s := session()
+		s.SetWorkers(workers)
+		s.SetScheduler(sched)
+		f := s.NewFlow()
+		delays := make(map[flow.NodeID]time.Duration)
+		for c := 0; c < 2; c++ {
+			base := f.MustAdd("EditedNetlist")
+			must(f.ExpandDown(base, false))
+			tn, _ := f.Node(base).Dep("fd")
+			must(f.Bind(tn, s.Must("netEd.fulladder")))
+			prev := base
+			for d := 0; d < depth; d++ {
+				if (d+c)%2 == 0 {
+					delays[prev] = slow
+				} else {
+					delays[prev] = fast
+				}
+				if d == depth-1 {
+					break
+				}
+				next := must1(f.ExpandUp(prev, "EditedNetlist", "Netlist"))
+				must(f.ExpandDown(next, false))
+				tn, _ := f.Node(next).Dep("fd")
+				must(f.Bind(tn, s.Must("netEd.retouch")))
+				prev = next
+			}
+		}
+		s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
+			return delays[n]
+		})
+		return s, must1(s.Run(f))
+	}
+	sBar, resBar := run(exec.Barrier)
+	sDat, resDat := run(exec.Dataflow)
+	for _, r := range []*exec.Result{resBar, resDat} {
+		fmt.Printf("%s:\n%s\n", r.Stats.Scheduler, indent(r.Stats.Summary()))
+	}
+	fmt.Printf("dataflow speedup over barrier: %.2fx\n",
+		float64(resBar.Stats.Elapsed)/float64(resDat.Stats.Elapsed))
+	// Determinism: both schedulers committed identical instance IDs.
+	a, b := sBar.DB.All(), sDat.DB.All()
+	same := len(a) == len(b)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i].ID == b[i].ID && a[i].Tool == b[i].Tool
+	}
+	fmt.Printf("identical instance IDs and derivations across schedulers: %v\n", same)
 }
 
 // ---- fig 7 -----------------------------------------------------------------

@@ -4,7 +4,10 @@
 // (package history) and its artifact in the datastore, and implements
 // the framework services of §3.3:
 //
-//   - automatic task sequencing from the dependencies in the task graph;
+//   - automatic task sequencing from the dependencies in the task graph,
+//     via a dependency-counting dataflow scheduler (see sched.go): a job
+//     dispatches the moment its producers finish, with no barrier
+//     between dependency levels;
 //   - parallel execution of independent work, as on the "different
 //     machines" of Fig. 6 (a worker pool with optional simulated
 //     per-task dispatch latency);
@@ -16,13 +19,16 @@
 //     consistency checks;
 //   - automatic retracing of stale derivations (consistency
 //     maintenance).
+//
+// Execution is observable: every run returns per-task wall times, worker
+// occupancy, the measured critical path and a queue-wait histogram on
+// Result.Stats.
 package exec
 
 import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/datastore"
@@ -32,8 +38,17 @@ import (
 	"repro/internal/schema"
 )
 
+// DefaultMaxCombos bounds the cartesian product a single node's
+// multi-instance bindings may fan out into (SetMaxCombos overrides it).
+// Generous — real flows fan out into dozens of combos, not tens of
+// thousands — but finite, so an adversarial binding fails with a clear
+// error instead of exhausting memory.
+const DefaultMaxCombos = 100_000
+
 // Engine executes flows against one schema, history database, datastore
-// and encapsulation registry.
+// and encapsulation registry. An Engine may be reused across runs but
+// runs one flow at a time; its setters are not safe to call during a
+// run.
 type Engine struct {
 	schema    *schema.Schema
 	db        *history.DB
@@ -42,13 +57,17 @@ type Engine struct {
 	archives  func(name string, rev int) (string, error)
 	user      string
 	workers   int
+	sched     Scheduler
+	maxCombos int
 	taskDelay time.Duration
+	delayFn   func(node flow.NodeID, goal string) time.Duration
 }
 
 // New creates an engine. workers defaults to 1 (fully serial); use
 // SetWorkers to allow parallel branches.
 func New(s *schema.Schema, db *history.DB, store *datastore.Store, reg *encap.Registry) *Engine {
-	return &Engine{schema: s, db: db, store: store, reg: reg, user: "designer", workers: 1}
+	return &Engine{schema: s, db: db, store: store, reg: reg, user: "designer",
+		workers: 1, maxCombos: DefaultMaxCombos}
 }
 
 // SetUser sets the user recorded on created instances.
@@ -63,10 +82,34 @@ func (e *Engine) SetWorkers(n int) {
 	e.workers = n
 }
 
+// SetScheduler selects the scheduling discipline: Dataflow (default) or
+// the Barrier baseline. Both record identical instance IDs for the same
+// flow; Barrier exists so the level-barrier cost can be measured.
+func (e *Engine) SetScheduler(s Scheduler) { e.sched = s }
+
+// SetMaxCombos caps the cartesian product of input combinations a single
+// node may fan out into (§4.1 multi-instance bindings). Runs exceeding
+// the cap fail with a clear error instead of exhausting memory. Values
+// below 1 restore DefaultMaxCombos.
+func (e *Engine) SetMaxCombos(n int) {
+	if n < 1 {
+		n = DefaultMaxCombos
+	}
+	e.maxCombos = n
+}
+
 // SetTaskDelay adds a simulated dispatch latency to every tool run —
 // the stand-in for remote-machine tool startup used when demonstrating
 // Fig. 6 (parallel branches win by ~workers×).
 func (e *Engine) SetTaskDelay(d time.Duration) { e.taskDelay = d }
+
+// SetTaskDelayFunc installs a per-task simulated latency keyed by the
+// representative node and the goal type, for benchmarks that need
+// unbalanced flows (some branches slow, some fast). When set it takes
+// precedence over SetTaskDelay; pass nil to remove it.
+func (e *Engine) SetTaskDelayFunc(fn func(node flow.NodeID, goal string) time.Duration) {
+	e.delayFn = fn
+}
 
 // SetArchiveSource supplies the checkout function for archive-backed
 // instances (footnote 5: instances whose artifact lives at a revision of
@@ -83,20 +126,24 @@ func (e *Engine) artifactOf(inst history.ID) ([]byte, error) {
 	if in == nil {
 		return nil, fmt.Errorf("exec: instance %s disappeared", inst)
 	}
+	return e.artifactOfInstance(in)
+}
+
+func (e *Engine) artifactOfInstance(in *history.Instance) ([]byte, error) {
 	if in.Data != "" {
 		b, ok := e.store.Get(in.Data)
 		if !ok {
-			return nil, fmt.Errorf("exec: artifact %s of %s missing from datastore", in.Data, inst)
+			return nil, fmt.Errorf("exec: artifact %s of %s missing from datastore", in.Data, in.ID)
 		}
 		return b, nil
 	}
 	if in.Archive != "" {
 		if e.archives == nil {
-			return nil, fmt.Errorf("exec: instance %s is archive-backed but no archive source is configured", inst)
+			return nil, fmt.Errorf("exec: instance %s is archive-backed but no archive source is configured", in.ID)
 		}
 		text, err := e.archives(in.Archive, in.Revision)
 		if err != nil {
-			return nil, fmt.Errorf("exec: checkout of %s: %w", inst, err)
+			return nil, fmt.Errorf("exec: checkout of %s: %w", in.ID, err)
 		}
 		return []byte(text), nil
 	}
@@ -109,15 +156,23 @@ func (e *Engine) DB() *history.DB { return e.db }
 // Store returns the engine's datastore.
 func (e *Engine) Store() *datastore.Store { return e.store }
 
-// Result reports one flow run.
+// Result reports one flow run. On error the result is still returned:
+// Elapsed is the time spent before failing, Created holds the bound
+// instances plus everything committed before the failure, and Stats
+// describes the partial schedule — the raw material for failure
+// diagnostics and retracing.
 type Result struct {
 	// Created maps each executed node to the instances that realized it
 	// (bound instances pass through unchanged).
 	Created map[flow.NodeID][]history.ID
-	// TasksRun counts tool executions (compositions included).
+	// TasksRun counts tool executions (compositions included) whose
+	// results were committed to history.
 	TasksRun int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// Stats describes how the run was scheduled; nil when the run failed
+	// before planning finished.
+	Stats *Stats
 }
 
 // InstancesOf returns the instances created for a node.
@@ -136,7 +191,8 @@ func (r *Result) One(id flow.NodeID) (history.ID, error) {
 }
 
 // RunFlow executes every root of the flow (and hence every needed
-// node).
+// node). On error the returned Result still carries partial state (see
+// Result).
 func (e *Engine) RunFlow(f *flow.Flow) (*Result, error) {
 	return e.run(f, f.Roots())
 }
@@ -151,28 +207,33 @@ func (e *Engine) RunNode(f *flow.Flow, id flow.NodeID) (*Result, error) {
 	return e.run(f, []flow.NodeID{id})
 }
 
-// reachable returns the nodes needed to compute the targets.
-func reachable(f *flow.Flow, targets []flow.NodeID) map[flow.NodeID]bool {
-	out := make(map[flow.NodeID]bool)
-	var visit func(id flow.NodeID)
-	visit = func(id flow.NodeID) {
-		if out[id] {
-			return
-		}
-		out[id] = true
-		n := f.Node(id)
-		if n.IsBound() {
-			return // bound nodes stand in for their subtree
-		}
-		for _, k := range n.DepKeys() {
-			c, _ := n.Dep(k)
-			visit(c)
-		}
+func (e *Engine) run(f *flow.Flow, targets []flow.NodeID) (*Result, error) {
+	start := time.Now()
+	res := &Result{Created: make(map[flow.NodeID][]history.ID)}
+	fail := func(err error) (*Result, error) {
+		res.Elapsed = time.Since(start)
+		return res, err
+	}
+	if err := f.Validate(); err != nil {
+		return fail(err)
 	}
 	for _, t := range targets {
-		visit(t)
+		if ok, why := f.Executable(t); !ok {
+			return fail(fmt.Errorf("exec: flow is not executable: %s", why))
+		}
 	}
-	return out
+	p, err := e.plan(f, targets)
+	if err != nil {
+		return fail(err)
+	}
+	for id, insts := range p.bound {
+		res.Created[id] = insts
+	}
+	if err := e.execute(f, p, res); err != nil {
+		return fail(err)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
 }
 
 // taskSignature groups sibling nodes that share one construction (same
@@ -189,176 +250,25 @@ func taskSignature(f *flow.Flow, id flow.NodeID) string {
 	return strings.Join(parts, ",")
 }
 
-// job is one group of nodes computed by a shared sequence of tool runs.
-type job struct {
-	nodes     []flow.NodeID // group members, representative first
-	composite bool
-	// combos are the input combinations to execute, each a concrete
-	// assignment of instances to dependency keys (plus "fd").
-	combos []map[string]history.ID
-	// outputs[i] collects, per combo, the produced artifacts.
-	outputs []encap.Outputs
-	err     error
-}
-
-func (e *Engine) run(f *flow.Flow, targets []flow.NodeID) (*Result, error) {
-	if err := f.Validate(); err != nil {
-		return nil, err
-	}
-	for _, t := range targets {
-		if ok, why := f.Executable(t); !ok {
-			return nil, fmt.Errorf("exec: flow is not executable: %s", why)
-		}
-	}
-	needed := reachable(f, targets)
-	levels, err := f.Levels()
-	if err != nil {
-		return nil, err
-	}
-
-	start := time.Now()
-	res := &Result{Created: make(map[flow.NodeID][]history.ID)}
-
-	for _, level := range levels {
-		var jobs []*job
-		grouped := make(map[string]*job)
-		for _, id := range level {
-			if !needed[id] {
-				continue
-			}
-			n := f.Node(id)
-			if n.IsBound() {
-				res.Created[id] = n.Bound()
-				continue
-			}
-			t := e.schema.Type(n.Type)
-			if t.IsPrimitiveSource() {
-				return nil, fmt.Errorf("exec: node %d (%s) is an unbound primitive source", id, n.Type)
-			}
-			sig := taskSignature(f, id)
-			if j, ok := grouped[sig]; ok && !t.Composite {
-				j.nodes = append(j.nodes, id)
-				continue
-			}
-			j := &job{nodes: []flow.NodeID{id}, composite: t.Composite}
-			combos, err := e.combosFor(f, id, res)
-			if err != nil {
-				return nil, err
-			}
-			j.combos = combos
-			if !t.Composite {
-				grouped[sig] = j
-			}
-			jobs = append(jobs, j)
-		}
-
-		// Execute the level's jobs in parallel, then record results
-		// sequentially in job order so instance IDs are deterministic.
-		e.executeJobs(f, jobs)
-		for _, j := range jobs {
-			if j.err != nil {
-				return nil, j.err
-			}
-			if err := e.recordJob(f, j, res); err != nil {
-				return nil, err
-			}
-			res.TasksRun += len(j.combos)
-		}
-	}
-	res.Elapsed = time.Since(start)
-	return res, nil
-}
-
-// combosFor enumerates the input combinations of a node: the cartesian
-// product of its dependencies' instance lists, in deterministic order.
-func (e *Engine) combosFor(f *flow.Flow, id flow.NodeID, res *Result) ([]map[string]history.ID, error) {
-	n := f.Node(id)
-	keys := n.DepKeys()
-	combos := []map[string]history.ID{{}}
-	for _, k := range keys {
-		c, _ := n.Dep(k)
-		insts := res.Created[c]
-		if len(insts) == 0 {
-			return nil, fmt.Errorf("exec: node %d dependency %q (node %d) produced no instances", id, k, c)
-		}
-		var next []map[string]history.ID
-		for _, combo := range combos {
-			for _, inst := range insts {
-				cp := make(map[string]history.ID, len(combo)+1)
-				for kk, vv := range combo {
-					cp[kk] = vv
-				}
-				cp[k] = inst
-				next = append(next, cp)
-			}
-		}
-		combos = next
-	}
-	return combos, nil
-}
-
-// executeJobs runs all (job, combo) executions of one level through the
-// worker pool, storing outputs on the jobs.
-func (e *Engine) executeJobs(f *flow.Flow, jobs []*job) {
-	type unit struct {
-		j  *job
-		ci int
-	}
-	var units []unit
-	for _, j := range jobs {
-		j.outputs = make([]encap.Outputs, len(j.combos))
-		for ci := range j.combos {
-			units = append(units, unit{j, ci})
-		}
-	}
-	if len(units) == 0 {
-		return
-	}
-	workers := e.workers
-	if workers > len(units) {
-		workers = len(units)
-	}
-	ch := make(chan unit)
-	var wg sync.WaitGroup
-	var mu sync.Mutex // guards job.err
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for u := range ch {
-				out, err := e.executeCombo(f, u.j, u.j.combos[u.ci])
-				if err != nil {
-					mu.Lock()
-					if u.j.err == nil {
-						u.j.err = err
-					}
-					mu.Unlock()
-					continue
-				}
-				u.j.outputs[u.ci] = out
-			}
-		}()
-	}
-	for _, u := range units {
-		ch <- u
-	}
-	close(ch)
-	wg.Wait()
-}
-
 // executeCombo performs one tool run (or composition) for one input
-// combination.
-func (e *Engine) executeCombo(f *flow.Flow, j *job, combo map[string]history.ID) (encap.Outputs, error) {
-	if e.taskDelay > 0 {
+// combination. lookup resolves an instance to its (type, artifact) —
+// from the in-flight pending set for planned instances not yet
+// committed, from the database otherwise.
+func (e *Engine) executeCombo(f *flow.Flow, j *plannedJob, combo map[string]history.ID,
+	lookup func(history.ID) (string, []byte, error)) (encap.Outputs, error) {
+	rep := f.Node(j.nodes[0])
+	if e.delayFn != nil {
+		if d := e.delayFn(j.nodes[0], rep.Type); d > 0 {
+			time.Sleep(d)
+		}
+	} else if e.taskDelay > 0 {
 		time.Sleep(e.taskDelay)
 	}
-	rep := f.Node(j.nodes[0])
-	artifact := e.artifactOf
 
 	if j.composite {
 		parts := make(map[string][]byte, len(combo))
 		for k, inst := range combo {
-			b, err := artifact(inst)
+			_, b, err := lookup(inst)
 			if err != nil {
 				return nil, err
 			}
@@ -376,18 +286,17 @@ func (e *Engine) executeCombo(f *flow.Flow, j *job, combo map[string]history.ID)
 	if !ok {
 		return nil, fmt.Errorf("exec: task %s has no tool instance", rep.Type)
 	}
-	toolIn := e.db.Get(toolInst)
-	toolArt, err := artifact(toolInst)
+	toolType, toolArt, err := lookup(toolInst)
 	if err != nil {
 		return nil, err
 	}
-	enc, err := e.reg.Lookup(e.schema, toolIn.Type)
+	enc, err := e.reg.Lookup(e.schema, toolType)
 	if err != nil {
 		return nil, err
 	}
 	req := &encap.Request{
 		Goal:     rep.Type,
-		ToolType: toolIn.Type,
+		ToolType: toolType,
 		Tool:     toolArt,
 		Inputs:   make(map[string][]byte, len(combo)-1),
 	}
@@ -395,7 +304,7 @@ func (e *Engine) executeCombo(f *flow.Flow, j *job, combo map[string]history.ID)
 		if k == "fd" {
 			continue
 		}
-		b, err := artifact(inst)
+		_, b, err := lookup(inst)
 		if err != nil {
 			return nil, err
 		}
@@ -403,17 +312,18 @@ func (e *Engine) executeCombo(f *flow.Flow, j *job, combo map[string]history.ID)
 	}
 	out, err := enc.Run(req)
 	if err != nil {
-		return nil, fmt.Errorf("exec: %s via %s: %w", rep.Type, toolIn.Type, err)
+		return nil, fmt.Errorf("exec: %s via %s: %w", rep.Type, toolType, err)
 	}
 	return out, nil
 }
 
 // recordJob stores artifacts and records history instances for every
-// (node, combo) of a completed job.
-func (e *Engine) recordJob(f *flow.Flow, j *job, res *Result) error {
+// (node, combo) of a completed job, verifying that each recorded ID
+// matches the one the planner pre-assigned (the determinism guarantee).
+func (e *Engine) recordJob(f *flow.Flow, j *plannedJob, res *Result) error {
 	for ci, combo := range j.combos {
 		out := j.outputs[ci]
-		for _, id := range j.nodes {
+		for ni, id := range j.nodes {
 			n := f.Node(id)
 			data, ok := out[n.Type]
 			if !ok {
@@ -440,6 +350,9 @@ func (e *Engine) recordJob(f *flow.Flow, j *job, res *Result) error {
 			inst, err := e.db.Record(rec)
 			if err != nil {
 				return fmt.Errorf("exec: recording %s: %w", n.Type, err)
+			}
+			if want := j.outIDs[ci][ni]; inst.ID != want {
+				return fmt.Errorf("exec: nondeterministic recording: got %s, planned %s (history mutated during the run?)", inst.ID, want)
 			}
 			res.Created[id] = append(res.Created[id], inst.ID)
 		}

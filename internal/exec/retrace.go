@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/encap"
 	"repro/internal/history"
@@ -15,7 +16,9 @@ import (
 // versions. No flow needs to be kept around — the history *is* the flow
 // trace.
 
-// RetraceResult reports one retrace run.
+// RetraceResult reports one retrace run. On error it is still
+// returned: Rebuilt holds the constructions re-run before the failure
+// and Elapsed the time spent, so diagnostics can report what did run.
 type RetraceResult struct {
 	// Plan is the analysis that drove the run.
 	Plan *history.RetracePlan
@@ -24,6 +27,8 @@ type RetraceResult struct {
 	Rebuilt map[history.ID]history.ID
 	// Fresh is true when nothing needed to be done.
 	Fresh bool
+	// Elapsed is the wall-clock duration of the retrace.
+	Elapsed time.Duration
 }
 
 // NewTarget returns the instance that now replaces the retrace target.
@@ -38,6 +43,7 @@ func (r *RetraceResult) NewTarget(target history.ID) history.ID {
 // from the history database and re-executes each stale construction
 // with substituted inputs, recording the new instances.
 func (e *Engine) Retrace(target history.ID) (*RetraceResult, error) {
+	start := time.Now()
 	plan, err := e.db.PlanRetrace(target)
 	if err != nil {
 		return nil, err
@@ -45,13 +51,16 @@ func (e *Engine) Retrace(target history.ID) (*RetraceResult, error) {
 	res := &RetraceResult{Plan: plan, Rebuilt: make(map[history.ID]history.ID)}
 	if plan.Fresh() {
 		res.Fresh = true
+		res.Elapsed = time.Since(start)
 		return res, nil
 	}
 	for _, step := range plan.Steps {
 		if err := e.retraceStep(step, res); err != nil {
-			return nil, err
+			res.Elapsed = time.Since(start)
+			return res, err
 		}
 	}
+	res.Elapsed = time.Since(start)
 	return res, nil
 }
 

@@ -1,0 +1,286 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/encap"
+	"repro/internal/flow"
+	"repro/internal/history"
+)
+
+// This file is the execution half of the engine: a dependency-counting
+// dataflow scheduler. Jobs whose pending count hits zero enqueue all
+// their (job, combo) units; a coordinator goroutine hands units to a
+// worker pool and folds completions back in, decrementing dependents —
+// no barrier between dependency levels, so one slow task never stalls
+// ready work elsewhere in the graph (the Fig. 6 "different machines"
+// actually stay busy).
+//
+// Determinism: execution finishes out of order, but results are
+// committed to history strictly in plan order by an in-order committer,
+// so recorded instance IDs match the planner's pre-assignment exactly.
+// Workers read the artifacts of not-yet-committed producers from an
+// in-memory pending set (runState).
+//
+// Failure: the first unit error flips the run into fail-fast — nothing
+// further is dispatched, in-flight units drain, and every error is
+// returned joined (errors.Join), each naming its (node, combo).
+
+// Scheduler selects the engine's scheduling discipline.
+type Scheduler int
+
+const (
+	// Dataflow dispatches each job the moment its producer jobs finish.
+	Dataflow Scheduler = iota
+	// Barrier reproduces the level-barrier baseline: every dependency
+	// level must drain before the next starts. Same commit order — and
+	// therefore identical instance IDs — as Dataflow; it exists to be
+	// measured against.
+	Barrier
+)
+
+func (s Scheduler) String() string {
+	if s == Barrier {
+		return "barrier"
+	}
+	return "dataflow"
+}
+
+// runState shares not-yet-committed artifacts between workers: planned
+// instance IDs resolve here until the committer has recorded them.
+type runState struct {
+	mu   sync.RWMutex
+	arts map[history.ID]pendingArtifact
+}
+
+type pendingArtifact struct {
+	typ  string
+	data []byte
+}
+
+// lookup resolves an instance to (type, artifact): pending set first,
+// then the history database / datastore / archives.
+func (e *Engine) lookup(st *runState) func(history.ID) (string, []byte, error) {
+	return func(inst history.ID) (string, []byte, error) {
+		st.mu.RLock()
+		a, ok := st.arts[inst]
+		st.mu.RUnlock()
+		if ok {
+			return a.typ, a.data, nil
+		}
+		in := e.db.Get(inst)
+		if in == nil {
+			return "", nil, fmt.Errorf("exec: instance %s disappeared", inst)
+		}
+		b, err := e.artifactOfInstance(in)
+		if err != nil {
+			return "", nil, err
+		}
+		return in.Type, b, nil
+	}
+}
+
+type unitTask struct {
+	j       *plannedJob
+	ci      int
+	readyAt time.Time
+}
+
+type unitResult struct {
+	j    *plannedJob
+	ci   int
+	out  encap.Outputs
+	err  error
+	wait time.Duration // ready -> start
+	dur  time.Duration // start -> done
+}
+
+// execute runs a plan through the worker pool and commits completed
+// jobs in plan order, filling res. It returns the joined error of every
+// failed unit (plus any commit error), or nil.
+func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
+	stats := newStats(e.sched, p)
+	res.Stats = stats
+	if len(p.jobs) == 0 {
+		return nil
+	}
+	workers := e.workers
+	if workers > p.units {
+		workers = p.units
+	}
+	stats.Workers = workers
+
+	st := &runState{arts: make(map[history.ID]pendingArtifact)}
+	lookup := e.lookup(st)
+	unitCh := make(chan unitTask)
+	doneCh := make(chan unitResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range unitCh {
+				start := time.Now()
+				out, err := e.executeCombo(f, u.j, u.j.combos[u.ci], lookup)
+				if err == nil {
+					// Surface a tool that dropped an output here, not at
+					// commit time: a dependent must never run against a
+					// hole in the pending set.
+					for _, nid := range u.j.nodes {
+						typ := f.Node(nid).Type
+						if _, ok := out[typ]; !ok {
+							err = fmt.Errorf("exec: tool run produced no %s output (has: %s)", typ, outputKeys(out))
+							break
+						}
+					}
+				}
+				doneCh <- unitResult{j: u.j, ci: u.ci, out: out, err: err,
+					wait: start.Sub(u.readyAt), dur: time.Since(start)}
+			}
+		}()
+	}
+
+	var queue []unitTask
+	ready := func(j *plannedJob) {
+		now := time.Now()
+		for ci := range j.combos {
+			queue = append(queue, unitTask{j: j, ci: ci, readyAt: now})
+		}
+	}
+	for _, j := range p.jobs {
+		j.pending = len(j.deps)
+		j.remaining = len(j.combos)
+	}
+	for _, j := range p.jobs {
+		if j.pending == 0 {
+			ready(j)
+		}
+	}
+
+	type unitError struct {
+		jobIdx, ci int
+		err        error
+	}
+	var (
+		failed     bool // fail-fast: stop dispatching and readying
+		unitErrs   []unitError
+		commitErr  error
+		commitIdx  int
+		committing = true
+	)
+	// advance commits every fully executed job at the front of the plan
+	// — the in-order committer that pins instance IDs to the plan.
+	advance := func() {
+		for committing && commitIdx < len(p.jobs) && p.jobs[commitIdx].done {
+			j := p.jobs[commitIdx]
+			if err := e.recordJob(f, j, res); err != nil {
+				commitErr = err
+				committing = false
+				failed = true
+				return
+			}
+			res.TasksRun += len(j.combos)
+			commitIdx++
+		}
+	}
+	complete := func(d unitResult) {
+		stats.observeUnit(d.j, d.wait, d.dur)
+		j := d.j
+		if d.err != nil {
+			unitErrs = append(unitErrs, unitError{j.idx, d.ci,
+				fmt.Errorf("exec: node %d (%s), combo %d/%d [%s]: %w",
+					j.nodes[0], j.repType, d.ci+1, len(j.combos), comboString(j.combos[d.ci]), d.err)})
+			j.failed = true
+			failed = true
+		} else {
+			j.outputs[d.ci] = d.out
+		}
+		if d.dur > j.dur {
+			j.dur = d.dur
+		}
+		j.remaining--
+		if j.remaining > 0 || j.failed {
+			return
+		}
+		j.done = true
+		// Publish outputs so dependents can execute before the commit.
+		st.mu.Lock()
+		for ci := range j.combos {
+			for ni, nid := range j.nodes {
+				typ := f.Node(nid).Type
+				st.arts[j.outIDs[ci][ni]] = pendingArtifact{typ: typ, data: j.outputs[ci][typ]}
+			}
+		}
+		st.mu.Unlock()
+		advance()
+		for _, di := range j.dependents {
+			dep := p.jobs[di]
+			dep.pending--
+			if dep.pending == 0 && !failed {
+				ready(dep)
+			}
+		}
+	}
+
+	outstanding := 0
+	for {
+		var sendCh chan unitTask
+		var next unitTask
+		if len(queue) > 0 && !failed {
+			sendCh = unitCh
+			next = queue[0]
+		}
+		if sendCh == nil && outstanding == 0 {
+			break
+		}
+		select {
+		case sendCh <- next:
+			queue = queue[1:]
+			outstanding++
+		case d := <-doneCh:
+			outstanding--
+			complete(d)
+		}
+	}
+	close(unitCh)
+	wg.Wait()
+	stats.finish(p)
+
+	if len(unitErrs) == 0 && commitErr == nil {
+		return nil
+	}
+	sort.Slice(unitErrs, func(i, k int) bool {
+		if unitErrs[i].jobIdx != unitErrs[k].jobIdx {
+			return unitErrs[i].jobIdx < unitErrs[k].jobIdx
+		}
+		return unitErrs[i].ci < unitErrs[k].ci
+	})
+	errs := make([]error, 0, len(unitErrs)+1)
+	for _, ue := range unitErrs {
+		errs = append(errs, ue.err)
+	}
+	if commitErr != nil {
+		errs = append(errs, commitErr)
+	}
+	return errors.Join(errs...)
+}
+
+// comboString renders one input combination as "k=inst" pairs in key
+// order, for error messages.
+func comboString(combo map[string]history.ID) string {
+	keys := make([]string, 0, len(combo))
+	for k := range combo {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%s", k, combo[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -66,15 +66,56 @@ func (f *Flow) Validate() error {
 	return nil
 }
 
-// Order returns the nodes in execution order: every node after all of its
-// dependencies. It fails if the graph has a cycle (which the construction
-// operations prevent, but a hand-assembled flow might not).
-func (f *Flow) Order() ([]NodeID, error) {
+// InDegree returns, for every node, its number of dependency edges — the
+// count a dependency-counting scheduler seeds its ready set with (a node
+// with in-degree zero is immediately runnable).
+func (f *Flow) InDegree() map[NodeID]int {
 	indeg := make(map[NodeID]int, len(f.order))
 	for _, id := range f.order {
 		// Edges point parent -> child; a parent waits on its children.
-		indeg[id] += len(f.nodes[id].deps)
+		indeg[id] = len(f.nodes[id].deps)
 	}
+	return indeg
+}
+
+// Dependents returns the reverse adjacency of the task graph: for every
+// node, the parents whose dependencies it fills, in creation order. A
+// dataflow scheduler walks this map when a completion unblocks work.
+func (f *Flow) Dependents() map[NodeID][]NodeID {
+	parents := make(map[NodeID][]NodeID)
+	for _, id := range f.order {
+		for _, key := range f.nodes[id].DepKeys() {
+			parents[f.nodes[id].deps[key]] = append(parents[f.nodes[id].deps[key]], id)
+		}
+	}
+	return parents
+}
+
+// danglingDeps reports the first dependency edge that references a node no
+// longer in the flow (possible only in hand-assembled or corrupted flows;
+// the construction operations never produce one).
+func (f *Flow) danglingDep() error {
+	for _, id := range f.order {
+		n := f.nodes[id]
+		for _, key := range n.DepKeys() {
+			if cid := n.deps[key]; f.nodes[cid] == nil {
+				return fmt.Errorf("flow: node %d (%s): dependency %q is a dangling reference to removed node %d",
+					id, n.Type, key, cid)
+			}
+		}
+	}
+	return nil
+}
+
+// Order returns the nodes in execution order: every node after all of its
+// dependencies. It fails if the graph has a cycle or a dangling dependency
+// edge (which the construction operations prevent, but a hand-assembled
+// flow might not).
+func (f *Flow) Order() ([]NodeID, error) {
+	if err := f.danglingDep(); err != nil {
+		return nil, err
+	}
+	indeg := f.InDegree()
 	// Process children before parents: start from nodes with no deps.
 	var queue []NodeID
 	for _, id := range f.order {
@@ -82,12 +123,7 @@ func (f *Flow) Order() ([]NodeID, error) {
 			queue = append(queue, id)
 		}
 	}
-	parents := make(map[NodeID][]NodeID)
-	for _, id := range f.order {
-		for _, cid := range f.nodes[id].deps {
-			parents[cid] = append(parents[cid], id)
-		}
-	}
+	parents := f.Dependents()
 	var out []NodeID
 	for len(queue) > 0 {
 		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })

@@ -1,0 +1,113 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+// The flow operations can never leave a dependency edge pointing at a
+// removed node (gc only collects unparented nodes), but hand-assembled
+// or corrupted graphs can. The analyses must return a clear "dangling"
+// error, never panic. These tests corrupt a flow directly — same
+// package, so we can reach the unexported maps the way a buggy caller
+// or a tampered persistence file effectively would.
+
+// corruptDangling removes the fd child of the given node from the flow
+// while leaving the parent's dependency edge in place.
+func corruptDangling(t *testing.T, f *Flow, parent NodeID) NodeID {
+	t.Helper()
+	child, ok := f.nodes[parent].deps["fd"]
+	if !ok {
+		t.Fatalf("node %d has no fd edge to corrupt", parent)
+	}
+	delete(f.nodes, child)
+	for i, id := range f.order {
+		if id == child {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+	return child
+}
+
+func danglingFixture(t *testing.T) (*Flow, NodeID) {
+	t.Helper()
+	s := schema.Full()
+	f := New(s, nil)
+	n := f.MustAdd("EditedNetlist")
+	if err := f.ExpandDown(n, false); err != nil {
+		t.Fatal(err)
+	}
+	return f, n
+}
+
+func TestDanglingDependencyValidate(t *testing.T) {
+	f, n := danglingFixture(t)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("fixture invalid before corruption: %v", err)
+	}
+	corruptDangling(t, f, n)
+	err := f.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a dangling dependency")
+	}
+	if !strings.Contains(err.Error(), "missing node") && !strings.Contains(err.Error(), "dangling") {
+		t.Errorf("Validate error lacks dangling context: %v", err)
+	}
+}
+
+func TestDanglingDependencyAnalyses(t *testing.T) {
+	f, n := danglingFixture(t)
+	corruptDangling(t, f, n)
+	if _, err := f.Order(); err == nil || !strings.Contains(err.Error(), "dangling") {
+		t.Errorf("Order() = %v, want dangling error", err)
+	}
+	if _, err := f.Levels(); err == nil || !strings.Contains(err.Error(), "dangling") {
+		t.Errorf("Levels() = %v, want dangling error", err)
+	}
+}
+
+func TestDependentsAndInDegree(t *testing.T) {
+	s := schema.Full()
+	f := New(s, nil)
+	n := f.MustAdd("ExtractedNetlist")
+	if err := f.ExpandDown(n, false); err != nil {
+		t.Fatal(err)
+	}
+	indeg := f.InDegree()
+	parents := f.Dependents()
+	// Every edge shows up once in each map, and they agree.
+	var edges int
+	for _, id := range f.order {
+		node := f.Node(id)
+		if got := indeg[id]; got != len(node.DepKeys()) {
+			t.Errorf("InDegree[%d] = %d, want %d", id, got, len(node.DepKeys()))
+		}
+		for _, k := range node.DepKeys() {
+			c, _ := node.Dep(k)
+			edges++
+			found := false
+			for _, p := range parents[c] {
+				if p == id {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("Dependents[%d] lacks parent %d (key %q)", c, id, k)
+			}
+		}
+	}
+	var total int
+	for _, ps := range parents {
+		total += len(ps)
+	}
+	if total != edges {
+		t.Errorf("Dependents has %d edges, flow has %d", total, edges)
+	}
+	if edges == 0 {
+		t.Fatal("fixture has no edges; test is vacuous")
+	}
+}

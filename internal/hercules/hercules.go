@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/datastore"
@@ -191,8 +192,24 @@ func (s *Session) installPlans() error {
 // NewFlow opens an empty flow in the task window.
 func (s *Session) NewFlow() *flow.Flow { return flow.New(s.Schema, s.DB) }
 
-// Run executes a whole flow.
+// Run executes a whole flow. The returned Result carries the run's
+// scheduling statistics in Result.Stats (per-task wall time, worker
+// occupancy, critical path, queue waits).
 func (s *Session) Run(f *flow.Flow) (*exec.Result, error) { return s.Engine.RunFlow(f) }
+
+// SetWorkers sets the engine's worker-pool size (the "machines" of
+// Fig. 6).
+func (s *Session) SetWorkers(n int) { s.Engine.SetWorkers(n) }
+
+// SetScheduler selects the engine's scheduling discipline:
+// exec.Dataflow (default) or the exec.Barrier baseline.
+func (s *Session) SetScheduler(sched exec.Scheduler) { s.Engine.SetScheduler(sched) }
+
+// SetMaxCombos caps the per-node fan-out over multi-instance bindings.
+func (s *Session) SetMaxCombos(n int) { s.Engine.SetMaxCombos(n) }
+
+// SetTaskDelay adds a simulated dispatch latency to every tool run.
+func (s *Session) SetTaskDelay(d time.Duration) { s.Engine.SetTaskDelay(d) }
 
 // RunNode executes the sub-flow rooted at a node.
 func (s *Session) RunNode(f *flow.Flow, id flow.NodeID) (*exec.Result, error) {

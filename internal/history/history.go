@@ -267,6 +267,18 @@ func (db *DB) Has(id ID) bool {
 	return ok
 }
 
+// Seq returns the value of the instance sequence counter: the numeric
+// suffix of the most recently recorded instance ID (0 when empty). IDs
+// are "Type:seq" with one global counter, so a caller that knows the
+// commit order of its future recordings can predict their IDs — the
+// execution engine uses this to pre-assign instance IDs at planning
+// time and keep them deterministic under out-of-order execution.
+func (db *DB) Seq() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.seq
+}
+
 // Len returns the number of instances recorded.
 func (db *DB) Len() int {
 	db.mu.RLock()
