@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race ci bench flowbench
+.PHONY: build vet test race chaos ci bench flowbench
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs only the fault-injection suite (seeded, deterministic)
+# plus the flowbench smoke subset — the same gate as the CI chaos job.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Backoff|Retry|Timeout|Hang|Transient|Permanent|Latency|Cancel' ./internal/exec/... ./internal/faults/...
+	$(GO) run ./cmd/flowbench -quick
 
 # ci is the gate CI runs: compile, vet, full suite under the race
 # detector (the scheduler is concurrent; -race is not optional).

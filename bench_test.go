@@ -22,6 +22,7 @@ import (
 	"repro/internal/cad/sim"
 	"repro/internal/encap"
 	"repro/internal/exec"
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/hercules"
 	"repro/internal/history"
@@ -293,6 +294,52 @@ func BenchmarkFig6UnbalancedBranches(b *testing.B) {
 				s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
 					return delays[n]
 				})
+				b.StartTimer()
+				_, err := s.Run(f)
+				mustB(b, err)
+			}
+		})
+	}
+}
+
+// ---- chaos: fault-tolerance overhead ------------------------------------------
+
+// BenchmarkChaosTransientRetries measures what the fault-tolerance
+// layer costs: a Fig. 6-style branch flow run clean (retry layer armed
+// but idle) vs under full transient injection, where every distinct
+// tool site fails twice and is absorbed by full-jitter backoff retries.
+func BenchmarkChaosTransientRetries(b *testing.B) {
+	const branches = 8
+	build := func(s *hercules.Session) *flow.Flow {
+		f := s.NewFlow()
+		gens := []string{"netEd.fulladder", "netEd.ripple4"}
+		for j := 0; j < branches; j++ {
+			n := f.MustAdd("EditedNetlist")
+			mustB(b, f.ExpandDown(n, false))
+			tn, _ := f.Node(n).Dep("fd")
+			mustB(b, f.Bind(tn, s.Must(gens[j%len(gens)])))
+		}
+		return f
+	}
+	for _, faulty := range []bool{false, true} {
+		name := "clean"
+		if faulty {
+			name = "transient-faults"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Registry.Wrap composes, so a fresh session per
+				// iteration keeps exactly one injector in the chain
+				// (and resets its per-site attempt counters).
+				b.StopTimer()
+				s := session(b)
+				s.SetWorkers(4)
+				s.SetRetryPolicy(exec.RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Microsecond, Seed: 1})
+				if faulty {
+					faults.New(1993, faults.Config{TransientRate: 1, TransientRuns: 2}).Instrument(s.Registry)
+				}
+				f := build(s)
 				b.StartTimer()
 				_, err := s.Run(f)
 				mustB(b, err)

@@ -10,9 +10,12 @@
 //
 //	flowbench            # all figures
 //	flowbench fig6 fig11 # selected figures
+//	flowbench -quick     # smoke subset (CI): fig1 fig6 sched chaos
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -29,6 +32,7 @@ import (
 	"repro/internal/cad/sim"
 	"repro/internal/encap"
 	"repro/internal/exec"
+	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/hercules"
 	"repro/internal/history"
@@ -53,13 +57,24 @@ var sections = []struct {
 	{"fig10", "backward chaining through the history", fig10},
 	{"fig11", "version tree vs flow trace", fig11},
 	{"retrace", "consistency maintenance by automatic retracing", retraceSection},
+	{"chaos", "fault injection: retries, degradation, timeouts", chaosSection},
 	{"approaches", "the four design approaches", approachesSection},
 	{"baselines", "dynamic flows vs static flows vs traces", baselinesSection},
 }
 
+// quickSections is the smoke subset -quick runs: one schema section,
+// the two scheduler measurements, and the fault-injection section.
+var quickSections = map[string]bool{"fig1": true, "fig6": true, "sched": true, "chaos": true}
+
 func main() {
 	want := map[string]bool{}
 	for _, a := range os.Args[1:] {
+		if a == "-quick" || a == "--quick" {
+			for name := range quickSections {
+				want[name] = true
+			}
+			continue
+		}
 		want[a] = true
 	}
 	for _, s := range sections {
@@ -603,8 +618,8 @@ func fig11() {
 	c3 := s2edit(s, c2)
 	c4 := s2edit(s, c1)
 	c5 := s2edit(s, c4)
-	_ = c3
-	_ = c5
+	fmt.Printf("two branches from %s: leaf %s (chain %d) and leaf %s (chain %d)\n",
+		c1, c3, chainLen(s, c3), c5, chainLen(s, c5))
 	fmt.Println("classic version tree (Fig. 11a):")
 	fmt.Print(indent(must1(s.VersionTree(c1))))
 	fmt.Println("flow trace (Fig. 11b) — same data, plus the tools used:")
@@ -657,6 +672,83 @@ func retraceSection() {
 	fmt.Printf("new target %s stale: %v\n", rr.NewTarget(perf), must1(s.OutOfDate(rr.NewTarget(perf))))
 }
 
+// ---- chaos ----------------------------------------------------------------
+
+// chaosSection measures the fault-tolerance layer against the seeded
+// injector (internal/faults): transient faults absorbed by retries with
+// full-jitter backoff, graceful degradation committing every branch a
+// failure cannot reach, and a hung tool cut off by the task timeout.
+func chaosSection() {
+	const branches = 8
+	branchFlow := func(s *hercules.Session) *flow.Flow {
+		f := s.NewFlow()
+		// Alternate generators so the branches are distinct injection
+		// sites (identical requests share a site and hence a fate).
+		gens := []string{"netEd.fulladder", "netEd.ripple4"}
+		for i := 0; i < branches; i++ {
+			n := f.MustAdd("EditedNetlist")
+			must(f.ExpandDown(n, false))
+			tn, _ := f.Node(n).Dep("fd")
+			must(f.Bind(tn, s.Must(gens[i%len(gens)])))
+		}
+		return f
+	}
+
+	// Transient faults + retry: every tool site fails twice; retries
+	// absorb the faults and the run commits everything.
+	s1 := session()
+	inj := faults.New(1993, faults.Config{TransientRate: 1, TransientRuns: 2})
+	inj.Instrument(s1.Registry)
+	s1.SetRetryPolicy(exec.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7})
+	t0 := time.Now()
+	res := must1(s1.Run(branchFlow(s1)))
+	fmt.Printf("transient: %d/%d tasks committed after %d retries in %v (%d transient faults injected)\n",
+		res.TasksRun, branches, res.Stats.Retries,
+		time.Since(t0).Round(time.Millisecond), inj.Counters().Transients)
+
+	// Graceful degradation: a poisoned layout editor kills one producer
+	// chain; under ContinueOnError the independent branches still commit
+	// and the aggregate error names the root cause and the skipped node.
+	s2 := session()
+	inj2 := faults.New(1993, faults.Config{})
+	inj2.SetToolConfig("LayoutEditor", faults.Config{PermanentRate: 1})
+	inj2.Instrument(s2.Registry)
+	s2.SetFailurePolicy(exec.ContinueOnError)
+	f2 := branchFlow(s2)
+	net := f2.MustAdd("ExtractedNetlist")
+	must(f2.ExpandDown(net, false))
+	extrN, _ := f2.Node(net).Dep("fd")
+	layN, _ := f2.Node(net).Dep("Layout")
+	must(f2.Specialize(layN, "EditedLayout"))
+	must(f2.ExpandDown(layN, false))
+	ltn, _ := f2.Node(layN).Dep("fd")
+	must(f2.Bind(extrN, s2.Must("extractor")))
+	must(f2.Bind(ltn, s2.Must("layEd.fulladder")))
+	res2, err2 := s2.Run(f2)
+	fmt.Printf("degraded : %d/%d tasks committed under %s, %d failed, %d skipped\n",
+		res2.TasksRun, branches+2, exec.ContinueOnError,
+		res2.Stats.UnitsFailed, res2.Stats.JobsSkipped)
+	fmt.Printf("           error lines (root cause + each skipped node): %d\n",
+		len(strings.Split(err2.Error(), "\n")))
+
+	// Hung tool + timeout: an hour-long hang is cut off by the 50ms
+	// per-task deadline; the run returns promptly.
+	s3 := session()
+	inj3 := faults.New(1993, faults.Config{HangRate: 1, HangLimit: time.Hour})
+	inj3.Instrument(s3.Registry)
+	s3.SetTaskTimeout(50 * time.Millisecond)
+	f3 := s3.NewFlow()
+	n := f3.MustAdd("EditedNetlist")
+	must(f3.ExpandDown(n, false))
+	tn, _ := f3.Node(n).Dep("fd")
+	must(f3.Bind(tn, s3.Must("netEd.fulladder")))
+	t0 = time.Now()
+	res3, err3 := s3.Run(f3)
+	fmt.Printf("hung tool: cut off in %v (deadline exceeded: %v, attempts timed out: %d)\n",
+		time.Since(t0).Round(time.Millisecond),
+		errors.Is(err3, context.DeadlineExceeded), res3.Stats.Timeouts)
+}
+
 // ---- approaches ---------------------------------------------------------------
 
 func approachesSection() {
@@ -665,10 +757,10 @@ func approachesSection() {
 	// Goal-based.
 	fmt.Println("  goal-based : start Performance, expand, bind (see examples/approaches)")
 	// Tool-based choices.
-	_, toolN, err := s.Catalogs.StartFromTool(s.Must("sim"))
+	ft, toolN, err := s.Catalogs.StartFromTool(s.Must("sim"))
 	must(err)
-	_ = toolN
-	fmt.Printf("  tool-based : simulator can produce %v\n", s.Catalogs.GoalsFor("InstalledSimulator"))
+	fmt.Printf("  tool-based : simulator seeds node %d (%s); can produce %v\n",
+		toolN, ft.Node(toolN).Type, s.Catalogs.GoalsFor("InstalledSimulator"))
 	// Data-based choices.
 	uses := s.Catalogs.UsesFor("Stimuli")
 	var consumers []string

@@ -10,11 +10,19 @@
 //	hercules script.hrc # run a command script
 //	hercules -demo      # run the built-in demonstration script
 //
+// Execution robustness flags (applied to every "run"/"retrace"):
+//
+//	-policy failfast|continue  failure policy (default failfast)
+//	-timeout <dur>             per-task timeout, e.g. 30s (default none)
+//	-retries <n>               attempts per task (default 1 = no retry)
+//	-retry-base <dur>          base backoff before the first retry
+//
 // Type "help" for the command list.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -51,25 +59,55 @@ history last
 lisp
 `
 
+var (
+	flagDemo      = flag.Bool("demo", false, "run the built-in demonstration script")
+	flagPolicy    = flag.String("policy", "failfast", `failure policy: "failfast" or "continue"`)
+	flagTimeout   = flag.Duration("timeout", 0, "per-task timeout (0 = none)")
+	flagRetries   = flag.Int("retries", 1, "attempts per task (1 = no retry)")
+	flagRetryBase = flag.Duration("retry-base", time.Millisecond, "base backoff delay before the first retry")
+)
+
+// configureEngine applies the robustness flags to the session's engine.
+func configureEngine(s *hercules.Session) error {
+	switch *flagPolicy {
+	case "failfast":
+		s.SetFailurePolicy(exec.FailFast)
+	case "continue":
+		s.SetFailurePolicy(exec.ContinueOnError)
+	default:
+		return fmt.Errorf("-policy must be \"failfast\" or \"continue\", not %q", *flagPolicy)
+	}
+	if *flagTimeout > 0 {
+		s.SetTaskTimeout(*flagTimeout)
+	}
+	if *flagRetries > 1 {
+		s.SetRetryPolicy(exec.RetryPolicy{MaxAttempts: *flagRetries, BaseDelay: *flagRetryBase})
+	}
+	return nil
+}
+
 func main() {
+	flag.Parse()
 	var in io.Reader = os.Stdin
 	interactive := true
-	if len(os.Args) > 1 {
-		if os.Args[1] == "-demo" {
-			in = strings.NewReader(demoScript)
-			interactive = false
-		} else {
-			f, err := os.Open(os.Args[1])
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			in = f
-			interactive = false
+	if *flagDemo {
+		in = strings.NewReader(demoScript)
+		interactive = false
+	} else if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		defer f.Close()
+		in = f
+		interactive = false
 	}
 	cli := newCLI(os.Stdout)
+	if err := configureEngine(cli.session); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if err := cli.session.Bootstrap(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -18,6 +18,7 @@
 package encap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -26,6 +27,12 @@ import (
 
 // Request carries one task execution's inputs to an encapsulation.
 type Request struct {
+	// Ctx, when non-nil, is the engine's per-attempt context: it is
+	// cancelled when the task's deadline expires or the whole run is
+	// cancelled. Long-running encapsulations should watch Context() and
+	// return promptly; ones that ignore it are abandoned by the engine
+	// when the deadline fires.
+	Ctx context.Context
 	// Goal is the primary entity type the task constructs.
 	Goal string
 	// ToolType is the concrete entity type of the tool instance.
@@ -37,6 +44,15 @@ type Request struct {
 	// Inputs maps dependency keys to input artifacts, one per key (the
 	// engine fans out multi-instance bindings into separate requests).
 	Inputs map[string][]byte
+}
+
+// Context returns the request's context, or context.Background when the
+// caller supplied none (retraces and direct encapsulation tests).
+func (r *Request) Context() context.Context {
+	if r.Ctx == nil {
+		return context.Background()
+	}
+	return r.Ctx
 }
 
 // Input returns the artifact for a dependency key, or an error naming the
@@ -126,6 +142,18 @@ func (r *Registry) Lookup(s *schema.Schema, toolType string) (Encapsulation, err
 // Check returns the composite check for a type (nil when none).
 func (r *Registry) Check(compositeType string) CompositeCheck {
 	return r.checks[compositeType]
+}
+
+// Wrap replaces every registered encapsulation with wrap(toolType, enc).
+// It is the interposition hook of the fault-injection harness
+// (internal/faults): a wrapper can add latency, inject failures, or
+// observe traffic while delegating to the original encapsulation.
+// Subtype-chain resolution is unaffected — wrapping happens at the
+// registration, so a wrapped parent serves its subtypes wrapped too.
+func (r *Registry) Wrap(wrap func(toolType string, e Encapsulation) Encapsulation) {
+	for t, e := range r.byTool {
+		r.byTool[t] = wrap(t, e)
+	}
 }
 
 // ToolTypes lists the registered tool types, sorted.

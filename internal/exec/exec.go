@@ -26,9 +26,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/datastore"
@@ -47,20 +49,26 @@ const DefaultMaxCombos = 100_000
 
 // Engine executes flows against one schema, history database, datastore
 // and encapsulation registry. An Engine may be reused across runs but
-// runs one flow at a time; its setters are not safe to call during a
-// run.
+// runs one flow at a time: a second concurrent run is refused with an
+// error, and calling a setter during a run panics (the running flag
+// makes the misuse loud instead of silently racy).
 type Engine struct {
-	schema    *schema.Schema
-	db        *history.DB
-	store     *datastore.Store
-	reg       *encap.Registry
-	archives  func(name string, rev int) (string, error)
-	user      string
-	workers   int
-	sched     Scheduler
-	maxCombos int
-	taskDelay time.Duration
-	delayFn   func(node flow.NodeID, goal string) time.Duration
+	schema       *schema.Schema
+	db           *history.DB
+	store        *datastore.Store
+	reg          *encap.Registry
+	archives     func(name string, rev int) (string, error)
+	user         string
+	workers      int
+	sched        Scheduler
+	maxCombos    int
+	taskDelay    time.Duration
+	delayFn      func(node flow.NodeID, goal string) time.Duration
+	retry        RetryPolicy
+	policy       FailurePolicy
+	taskTimeout  time.Duration
+	nodeTimeouts map[flow.NodeID]time.Duration
+	running      atomic.Bool
 }
 
 // New creates an engine. workers defaults to 1 (fully serial); use
@@ -70,12 +78,26 @@ func New(s *schema.Schema, db *history.DB, store *datastore.Store, reg *encap.Re
 		workers: 1, maxCombos: DefaultMaxCombos}
 }
 
-// SetUser sets the user recorded on created instances.
-func (e *Engine) SetUser(u string) { e.user = u }
+// checkIdle panics when a setter is called while a run is in flight:
+// the doc contract ("not safe to call during a run") enforced loudly
+// instead of left to the race detector.
+func (e *Engine) checkIdle(setter string) {
+	if e.running.Load() {
+		panic("exec: " + setter + " called during a run; engine setters are not safe to call while a flow is executing")
+	}
+}
+
+// SetUser sets the user recorded on created instances. Not safe to call
+// during a run.
+func (e *Engine) SetUser(u string) {
+	e.checkIdle("SetUser")
+	e.user = u
+}
 
 // SetWorkers sets the number of parallel workers ("machines"); values
-// below 1 are treated as 1.
+// below 1 are treated as 1. Not safe to call during a run.
 func (e *Engine) SetWorkers(n int) {
+	e.checkIdle("SetWorkers")
 	if n < 1 {
 		n = 1
 	}
@@ -84,14 +106,19 @@ func (e *Engine) SetWorkers(n int) {
 
 // SetScheduler selects the scheduling discipline: Dataflow (default) or
 // the Barrier baseline. Both record identical instance IDs for the same
-// flow; Barrier exists so the level-barrier cost can be measured.
-func (e *Engine) SetScheduler(s Scheduler) { e.sched = s }
+// flow; Barrier exists so the level-barrier cost can be measured. Not
+// safe to call during a run.
+func (e *Engine) SetScheduler(s Scheduler) {
+	e.checkIdle("SetScheduler")
+	e.sched = s
+}
 
 // SetMaxCombos caps the cartesian product of input combinations a single
 // node may fan out into (§4.1 multi-instance bindings). Runs exceeding
 // the cap fail with a clear error instead of exhausting memory. Values
-// below 1 restore DefaultMaxCombos.
+// below 1 restore DefaultMaxCombos. Not safe to call during a run.
 func (e *Engine) SetMaxCombos(n int) {
+	e.checkIdle("SetMaxCombos")
 	if n < 1 {
 		n = DefaultMaxCombos
 	}
@@ -100,21 +127,29 @@ func (e *Engine) SetMaxCombos(n int) {
 
 // SetTaskDelay adds a simulated dispatch latency to every tool run —
 // the stand-in for remote-machine tool startup used when demonstrating
-// Fig. 6 (parallel branches win by ~workers×).
-func (e *Engine) SetTaskDelay(d time.Duration) { e.taskDelay = d }
+// Fig. 6 (parallel branches win by ~workers×). Not safe to call during
+// a run.
+func (e *Engine) SetTaskDelay(d time.Duration) {
+	e.checkIdle("SetTaskDelay")
+	e.taskDelay = d
+}
 
 // SetTaskDelayFunc installs a per-task simulated latency keyed by the
 // representative node and the goal type, for benchmarks that need
 // unbalanced flows (some branches slow, some fast). When set it takes
-// precedence over SetTaskDelay; pass nil to remove it.
+// precedence over SetTaskDelay; pass nil to remove it. Not safe to call
+// during a run.
 func (e *Engine) SetTaskDelayFunc(fn func(node flow.NodeID, goal string) time.Duration) {
+	e.checkIdle("SetTaskDelayFunc")
 	e.delayFn = fn
 }
 
 // SetArchiveSource supplies the checkout function for archive-backed
 // instances (footnote 5: instances whose artifact lives at a revision of
-// a shared archive rather than as a blob).
+// a shared archive rather than as a blob). Not safe to call during a
+// run.
 func (e *Engine) SetArchiveSource(checkout func(name string, rev int) (string, error)) {
+	e.checkIdle("SetArchiveSource")
 	e.archives = checkout
 }
 
@@ -170,6 +205,10 @@ type Result struct {
 	TasksRun int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
+	// Skipped lists the nodes of constructions that never ran because a
+	// producer failed (ContinueOnError graceful degradation), in plan
+	// order. Empty on success and under FailFast.
+	Skipped []flow.NodeID
 	// Stats describes how the run was scheduled; nil when the run failed
 	// before planning finished.
 	Stats *Stats
@@ -194,26 +233,45 @@ func (r *Result) One(id flow.NodeID) (history.ID, error) {
 // node). On error the returned Result still carries partial state (see
 // Result).
 func (e *Engine) RunFlow(f *flow.Flow) (*Result, error) {
-	return e.run(f, f.Roots())
+	return e.RunFlowContext(context.Background(), f)
+}
+
+// RunFlowContext is RunFlow under a context: cancelling ctx stops
+// dispatching, cuts off well-behaved in-flight tools (Request.Ctx), and
+// returns the partial Result with ctx's error joined in.
+func (e *Engine) RunFlowContext(ctx context.Context, f *flow.Flow) (*Result, error) {
+	return e.run(ctx, f, f.Roots())
 }
 
 // RunNode executes the sub-flow rooted at one node — §4.1's "a sub-flow
 // may be run at any stage as long as its dependencies are satisfied
 // independently of the remainder of the flow".
 func (e *Engine) RunNode(f *flow.Flow, id flow.NodeID) (*Result, error) {
+	return e.RunNodeContext(context.Background(), f, id)
+}
+
+// RunNodeContext is RunNode under a context (see RunFlowContext).
+func (e *Engine) RunNodeContext(ctx context.Context, f *flow.Flow, id flow.NodeID) (*Result, error) {
 	if f.Node(id) == nil {
 		return nil, fmt.Errorf("exec: no node %d", id)
 	}
-	return e.run(f, []flow.NodeID{id})
+	return e.run(ctx, f, []flow.NodeID{id})
 }
 
-func (e *Engine) run(f *flow.Flow, targets []flow.NodeID) (*Result, error) {
+func (e *Engine) run(ctx context.Context, f *flow.Flow, targets []flow.NodeID) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	res := &Result{Created: make(map[flow.NodeID][]history.ID)}
 	fail := func(err error) (*Result, error) {
 		res.Elapsed = time.Since(start)
 		return res, err
 	}
+	if !e.running.CompareAndSwap(false, true) {
+		return fail(fmt.Errorf("exec: engine is already running a flow (an Engine runs one flow at a time)"))
+	}
+	defer e.running.Store(false)
 	if err := f.Validate(); err != nil {
 		return fail(err)
 	}
@@ -229,7 +287,7 @@ func (e *Engine) run(f *flow.Flow, targets []flow.NodeID) (*Result, error) {
 	for id, insts := range p.bound {
 		res.Created[id] = insts
 	}
-	if err := e.execute(f, p, res); err != nil {
+	if err := e.execute(ctx, f, p, res); err != nil {
 		return fail(err)
 	}
 	res.Elapsed = time.Since(start)
@@ -250,19 +308,39 @@ func taskSignature(f *flow.Flow, id flow.NodeID) string {
 	return strings.Join(parts, ",")
 }
 
+// sleepCtx sleeps for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // executeCombo performs one tool run (or composition) for one input
 // combination. lookup resolves an instance to its (type, artifact) —
 // from the in-flight pending set for planned instances not yet
 // committed, from the database otherwise.
-func (e *Engine) executeCombo(f *flow.Flow, j *plannedJob, combo map[string]history.ID,
+func (e *Engine) executeCombo(ctx context.Context, f *flow.Flow, j *plannedJob, combo map[string]history.ID,
 	lookup func(history.ID) (string, []byte, error)) (encap.Outputs, error) {
 	rep := f.Node(j.nodes[0])
+	var delay time.Duration
 	if e.delayFn != nil {
-		if d := e.delayFn(j.nodes[0], rep.Type); d > 0 {
-			time.Sleep(d)
+		delay = e.delayFn(j.nodes[0], rep.Type)
+	} else {
+		delay = e.taskDelay
+	}
+	if delay > 0 {
+		if err := sleepCtx(ctx, delay); err != nil {
+			return nil, err
 		}
-	} else if e.taskDelay > 0 {
-		time.Sleep(e.taskDelay)
 	}
 
 	if j.composite {
@@ -295,6 +373,7 @@ func (e *Engine) executeCombo(f *flow.Flow, j *plannedJob, combo map[string]hist
 		return nil, err
 	}
 	req := &encap.Request{
+		Ctx:      ctx,
 		Goal:     rep.Type,
 		ToolType: toolType,
 		Tool:     toolArt,

@@ -26,8 +26,19 @@ type rig struct {
 // placement options.
 func newRig(t *testing.T) *rig {
 	t.Helper()
+	return newRigClock(t, nil)
+}
+
+// newRigClock is newRig with a replaced history clock (installed before
+// any instance is recorded), so two rigs built with the same frozen
+// clock produce byte-comparable history dumps.
+func newRigClock(t *testing.T, clock func() time.Time) *rig {
+	t.Helper()
 	s := schema.Full()
 	db := history.NewDB(s)
+	if clock != nil {
+		db.SetClock(clock)
+	}
 	store := datastore.NewStore()
 	r := &rig{s: s, db: db, store: store,
 		engine: New(s, db, store, encap.StandardRegistry()),

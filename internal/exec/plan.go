@@ -47,6 +47,8 @@ type plannedJob struct {
 	remaining int // unfinished combos
 	done      bool
 	failed    bool
+	skipped   bool // never dispatched: a producer failed (ContinueOnError)
+	blame     int  // root-cause job index when skipped
 	outputs   []encap.Outputs
 	dur       time.Duration // longest single combo, for the critical path
 }

@@ -44,11 +44,18 @@ func (r *RetraceResult) NewTarget(target history.ID) history.ID {
 // with substituted inputs, recording the new instances.
 func (e *Engine) Retrace(target history.ID) (*RetraceResult, error) {
 	start := time.Now()
+	res := &RetraceResult{Rebuilt: make(map[history.ID]history.ID)}
+	if !e.running.CompareAndSwap(false, true) {
+		res.Elapsed = time.Since(start)
+		return res, fmt.Errorf("exec: engine is already running a flow (an Engine runs one flow at a time)")
+	}
+	defer e.running.Store(false)
 	plan, err := e.db.PlanRetrace(target)
 	if err != nil {
-		return nil, err
+		res.Elapsed = time.Since(start)
+		return res, err
 	}
-	res := &RetraceResult{Plan: plan, Rebuilt: make(map[history.ID]history.ID)}
+	res.Plan = plan
 	if plan.Fresh() {
 		res.Fresh = true
 		res.Elapsed = time.Since(start)

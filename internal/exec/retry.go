@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/encap"
+	"repro/internal/flow"
+	"repro/internal/history"
+)
+
+// This file is the per-unit fault-tolerance layer: a retry loop with
+// exponential backoff and full jitter around each (job, combo) attempt,
+// and a per-attempt deadline. Everything here is deterministic by
+// construction where it matters: retries never change what is committed
+// (instance IDs are pre-assigned at plan time and only a unit's final
+// successful output is recorded), and the jitter is derived from a
+// seeded hash of (seed, job, combo, attempt), so a retried-then-
+// succeeded run records a history byte-identical to a fault-free run
+// and even its backoff schedule replays exactly under the same seed.
+
+// RetryPolicy configures per-unit retries. Attempt n (0-based) that
+// fails with a retryable error sleeps uniform[0, min(MaxDelay,
+// BaseDelay·2ⁿ)) — "full jitter" — before the next attempt.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per unit, including
+	// the first; values below 1 mean 1 (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff ceiling before the first retry (default
+	// 1ms when retries are enabled).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling (0 = uncapped).
+	MaxDelay time.Duration
+	// Seed drives the jitter: the same seed replays the same delays for
+	// the same (job, combo, attempt) coordinates regardless of worker
+	// interleaving.
+	Seed int64
+	// Retryable classifies errors; nil means DefaultRetryable.
+	Retryable func(error) bool
+}
+
+// transienter is the duck-typed marker retry classification probes:
+// error values that know whether they are transient implement it (the
+// internal/faults injector does; net.Error-style tools can too).
+type transienter interface{ Transient() bool }
+
+// DefaultRetryable is the classification used when RetryPolicy.Retryable
+// is nil: context cancellation and deadline expiry are never retried, an
+// error that self-describes via a Transient() bool method is believed,
+// and anything else is presumed transient (flaky CAD tools are the
+// normal case; a deterministic failure merely wastes MaxAttempts-1 short
+// retries before surfacing).
+func DefaultRetryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return true
+}
+
+func (p RetryPolicy) retryable(err error) bool {
+	if p.Retryable != nil {
+		return p.Retryable(err)
+	}
+	return DefaultRetryable(err)
+}
+
+// backoff returns the full-jitter delay before retry number attempt
+// (0-based) of the given unit, deterministic in (Seed, job, combo,
+// attempt).
+func (p RetryPolicy) backoff(job, combo, attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < time.Hour; i++ {
+		ceil *= 2
+	}
+	if p.MaxDelay > 0 && ceil > p.MaxDelay {
+		ceil = p.MaxDelay
+	}
+	if ceil <= 0 {
+		return 0
+	}
+	return time.Duration(jitterHash(p.Seed, job, combo, attempt) % uint64(ceil))
+}
+
+// jitterHash mixes the seed and unit coordinates through an FNV-1a-style
+// avalanche — cheap, allocation-free, and stable across runs.
+func jitterHash(seed int64, job, combo, attempt int) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range [4]uint64{uint64(seed), uint64(job), uint64(combo), uint64(attempt)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// SetRetryPolicy installs per-unit retry with exponential backoff and
+// full jitter. The zero policy (the default) performs a single attempt.
+// Not safe to call during a run.
+func (e *Engine) SetRetryPolicy(p RetryPolicy) {
+	e.checkIdle("SetRetryPolicy")
+	e.retry = p
+}
+
+// SetTaskTimeout bounds every unit attempt: an attempt still running
+// after d is cut off with context.DeadlineExceeded (and, under the
+// default classification, not retried). 0 disables the bound. Per-node
+// overrides from SetNodeTimeout take precedence. Not safe to call
+// during a run.
+func (e *Engine) SetTaskTimeout(d time.Duration) {
+	e.checkIdle("SetTaskTimeout")
+	e.taskTimeout = d
+}
+
+// SetNodeTimeout overrides the task timeout for the construction
+// computing one node (for grouped multi-output constructions the
+// tightest override among the siblings wins). d <= 0 removes the
+// override. Not safe to call during a run.
+func (e *Engine) SetNodeTimeout(id flow.NodeID, d time.Duration) {
+	e.checkIdle("SetNodeTimeout")
+	if d <= 0 {
+		delete(e.nodeTimeouts, id)
+		return
+	}
+	if e.nodeTimeouts == nil {
+		e.nodeTimeouts = make(map[flow.NodeID]time.Duration)
+	}
+	e.nodeTimeouts[id] = d
+}
+
+// timeoutFor resolves the attempt deadline of a job: the tightest
+// per-node override among its grouped nodes, else the engine default.
+func (e *Engine) timeoutFor(j *plannedJob) time.Duration {
+	d := e.taskTimeout
+	for _, n := range j.nodes {
+		if o, ok := e.nodeTimeouts[n]; ok && (d <= 0 || o < d) {
+			d = o
+		}
+	}
+	return d
+}
+
+// runUnit executes one (job, combo) unit under the retry policy,
+// reporting the attempt count and how many attempts hit the per-task
+// deadline. A cancelled run stops retrying immediately.
+func (e *Engine) runUnit(ctx context.Context, f *flow.Flow, u unitTask,
+	lookup func(id history.ID) (string, []byte, error)) (out encap.Outputs, attempts, timeouts int, err error) {
+	max := e.retry.MaxAttempts
+	if max < 1 {
+		max = 1
+	}
+	for a := 0; ; a++ {
+		out, err = e.attemptUnit(ctx, f, u.j, u.ci, lookup)
+		attempts = a + 1
+		if err == nil {
+			return
+		}
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			timeouts++
+		}
+		if attempts >= max || ctx.Err() != nil || !e.retry.retryable(err) {
+			return
+		}
+		t := time.NewTimer(e.retry.backoff(u.j.idx, u.ci, a))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
+// attemptUnit performs a single attempt, bounded by the job's deadline.
+// When neither the run context nor a timeout can fire, the tool runs on
+// the worker goroutine directly; otherwise it runs on a watchdog
+// goroutine that is abandoned if the deadline expires first — a truly
+// hung tool cannot be interrupted, but well-behaved encapsulations
+// observe Request.Ctx and return promptly once it is cancelled.
+func (e *Engine) attemptUnit(ctx context.Context, f *flow.Flow, j *plannedJob, ci int,
+	lookup func(id history.ID) (string, []byte, error)) (encap.Outputs, error) {
+	d := e.timeoutFor(j)
+	actx := ctx
+	if d > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if actx.Done() == nil {
+		return e.executeCombo(actx, f, j, j.combos[ci], lookup)
+	}
+	type result struct {
+		out encap.Outputs
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		out, err := e.executeCombo(actx, f, j, j.combos[ci], lookup)
+		ch <- result{out, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.out, r.err
+	case <-actx.Done():
+		if d > 0 && errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			return nil, fmt.Errorf("exec: attempt exceeded the %v task timeout: %w", d, context.DeadlineExceeded)
+		}
+		return nil, actx.Err()
+	}
+}

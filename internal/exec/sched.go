@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -27,9 +28,16 @@ import (
 // Workers read the artifacts of not-yet-committed producers from an
 // in-memory pending set (runState).
 //
-// Failure: the first unit error flips the run into fail-fast — nothing
-// further is dispatched, in-flight units drain, and every error is
-// returned joined (errors.Join), each naming its (node, combo).
+// Failure: under FailFast (the default) the first unit error stops
+// dispatch — in-flight units drain, the committed prefix stays, and
+// every error is returned joined (errors.Join), each naming its (node,
+// combo). Under ContinueOnError only the dependents of a failed job are
+// skipped: everything whose producers succeeded still runs and commits
+// with its planner-assigned IDs (the failed/skipped jobs' pre-assigned
+// IDs are retired via history.ReserveSeq so later commits line up), and
+// the joined error additionally names every skipped node with its
+// root-cause producer. Cancelling the run context stops dispatch,
+// cancels in-flight attempts, and joins ctx.Err() into the result.
 
 // Scheduler selects the engine's scheduling discipline.
 type Scheduler int
@@ -92,18 +100,21 @@ type unitTask struct {
 }
 
 type unitResult struct {
-	j    *plannedJob
-	ci   int
-	out  encap.Outputs
-	err  error
-	wait time.Duration // ready -> start
-	dur  time.Duration // start -> done
+	j        *plannedJob
+	ci       int
+	out      encap.Outputs
+	err      error
+	attempts int
+	timeouts int
+	wait     time.Duration // ready -> start
+	dur      time.Duration // start -> done (all attempts)
 }
 
 // execute runs a plan through the worker pool and commits completed
 // jobs in plan order, filling res. It returns the joined error of every
-// failed unit (plus any commit error), or nil.
-func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
+// failed unit plus, under ContinueOnError, one entry per skipped node
+// (plus any commit or cancellation error), or nil.
+func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result) error {
 	stats := newStats(e.sched, p)
 	res.Stats = stats
 	if len(p.jobs) == 0 {
@@ -126,7 +137,7 @@ func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
 			defer wg.Done()
 			for u := range unitCh {
 				start := time.Now()
-				out, err := e.executeCombo(f, u.j, u.j.combos[u.ci], lookup)
+				out, attempts, timeouts, err := e.runUnit(ctx, f, u, lookup)
 				if err == nil {
 					// Surface a tool that dropped an output here, not at
 					// commit time: a dependent must never run against a
@@ -140,6 +151,7 @@ func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
 					}
 				}
 				doneCh <- unitResult{j: u.j, ci: u.ci, out: out, err: err,
+					attempts: attempts, timeouts: timeouts,
 					wait: start.Sub(u.readyAt), dur: time.Since(start)}
 			}
 		}()
@@ -167,36 +179,68 @@ func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
 		err        error
 	}
 	var (
-		failed     bool // fail-fast: stop dispatching and readying
+		stop       bool // stop dispatching and readying
+		cancelled  bool
 		unitErrs   []unitError
 		commitErr  error
 		commitIdx  int
 		committing = true
 	)
 	// advance commits every fully executed job at the front of the plan
-	// — the in-order committer that pins instance IDs to the plan.
+	// — the in-order committer that pins instance IDs to the plan. Under
+	// ContinueOnError it steps over failed and skipped jobs by retiring
+	// their pre-assigned instance IDs, so the survivors behind them still
+	// commit with exactly the IDs the planner handed out.
 	advance := func() {
-		for committing && commitIdx < len(p.jobs) && p.jobs[commitIdx].done {
+		for committing && commitIdx < len(p.jobs) {
 			j := p.jobs[commitIdx]
-			if err := e.recordJob(f, j, res); err != nil {
-				commitErr = err
-				committing = false
-				failed = true
+			switch {
+			case j.done:
+				if err := e.recordJob(f, j, res); err != nil {
+					commitErr = err
+					committing = false
+					stop = true
+					return
+				}
+				res.TasksRun += len(j.combos)
+			case e.policy == ContinueOnError && (j.skipped || (j.failed && j.remaining == 0)):
+				e.db.ReserveSeq(len(j.combos) * len(j.nodes))
+			default:
 				return
 			}
-			res.TasksRun += len(j.combos)
 			commitIdx++
+		}
+	}
+	// markSkipped transitively retires the dependents of a failed job:
+	// they can never become ready, so they are stepped over at commit
+	// time and reported against the root-cause job.
+	var markSkipped func(idx, root int)
+	markSkipped = func(idx, root int) {
+		j := p.jobs[idx]
+		if j.skipped || j.done || j.failed {
+			return
+		}
+		j.skipped = true
+		j.blame = root
+		stats.JobsSkipped++
+		for _, di := range j.dependents {
+			markSkipped(di, root)
 		}
 	}
 	complete := func(d unitResult) {
 		stats.observeUnit(d.j, d.wait, d.dur)
+		stats.Retries += d.attempts - 1
+		stats.Timeouts += d.timeouts
 		j := d.j
 		if d.err != nil {
+			stats.UnitsFailed++
 			unitErrs = append(unitErrs, unitError{j.idx, d.ci,
 				fmt.Errorf("exec: node %d (%s), combo %d/%d [%s]: %w",
 					j.nodes[0], j.repType, d.ci+1, len(j.combos), comboString(j.combos[d.ci]), d.err)})
 			j.failed = true
-			failed = true
+			if e.policy != ContinueOnError {
+				stop = true
+			}
 		} else {
 			j.outputs[d.ci] = d.out
 		}
@@ -204,7 +248,16 @@ func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
 			j.dur = d.dur
 		}
 		j.remaining--
-		if j.remaining > 0 || j.failed {
+		if j.failed {
+			if e.policy == ContinueOnError && j.remaining == 0 {
+				for _, di := range j.dependents {
+					markSkipped(di, j.idx)
+				}
+				advance()
+			}
+			return
+		}
+		if j.remaining > 0 {
 			return
 		}
 		j.done = true
@@ -221,17 +274,18 @@ func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
 		for _, di := range j.dependents {
 			dep := p.jobs[di]
 			dep.pending--
-			if dep.pending == 0 && !failed {
+			if dep.pending == 0 && !dep.skipped && !stop {
 				ready(dep)
 			}
 		}
 	}
 
+	ctxDone := ctx.Done()
 	outstanding := 0
 	for {
 		var sendCh chan unitTask
 		var next unitTask
-		if len(queue) > 0 && !failed {
+		if len(queue) > 0 && !stop {
 			sendCh = unitCh
 			next = queue[0]
 		}
@@ -245,13 +299,17 @@ func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
 		case d := <-doneCh:
 			outstanding--
 			complete(d)
+		case <-ctxDone:
+			cancelled = true
+			stop = true
+			ctxDone = nil // fire once; in-flight units drain via doneCh
 		}
 	}
 	close(unitCh)
 	wg.Wait()
 	stats.finish(p)
 
-	if len(unitErrs) == 0 && commitErr == nil {
+	if len(unitErrs) == 0 && commitErr == nil && !cancelled {
 		return nil
 	}
 	sort.Slice(unitErrs, func(i, k int) bool {
@@ -260,12 +318,27 @@ func (e *Engine) execute(f *flow.Flow, p *plan, res *Result) error {
 		}
 		return unitErrs[i].ci < unitErrs[k].ci
 	})
-	errs := make([]error, 0, len(unitErrs)+1)
+	errs := make([]error, 0, len(unitErrs)+2)
 	for _, ue := range unitErrs {
 		errs = append(errs, ue.err)
 	}
+	// One entry per skipped node, in plan order, naming the root cause.
+	for _, j := range p.jobs {
+		if !j.skipped {
+			continue
+		}
+		root := p.jobs[j.blame]
+		for _, nid := range j.nodes {
+			res.Skipped = append(res.Skipped, nid)
+			errs = append(errs, fmt.Errorf("exec: node %d (%s) skipped: producer node %d (%s) failed",
+				nid, f.Node(nid).Type, root.nodes[0], root.repType))
+		}
+	}
 	if commitErr != nil {
 		errs = append(errs, commitErr)
+	}
+	if cancelled {
+		errs = append(errs, fmt.Errorf("exec: run cancelled: %w", ctx.Err()))
 	}
 	return errors.Join(errs...)
 }

@@ -31,6 +31,12 @@ type Stats struct {
 	// durations — no schedule on any worker count beats it.
 	CriticalPath     time.Duration
 	CriticalPathJobs int
+	// Fault-tolerance counters. Retries counts extra attempts beyond the
+	// first; Timeouts counts attempts cut off by the per-task deadline;
+	// UnitsFailed counts units whose final attempt failed; JobsSkipped
+	// counts constructions never dispatched because a producer failed
+	// (ContinueOnError).
+	Retries, Timeouts, UnitsFailed, JobsSkipped int
 	// PerTask aggregates wall time by the job's representative type.
 	PerTask map[string]TaskStat
 	// QueueWait histograms the delay between a unit becoming ready and a
@@ -150,6 +156,10 @@ func (s *Stats) Summary() string {
 	fmt.Fprintf(&b, "elapsed=%v busy=%v occupancy=%.0f%% critical-path=%v (%d jobs)\n",
 		s.Elapsed.Round(time.Microsecond), s.Busy.Round(time.Microsecond),
 		s.Occupancy*100, s.CriticalPath.Round(time.Microsecond), s.CriticalPathJobs)
+	if s.Retries != 0 || s.Timeouts != 0 || s.UnitsFailed != 0 || s.JobsSkipped != 0 {
+		fmt.Fprintf(&b, "faults: retries=%d timeouts=%d failed=%d skipped=%d\n",
+			s.Retries, s.Timeouts, s.UnitsFailed, s.JobsSkipped)
+	}
 	fmt.Fprintf(&b, "queue-wait: %s", s.QueueWait)
 	types := make([]string, 0, len(s.PerTask))
 	for t := range s.PerTask {

@@ -1,0 +1,280 @@
+// Package faults is a deterministic fault injector for tool
+// encapsulations: it wraps every encapsulation in an encap.Registry
+// (Registry.Wrap) and injects transient errors, permanent errors,
+// latency spikes, and hung tools at seeded, repeatable sites.
+//
+// Determinism is the point. Whether a given tool run is afflicted is
+// decided by hashing the run's identity — tool type, goal, tool
+// artifact, and input artifacts — with the injector seed, never by
+// shared RNG state, so the decision is independent of worker
+// interleaving: the same seed over the same flow afflicts the same
+// constructions on every run, under any scheduler or worker count.
+// (Two constructions with byte-identical requests share a site and
+// therefore a fate; outcomes are deterministic as a multiset.) That is
+// what lets chaos tests assert exact outcomes: a transient site fails
+// its first TransientRuns attempts and then succeeds, so a run with
+// retries enabled must converge to the fault-free history.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/encap"
+)
+
+// Config sets the affliction rates for a set of tool runs. Rates are
+// probabilities in [0, 1] evaluated independently per site; 1 afflicts
+// every site.
+type Config struct {
+	// TransientRate is the fraction of sites that fail with a transient
+	// (retryable) error for their first TransientRuns attempts and then
+	// succeed.
+	TransientRate float64
+	// TransientRuns is how many attempts a transient site fails before
+	// recovering (default 1).
+	TransientRuns int
+	// PermanentRate is the fraction of sites that fail every attempt
+	// with a non-retryable error.
+	PermanentRate float64
+	// LatencyRate is the fraction of sites delayed by Latency before the
+	// real tool runs.
+	LatencyRate float64
+	Latency     time.Duration
+	// HangRate is the fraction of sites that hang — block until the
+	// request context is cancelled or HangLimit (default 30s) expires —
+	// instead of running the tool.
+	HangRate  float64
+	HangLimit time.Duration
+}
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	KindTransient Kind = iota
+	KindPermanent
+	KindHang
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTransient:
+		return "transient"
+	case KindPermanent:
+		return "permanent"
+	default:
+		return "hang"
+	}
+}
+
+// Error is the fault the injector returns. It implements the
+// Transient() duck type the engine's retry classification probes, so
+// injected transient failures are retried and injected permanent
+// failures are not.
+type Error struct {
+	Kind Kind
+	Tool string
+	Goal string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: injected %s failure (%s producing %s)", e.Kind, e.Tool, e.Goal)
+}
+
+// Transient reports whether retrying can succeed.
+func (e *Error) Transient() bool { return e.Kind == KindTransient }
+
+// Counters tallies what the injector actually did, for chaos reports.
+type Counters struct {
+	Calls      int64 // tool runs seen
+	Transients int64 // transient failures returned
+	Permanents int64 // permanent failures returned
+	Latencies  int64 // latency spikes applied
+	Hangs      int64 // hangs entered
+}
+
+// Injector wraps encapsulations with seeded fault injection.
+type Injector struct {
+	seed   int64
+	base   Config
+	byTool map[string]Config
+	byGoal map[string]Config
+	mu     sync.Mutex
+	tries  map[uint64]int // per-site attempt counts (transient recovery)
+	callN  atomic.Int64
+	transN atomic.Int64
+	permN  atomic.Int64
+	latN   atomic.Int64
+	hangN  atomic.Int64
+}
+
+// New returns an injector applying base to every tool run not covered
+// by a per-tool or per-goal override.
+func New(seed int64, base Config) *Injector {
+	return &Injector{
+		seed:   seed,
+		base:   base,
+		byTool: make(map[string]Config),
+		byGoal: make(map[string]Config),
+		tries:  make(map[uint64]int),
+	}
+}
+
+// SetToolConfig overrides the config for one concrete tool type.
+func (in *Injector) SetToolConfig(toolType string, c Config) { in.byTool[toolType] = c }
+
+// SetGoalConfig overrides the config for runs producing one goal type;
+// it beats a per-tool override. Configure before Instrument-ed tools
+// run — overrides are not synchronized.
+func (in *Injector) SetGoalConfig(goal string, c Config) { in.byGoal[goal] = c }
+
+// Counters snapshots what has been injected so far.
+func (in *Injector) Counters() Counters {
+	return Counters{
+		Calls:      in.callN.Load(),
+		Transients: in.transN.Load(),
+		Permanents: in.permN.Load(),
+		Latencies:  in.latN.Load(),
+		Hangs:      in.hangN.Load(),
+	}
+}
+
+// Instrument wraps every encapsulation registered so far; runs flowing
+// through reg afterwards pass through the injector.
+func (in *Injector) Instrument(reg *encap.Registry) {
+	reg.Wrap(func(toolType string, e encap.Encapsulation) encap.Encapsulation {
+		return encap.Func(func(r *encap.Request) (encap.Outputs, error) {
+			return in.run(e, r)
+		})
+	})
+}
+
+func (in *Injector) configFor(r *encap.Request) Config {
+	if c, ok := in.byGoal[r.Goal]; ok {
+		return c
+	}
+	if c, ok := in.byTool[r.ToolType]; ok {
+		return c
+	}
+	return in.base
+}
+
+func (in *Injector) run(e encap.Encapsulation, r *encap.Request) (encap.Outputs, error) {
+	in.callN.Add(1)
+	c := in.configFor(r)
+	site := in.siteKey(r)
+
+	if roll(site, "latency") < c.LatencyRate && c.Latency > 0 {
+		in.latN.Add(1)
+		t := time.NewTimer(c.Latency)
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return nil, r.Context().Err()
+		}
+	}
+	if roll(site, "hang") < c.HangRate {
+		in.hangN.Add(1)
+		limit := c.HangLimit
+		if limit <= 0 {
+			limit = 30 * time.Second
+		}
+		t := time.NewTimer(limit)
+		select {
+		case <-t.C:
+			return nil, &Error{Kind: KindHang, Tool: r.ToolType, Goal: r.Goal}
+		case <-r.Context().Done():
+			t.Stop()
+			return nil, r.Context().Err()
+		}
+	}
+	if roll(site, "permanent") < c.PermanentRate {
+		in.permN.Add(1)
+		return nil, &Error{Kind: KindPermanent, Tool: r.ToolType, Goal: r.Goal}
+	}
+	if roll(site, "transient") < c.TransientRate {
+		runs := c.TransientRuns
+		if runs < 1 {
+			runs = 1
+		}
+		in.mu.Lock()
+		attempt := in.tries[site]
+		in.tries[site] = attempt + 1
+		in.mu.Unlock()
+		if attempt < runs {
+			in.transN.Add(1)
+			return nil, &Error{Kind: KindTransient, Tool: r.ToolType, Goal: r.Goal}
+		}
+	}
+	return e.Run(r)
+}
+
+// siteKey identifies one tool-run site by content: tool type, goal,
+// tool artifact, and the inputs in key order — everything that defines
+// the run, nothing that depends on scheduling.
+func (in *Injector) siteKey(r *encap.Request) uint64 {
+	h := hashInit(uint64(in.seed))
+	h = hashString(h, r.ToolType)
+	h = hashString(h, r.Goal)
+	h = hashBytes(h, r.Tool)
+	keys := make([]string, 0, len(r.Inputs))
+	for k := range r.Inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h = hashString(h, k)
+		h = hashBytes(h, r.Inputs[k])
+	}
+	return mix(h)
+}
+
+// roll maps (site, label) to a uniform float64 in [0, 1).
+func roll(site uint64, label string) float64 {
+	h := mix(hashString(hashInit(site), label))
+	return float64(h>>11) / (1 << 53)
+}
+
+// FNV-1a with a murmur-style finalizer — cheap, allocation-free, and
+// stable across runs and platforms.
+
+func hashInit(seed uint64) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hashBytes(h uint64, b []byte) uint64 {
+	h ^= 0xa5
+	h *= 1099511628211
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	h ^= 0x5a
+	h *= 1099511628211
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func mix(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}

@@ -11,6 +11,7 @@
 package hercules
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -210,6 +211,23 @@ func (s *Session) SetMaxCombos(n int) { s.Engine.SetMaxCombos(n) }
 
 // SetTaskDelay adds a simulated dispatch latency to every tool run.
 func (s *Session) SetTaskDelay(d time.Duration) { s.Engine.SetTaskDelay(d) }
+
+// SetRetryPolicy installs per-unit retry with exponential backoff and
+// full jitter (see exec.RetryPolicy).
+func (s *Session) SetRetryPolicy(p exec.RetryPolicy) { s.Engine.SetRetryPolicy(p) }
+
+// SetFailurePolicy selects exec.FailFast (default) or
+// exec.ContinueOnError graceful degradation.
+func (s *Session) SetFailurePolicy(p exec.FailurePolicy) { s.Engine.SetFailurePolicy(p) }
+
+// SetTaskTimeout bounds every tool-run attempt; 0 disables the bound.
+func (s *Session) SetTaskTimeout(d time.Duration) { s.Engine.SetTaskTimeout(d) }
+
+// RunContext executes a whole flow under a context; cancelling it stops
+// the run and returns the partial result.
+func (s *Session) RunContext(ctx context.Context, f *flow.Flow) (*exec.Result, error) {
+	return s.Engine.RunFlowContext(ctx, f)
+}
 
 // RunNode executes the sub-flow rooted at a node.
 func (s *Session) RunNode(f *flow.Flow, id flow.NodeID) (*exec.Result, error) {

@@ -279,6 +279,23 @@ func (db *DB) Seq() int {
 	return db.seq
 }
 
+// ReserveSeq advances the instance sequence counter by n without
+// recording anything, burning the IDs that would have used those
+// numbers. The execution engine calls it under graceful degradation
+// (exec.ContinueOnError): when a planned construction fails or is
+// skipped, its pre-assigned IDs are retired so that every later
+// construction still commits under exactly the ID the planner assigned.
+// Holes in the sequence are harmless — nothing iterates IDs by number,
+// and Restore already resumes after the largest suffix present.
+func (db *DB) ReserveSeq(n int) {
+	if n <= 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.seq += n
+}
+
 // Len returns the number of instances recorded.
 func (db *DB) Len() int {
 	db.mu.RLock()
