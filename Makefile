@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos ci bench flowbench
+.PHONY: build vet test race chaos cover ci bench flowbench
 
 build:
 	$(GO) build ./...
@@ -20,9 +20,15 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Backoff|Retry|Timeout|Hang|Transient|Permanent|Latency|Cancel' ./internal/exec/... ./internal/faults/...
 	$(GO) run ./cmd/flowbench -quick
 
+# cover enforces the same ratchet as the CI trace job: the traced
+# execution paths (internal/exec + internal/trace) stay above 90%.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/exec/ ./internal/trace/
+	$(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print "combined coverage: " $$3 "%"; exit ($$3 >= 90.0) ? 0 : 1}'
+
 # ci is the gate CI runs: compile, vet, full suite under the race
 # detector (the scheduler is concurrent; -race is not optional).
-ci: build vet race
+ci: build vet race cover
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .

@@ -9,6 +9,7 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/hercules"
 	"repro/internal/history"
 	"repro/internal/schema"
+	runtrace "repro/internal/trace"
 )
 
 func mustB(b *testing.B, err error) {
@@ -294,6 +296,43 @@ func BenchmarkFig6UnbalancedBranches(b *testing.B) {
 				s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
 					return delays[n]
 				})
+				b.StartTimer()
+				_, err := s.Run(f)
+				mustB(b, err)
+			}
+		})
+	}
+}
+
+// BenchmarkTraceOverhead measures what the run-event layer costs on the
+// Fig. 6 unbalanced workload of BenchmarkFig6UnbalancedBranches
+// (dataflow, 4 workers): untraced, with the constant-memory ring sink,
+// and streaming JSONL to io.Discard. The acceptance budget for the
+// ring sink is ≤5% over sink=none.
+func BenchmarkTraceOverhead(b *testing.B) {
+	const depth = 6
+	const workers = 4
+	slow, fast := 8*time.Millisecond, 500*time.Microsecond
+	sinks := []struct {
+		name string
+		make func() runtrace.Sink
+	}{
+		{"none", func() runtrace.Sink { return nil }},
+		{"ring", func() runtrace.Sink { return runtrace.NewRing(4096) }},
+		{"jsonl", func() runtrace.Sink { return runtrace.NewWriter(io.Discard) }},
+	}
+	for _, sk := range sinks {
+		b.Run("sink="+sk.name, func(b *testing.B) {
+			s := session(b)
+			s.SetWorkers(workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f, delays := buildUnbalanced(b, s, depth, slow, fast)
+				s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
+					return delays[n]
+				})
+				s.SetTracer(sk.make())
 				b.StartTimer()
 				_, err := s.Run(f)
 				mustB(b, err)

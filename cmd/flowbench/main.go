@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 	"repro/internal/hercules"
 	"repro/internal/history"
 	"repro/internal/schema"
+	runtrace "repro/internal/trace"
 )
 
 var sections = []struct {
@@ -58,13 +60,14 @@ var sections = []struct {
 	{"fig11", "version tree vs flow trace", fig11},
 	{"retrace", "consistency maintenance by automatic retracing", retraceSection},
 	{"chaos", "fault injection: retries, degradation, timeouts", chaosSection},
+	{"trace", "run tracing: determinism, metrics, overhead", traceSection},
 	{"approaches", "the four design approaches", approachesSection},
 	{"baselines", "dynamic flows vs static flows vs traces", baselinesSection},
 }
 
 // quickSections is the smoke subset -quick runs: one schema section,
 // the two scheduler measurements, and the fault-injection section.
-var quickSections = map[string]bool{"fig1": true, "fig6": true, "sched": true, "chaos": true}
+var quickSections = map[string]bool{"fig1": true, "fig6": true, "sched": true, "chaos": true, "trace": true}
 
 func main() {
 	want := map[string]bool{}
@@ -747,6 +750,116 @@ func chaosSection() {
 	fmt.Printf("hung tool: cut off in %v (deadline exceeded: %v, attempts timed out: %d)\n",
 		time.Since(t0).Round(time.Millisecond),
 		errors.Is(err3, context.DeadlineExceeded), res3.Stats.Timeouts)
+}
+
+// ---- trace --------------------------------------------------------------------
+
+func traceSection() {
+	const branches = 8
+	const workers = 4
+	branchFlow := func(s *hercules.Session) *flow.Flow {
+		f := s.NewFlow()
+		gens := []string{"netEd.fulladder", "netEd.ripple4"}
+		for i := 0; i < branches; i++ {
+			n := f.MustAdd("EditedNetlist")
+			must(f.ExpandDown(n, false))
+			tn, _ := f.Node(n).Dep("fd")
+			must(f.Bind(tn, s.Must(gens[i%len(gens)])))
+		}
+		return f
+	}
+
+	// Determinism: events are sequenced in plan commit order, so after
+	// masking wall-clock fields the two schedulers emit the same bytes.
+	collect := func(sched exec.Scheduler) []runtrace.Event {
+		s := session()
+		s.SetWorkers(workers)
+		s.SetScheduler(sched)
+		buf := runtrace.NewBuffer()
+		s.SetTracer(buf)
+		must1(s.Run(branchFlow(s)))
+		return buf.Events()
+	}
+	evDat, evBar := collect(exec.Dataflow), collect(exec.Barrier)
+	datJSONL := runtrace.MaskedJSONL(evDat)
+	fmt.Printf("fig6 flow (%d branches, %d workers): %d events per run\n", branches, workers, len(evDat))
+	fmt.Printf("byte-identical masked traces across dataflow and barrier: %v\n",
+		bytes.Equal(datJSONL, runtrace.MaskedJSONL(evBar)))
+	lines := strings.Split(strings.TrimSpace(string(datJSONL)), "\n")
+	fmt.Println("masked JSONL (first 3 lines + last):")
+	for _, l := range lines[:3] {
+		fmt.Printf("  %s\n", l)
+	}
+	fmt.Printf("  ... %s\n", lines[len(lines)-1])
+
+	// Metrics: the registry is a fold over the same event stream; a
+	// chaos run shows the fault counters moving.
+	sm := session()
+	inj := faults.New(1993, faults.Config{TransientRate: 1, TransientRuns: 2})
+	inj.Instrument(sm.Registry)
+	sm.SetRetryPolicy(exec.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 7})
+	metrics := runtrace.NewMetrics()
+	sm.SetTracer(metrics)
+	must1(sm.Run(branchFlow(sm)))
+	fmt.Println("metrics exposition after a transient-chaos run (excerpt):")
+	for _, l := range strings.Split(metrics.Expose(), "\n") {
+		if strings.HasPrefix(l, "flow_") && !strings.Contains(l, "_bucket") &&
+			!strings.Contains(l, "_sum") && !strings.Contains(l, "_seconds_total") {
+			fmt.Printf("  %s\n", l)
+		}
+	}
+
+	// Overhead: the BenchmarkFig6UnbalancedBranches workload untraced
+	// vs with the ring sink (the ≤5%% acceptance budget) vs streaming
+	// JSONL. Delay-dominated by design: tracing cost is microseconds
+	// per event.
+	const depth = 6
+	slow, fast := 8*time.Millisecond, 500*time.Microsecond
+	measure := func(sink runtrace.Sink) time.Duration {
+		best := time.Duration(0)
+		for i := 0; i < 5; i++ {
+			s := session()
+			s.SetWorkers(workers)
+			s.SetTracer(sink)
+			f := s.NewFlow()
+			delays := make(map[flow.NodeID]time.Duration)
+			for c := 0; c < 2; c++ {
+				base := f.MustAdd("EditedNetlist")
+				must(f.ExpandDown(base, false))
+				tn, _ := f.Node(base).Dep("fd")
+				must(f.Bind(tn, s.Must("netEd.fulladder")))
+				prev := base
+				for d := 0; d < depth; d++ {
+					if (d+c)%2 == 0 {
+						delays[prev] = slow
+					} else {
+						delays[prev] = fast
+					}
+					if d == depth-1 {
+						break
+					}
+					next := must1(f.ExpandUp(prev, "EditedNetlist", "Netlist"))
+					must(f.ExpandDown(next, false))
+					tn, _ := f.Node(next).Dep("fd")
+					must(f.Bind(tn, s.Must("netEd.retouch")))
+					prev = next
+				}
+			}
+			s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
+				return delays[n]
+			})
+			res := must1(s.Run(f))
+			if best == 0 || res.Stats.Elapsed < best {
+				best = res.Stats.Elapsed
+			}
+		}
+		return best
+	}
+	base := measure(nil)
+	ring := measure(runtrace.NewRing(4096))
+	fmt.Printf("unbalanced fig6 workload (best of 5): untraced %v, ring sink %v — overhead %+.2f%%\n",
+		base.Round(time.Microsecond), ring.Round(time.Microsecond),
+		100*(float64(ring)-float64(base))/float64(base))
 }
 
 // ---- approaches ---------------------------------------------------------------

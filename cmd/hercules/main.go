@@ -17,6 +17,13 @@
 //	-retries <n>               attempts per task (default 1 = no retry)
 //	-retry-base <dur>          base backoff before the first retry
 //
+// Observability flags:
+//
+//	-trace file.jsonl          stream run events (internal/trace) to a file
+//	-metrics                   fold run events into a metrics registry and
+//	                           print the exposition dump at exit (the
+//	                           "metrics" command prints it any time)
+//
 // Type "help" for the command list.
 package main
 
@@ -36,6 +43,7 @@ import (
 	"repro/internal/hercules"
 	"repro/internal/history"
 	"repro/internal/schema"
+	"repro/internal/trace"
 )
 
 const demoScript = `
@@ -65,6 +73,8 @@ var (
 	flagTimeout   = flag.Duration("timeout", 0, "per-task timeout (0 = none)")
 	flagRetries   = flag.Int("retries", 1, "attempts per task (1 = no retry)")
 	flagRetryBase = flag.Duration("retry-base", time.Millisecond, "base backoff delay before the first retry")
+	flagTrace     = flag.String("trace", "", "write a JSONL run-event trace to this file")
+	flagMetrics   = flag.Bool("metrics", false, "collect run metrics and print the exposition dump at exit")
 )
 
 // configureEngine applies the robustness flags to the session's engine.
@@ -108,6 +118,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var sinks []trace.Sink
+	if *flagTrace != "" {
+		tf, err := os.Create(*flagTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tw := trace.NewWriter(tf)
+		sinks = append(sinks, tw)
+		defer func() {
+			if err := tw.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+			tf.Close()
+		}()
+	}
+	if *flagMetrics {
+		cli.enableMetrics(sinks...)
+		defer func() { fmt.Print(cli.metrics.Expose()) }()
+	} else if len(sinks) == 1 {
+		cli.session.SetTracer(sinks[0])
+	}
 	if err := cli.session.Bootstrap(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -140,6 +172,20 @@ type cli struct {
 	session *hercules.Session
 	flow    *flow.Flow
 	last    history.ID
+	metrics *trace.Metrics // non-nil when -metrics (or enableMetrics) is on
+}
+
+// enableMetrics installs a metrics registry (plus any extra sinks) as
+// the session's tracer and returns the registry.
+func (c *cli) enableMetrics(extra ...trace.Sink) *trace.Metrics {
+	c.metrics = trace.NewMetrics()
+	sinks := append([]trace.Sink{c.metrics}, extra...)
+	if len(sinks) == 1 {
+		c.session.SetTracer(sinks[0])
+	} else {
+		c.session.SetTracer(trace.Multi(sinks...))
+	}
+	return c.metrics
 }
 
 func newCLI(out io.Writer) *cli {
@@ -382,6 +428,12 @@ func (c *cli) exec(line string) error {
 			}
 			return out, nil
 		})
+	case "metrics":
+		if c.metrics == nil {
+			return fmt.Errorf("metrics are not enabled (start with -metrics)")
+		}
+		fmt.Fprint(c.out, c.metrics.Expose())
+		return nil
 	case "annotate":
 		if len(args) < 2 {
 			return fmt.Errorf("annotate <inst> <name...>")
@@ -435,6 +487,7 @@ func (c *cli) cmdHelp() error {
   cat <i>                           show an instance's artifact
   stale <i> | retrace <i>           consistency maintenance
   annotate <i> <name...>            annotate an instance
+  metrics                           print the metrics dump (-metrics)
   quit
 instances: bootstrap names (e.g. sim, netEd.fulladder), full IDs, "last".
 `)

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/trace"
 )
 
 // testCLI returns a bootstrapped interpreter writing into a buffer.
@@ -208,5 +210,40 @@ func TestVersionsTraceRetraceCommands(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, string(first)) || !strings.Contains(out, "[via ") {
 		t.Errorf("versions/trace output:\n%s", out)
+	}
+}
+
+// The -metrics/-trace machinery: a run through an instrumented session
+// feeds both the metrics registry (the "metrics" command prints its
+// exposition) and any extra trace sink.
+func TestMetricsCommandAndTraceSink(t *testing.T) {
+	c, buf := testCLI(t)
+	var jsonl bytes.Buffer
+	c.enableMetrics(trace.NewWriter(&jsonl))
+	run(t, c,
+		"start goal EditedNetlist",
+		"expand 1",
+		"bind 2 netEd.fulladder",
+		"run",
+		"metrics",
+	)
+	out := buf.String()
+	for _, want := range []string{"executed 1 task(s)", "flow_units_committed_total 1", "flow_runs_total 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, want := range []string{`"kind":"PlanBuilt"`, `"kind":"UnitCommitted"`, `"kind":"RunFinished"`} {
+		if !strings.Contains(jsonl.String(), want) {
+			t.Errorf("trace file missing %q:\n%s", want, jsonl.String())
+		}
+	}
+}
+
+// Without -metrics the command explains itself instead of crashing.
+func TestMetricsCommandDisabled(t *testing.T) {
+	c, _ := testCLI(t)
+	if err := c.exec("metrics"); err == nil || !strings.Contains(err.Error(), "-metrics") {
+		t.Errorf("err = %v, want a pointer at the -metrics flag", err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/flow"
 	"repro/internal/history"
+	"repro/internal/trace"
 )
 
 // This file is the chaos suite: the fault-tolerance layer exercised
@@ -294,6 +295,7 @@ func TestSettersPanicDuringRun(t *testing.T) {
 		"SetTaskTimeout":   func() { r.engine.SetTaskTimeout(time.Second) },
 		"SetNodeTimeout":   func() { r.engine.SetNodeTimeout(1, time.Second) },
 		"SetTaskDelay":     func() { r.engine.SetTaskDelay(time.Second) },
+		"SetTracer":        func() { r.engine.SetTracer(trace.NewBuffer()) },
 	}
 	for name, fn := range cases {
 		func() {

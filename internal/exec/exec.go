@@ -38,6 +38,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/history"
 	"repro/internal/schema"
+	"repro/internal/trace"
 )
 
 // DefaultMaxCombos bounds the cartesian product a single node's
@@ -68,6 +69,7 @@ type Engine struct {
 	policy       FailurePolicy
 	taskTimeout  time.Duration
 	nodeTimeouts map[flow.NodeID]time.Duration
+	tracer       trace.Sink
 	running      atomic.Bool
 }
 

@@ -51,6 +51,12 @@ type plannedJob struct {
 	blame     int  // root-cause job index when skipped
 	outputs   []encap.Outputs
 	dur       time.Duration // longest single combo, for the critical path
+
+	// Per-unit observations buffered for deterministic trace emission
+	// (allocated by newRunTracer only when a sink is installed).
+	unitWait []time.Duration
+	unitDur  []time.Duration
+	unitLog  [][]attemptRec
 }
 
 // plan is the complete, deterministic execution plan of one run.

@@ -154,24 +154,28 @@ func (e *Engine) timeoutFor(j *plannedJob) time.Duration {
 }
 
 // runUnit executes one (job, combo) unit under the retry policy,
-// reporting the attempt count and how many attempts hit the per-task
-// deadline. A cancelled run stops retrying immediately.
+// returning one attemptRec per attempt (the successful final attempt,
+// if any, is the zero record) — the attempt count is len(alog) and the
+// deadline hits are the records marked timedOut. A cancelled run stops
+// retrying immediately.
 func (e *Engine) runUnit(ctx context.Context, f *flow.Flow, u unitTask,
-	lookup func(id history.ID) (string, []byte, error)) (out encap.Outputs, attempts, timeouts int, err error) {
+	lookup func(id history.ID) (string, []byte, error)) (out encap.Outputs, alog []attemptRec, err error) {
 	max := e.retry.MaxAttempts
 	if max < 1 {
 		max = 1
 	}
 	for a := 0; ; a++ {
 		out, err = e.attemptUnit(ctx, f, u.j, u.ci, lookup)
-		attempts = a + 1
 		if err == nil {
+			alog = append(alog, attemptRec{})
 			return
 		}
+		rec := attemptRec{errMsg: err.Error()}
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
-			timeouts++
+			rec.timedOut = true
 		}
-		if attempts >= max || ctx.Err() != nil || !e.retry.retryable(err) {
+		alog = append(alog, rec)
+		if len(alog) >= max || ctx.Err() != nil || !e.retry.retryable(err) {
 			return
 		}
 		t := time.NewTimer(e.retry.backoff(u.j.idx, u.ci, a))

@@ -106,6 +106,7 @@ type unitResult struct {
 	err      error
 	attempts int
 	timeouts int
+	alog     []attemptRec  // one record per attempt, for the tracer
 	wait     time.Duration // ready -> start
 	dur      time.Duration // start -> done (all attempts)
 }
@@ -125,6 +126,8 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 		workers = p.units
 	}
 	stats.Workers = workers
+	tr := e.newRunTracer(p)
+	tr.planBuilt(e.sched, workers)
 
 	st := &runState{arts: make(map[history.ID]pendingArtifact)}
 	lookup := e.lookup(st)
@@ -137,7 +140,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 			defer wg.Done()
 			for u := range unitCh {
 				start := time.Now()
-				out, attempts, timeouts, err := e.runUnit(ctx, f, u, lookup)
+				out, alog, err := e.runUnit(ctx, f, u, lookup)
 				if err == nil {
 					// Surface a tool that dropped an output here, not at
 					// commit time: a dependent must never run against a
@@ -146,12 +149,19 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 						typ := f.Node(nid).Type
 						if _, ok := out[typ]; !ok {
 							err = fmt.Errorf("exec: tool run produced no %s output (has: %s)", typ, outputKeys(out))
+							alog[len(alog)-1].errMsg = err.Error()
 							break
 						}
 					}
 				}
+				timeouts := 0
+				for _, a := range alog {
+					if a.timedOut {
+						timeouts++
+					}
+				}
 				doneCh <- unitResult{j: u.j, ci: u.ci, out: out, err: err,
-					attempts: attempts, timeouts: timeouts,
+					attempts: len(alog), timeouts: timeouts, alog: alog,
 					wait: start.Sub(u.readyAt), dur: time.Since(start)}
 			}
 		}()
@@ -196,6 +206,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 			j := p.jobs[commitIdx]
 			switch {
 			case j.done:
+				tr.passJob(j)
 				if err := e.recordJob(f, j, res); err != nil {
 					commitErr = err
 					committing = false
@@ -203,7 +214,9 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 					return
 				}
 				res.TasksRun += len(j.combos)
+				tr.committedJob(j)
 			case e.policy == ContinueOnError && (j.skipped || (j.failed && j.remaining == 0)):
+				tr.passJob(j)
 				e.db.ReserveSeq(len(j.combos) * len(j.nodes))
 			default:
 				return
@@ -228,6 +241,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 		}
 	}
 	complete := func(d unitResult) {
+		tr.observe(d)
 		stats.observeUnit(d.j, d.wait, d.dur)
 		stats.Retries += d.attempts - 1
 		stats.Timeouts += d.timeouts
@@ -308,6 +322,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 	close(unitCh)
 	wg.Wait()
 	stats.finish(p)
+	tr.finish(stats, res)
 
 	if len(unitErrs) == 0 && commitErr == nil && !cancelled {
 		return nil

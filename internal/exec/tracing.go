@@ -1,0 +1,186 @@
+package exec
+
+import (
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/trace"
+)
+
+// This file adapts the engine to the structured run-event layer
+// (internal/trace). The scheduler completes units in wall-clock order,
+// but events must carry deterministic sequence numbers, so the tracer
+// does not emit at completion time: per-unit observations are buffered
+// on the plannedJob and a job's events are emitted only when the
+// in-order committer passes it — strict plan order, the same order
+// that pins instance IDs. All emission happens on the coordinator
+// goroutine, one run at a time, so the tracer needs no locking.
+
+// SetTracer installs a run-event sink (see internal/trace) that
+// receives one event per lifecycle transition of every subsequent run;
+// nil removes it. Events are emitted in deterministic plan order with
+// wall-clock durations segregated into maskable fields. Not safe to
+// call during a run.
+func (e *Engine) SetTracer(s trace.Sink) {
+	e.checkIdle("SetTracer")
+	e.tracer = s
+}
+
+// attemptRec is one attempt's observation, buffered for the tracer.
+// errMsg is empty for the successful final attempt.
+type attemptRec struct {
+	errMsg   string
+	timedOut bool
+}
+
+// runTracer drives one run's event emission. All methods are safe on a
+// nil receiver, so the scheduler hooks cost one comparison when no
+// tracer is installed.
+type runTracer struct {
+	sink     trace.Sink
+	p        *plan
+	seq      int
+	unitBase []int  // first global unit index of each job
+	passed   []bool // job already emitted (skip/flush idempotence)
+}
+
+// newRunTracer returns nil when no tracer is installed; otherwise it
+// allocates the per-unit capture slots on the plan's jobs.
+func (e *Engine) newRunTracer(p *plan) *runTracer {
+	if e.tracer == nil {
+		return nil
+	}
+	base := make([]int, len(p.jobs))
+	u := 0
+	for i, j := range p.jobs {
+		base[i] = u
+		u += len(j.combos)
+		j.unitWait = make([]time.Duration, len(j.combos))
+		j.unitDur = make([]time.Duration, len(j.combos))
+		j.unitLog = make([][]attemptRec, len(j.combos))
+	}
+	return &runTracer{sink: e.tracer, p: p, unitBase: base, passed: make([]bool, len(p.jobs))}
+}
+
+func (t *runTracer) emit(ev trace.Event) {
+	ev.Seq = t.seq
+	t.seq++
+	t.sink.Emit(ev)
+}
+
+// observe buffers a unit completion for later in-order emission.
+func (t *runTracer) observe(d unitResult) {
+	if t == nil {
+		return
+	}
+	d.j.unitWait[d.ci] = d.wait
+	d.j.unitDur[d.ci] = d.dur
+	d.j.unitLog[d.ci] = d.alog
+}
+
+// planBuilt opens the stream.
+func (t *runTracer) planBuilt(sched Scheduler, workers int) {
+	if t == nil {
+		return
+	}
+	t.emit(trace.Event{Kind: trace.KindPlanBuilt, Job: -1, Combo: -1, Unit: -1,
+		Scheduler: sched.String(), Workers: workers, Jobs: len(t.p.jobs), Units: t.p.units})
+}
+
+// passJob emits the lifecycle events of every unit of one job — called
+// when the committer passes the job (committed, failed or skipped), and
+// again harmlessly from the end-of-run flush.
+func (t *runTracer) passJob(j *plannedJob) {
+	if t == nil || t.passed[j.idx] {
+		return
+	}
+	t.passed[j.idx] = true
+	nodes := nodeInts(j.nodes)
+	for ci := range j.combos {
+		unit := t.unitBase[j.idx] + ci
+		ev := trace.Event{Job: j.idx, Combo: ci, Unit: unit, Nodes: nodes, Type: j.repType}
+		if j.skipped {
+			ev.Kind = trace.KindUnitSkipped
+			ev.Blame = int(t.p.jobs[j.blame].nodes[0])
+			t.emit(ev)
+			continue
+		}
+		log := j.unitLog[ci]
+		if log == nil {
+			continue // never dispatched: the run stopped first
+		}
+		dispatched := ev
+		dispatched.Kind = trace.KindUnitDispatched
+		dispatched.WaitMicros = j.unitWait[ci].Microseconds()
+		t.emit(dispatched)
+		started := ev
+		started.Kind = trace.KindUnitStarted
+		t.emit(started)
+		for i, a := range log {
+			if a.errMsg == "" {
+				break // successful final attempt; Committed follows separately
+			}
+			if a.timedOut {
+				to := ev
+				to.Kind = trace.KindUnitTimedOut
+				to.Attempt = i + 1
+				to.Err = a.errMsg
+				t.emit(to)
+			}
+			attempt := ev
+			attempt.Attempt = i + 1
+			attempt.Err = a.errMsg
+			if i < len(log)-1 {
+				attempt.Kind = trace.KindUnitRetried
+			} else {
+				attempt.Kind = trace.KindUnitFailed
+				attempt.DurMicros = j.unitDur[ci].Microseconds()
+			}
+			t.emit(attempt)
+		}
+	}
+}
+
+// committedJob emits one UnitCommitted per unit, after recordJob has
+// verified the planner's IDs. Deliberately attempt-free, so a
+// retried-then-succeeded run commits events identical to a clean run.
+func (t *runTracer) committedJob(j *plannedJob) {
+	if t == nil {
+		return
+	}
+	nodes := nodeInts(j.nodes)
+	for ci := range j.combos {
+		insts := make([]string, len(j.outIDs[ci]))
+		for ni, id := range j.outIDs[ci] {
+			insts[ni] = string(id)
+		}
+		t.emit(trace.Event{Kind: trace.KindUnitCommitted, Job: j.idx, Combo: ci,
+			Unit: t.unitBase[j.idx] + ci, Nodes: nodes, Type: j.repType,
+			Insts: insts, DurMicros: j.unitDur[ci].Microseconds()})
+	}
+}
+
+// finish flushes jobs the committer never passed (fail-fast leftovers,
+// cancellation) in plan order, then closes the stream. Skipped and
+// executed-but-uncommitted units still get their lifecycle events; only
+// UnitCommitted is reserved for recorded history.
+func (t *runTracer) finish(stats *Stats, res *Result) {
+	if t == nil {
+		return
+	}
+	for _, j := range t.p.jobs {
+		t.passJob(j)
+	}
+	t.emit(trace.Event{Kind: trace.KindRunFinished, Job: -1, Combo: -1, Unit: -1,
+		Workers: stats.Workers, Jobs: stats.Jobs, Units: stats.Units,
+		Committed: res.TasksRun, Failed: stats.UnitsFailed, Skipped: stats.JobsSkipped,
+		BusyMicros: stats.Busy.Microseconds(), ElapsedMicros: stats.Elapsed.Microseconds()})
+}
+
+func nodeInts(ids []flow.NodeID) []int {
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}

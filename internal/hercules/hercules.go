@@ -24,6 +24,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/history"
 	"repro/internal/schema"
+	"repro/internal/trace"
 )
 
 // Session is one designer's connection to the framework.
@@ -222,6 +223,11 @@ func (s *Session) SetFailurePolicy(p exec.FailurePolicy) { s.Engine.SetFailurePo
 
 // SetTaskTimeout bounds every tool-run attempt; 0 disables the bound.
 func (s *Session) SetTaskTimeout(d time.Duration) { s.Engine.SetTaskTimeout(d) }
+
+// SetTracer installs a run-event sink (see internal/trace) receiving
+// one structured event per lifecycle transition of every run; nil
+// removes it.
+func (s *Session) SetTracer(sink trace.Sink) { s.Engine.SetTracer(sink) }
 
 // RunContext executes a whole flow under a context; cancelling it stops
 // the run and returns the partial result.

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metrics is a per-run metrics registry implemented as a fold over the
+// event stream: install it as the Sink (or one arm of a Multi) and
+// every counter, histogram and gauge is derived from the same events a
+// trace file would hold — there is no second instrumentation path to
+// drift from. Expose renders a plain-text exposition dump.
+type Metrics struct {
+	mu sync.Mutex
+
+	runs       int64
+	planned    int64 // units announced by PlanBuilt
+	dispatched int64
+	started    int64
+	retried    int64
+	timedOut   int64
+	failed     int64
+	skipped    int64
+	committed  int64
+
+	unitDur   histogram // start → done of terminal unit events
+	queueWait histogram // ready → dispatch
+
+	busy      time.Duration // summed across runs
+	elapsed   time.Duration
+	occupancy float64 // of the most recent finished run
+}
+
+// histogram counts durations in fixed cumulative-style buckets; the
+// overflow bucket is unbounded.
+type histogram struct {
+	bounds []time.Duration
+	counts []int64
+	count  int64
+	sum    time.Duration
+}
+
+var defaultDurBounds = []time.Duration{
+	100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+	100 * time.Millisecond, time.Second, 10 * time.Second,
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if h.bounds == nil {
+		h.bounds = defaultDurBounds
+		h.counts = make([]int64, len(h.bounds)+1)
+	}
+	h.count++
+	h.sum += d
+	for i, b := range h.bounds {
+		if d <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Emit folds one event into the registry.
+func (m *Metrics) Emit(ev Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch ev.Kind {
+	case KindPlanBuilt:
+		m.planned += int64(ev.Units)
+	case KindUnitDispatched:
+		m.dispatched++
+		m.queueWait.observe(time.Duration(ev.WaitMicros) * time.Microsecond)
+	case KindUnitStarted:
+		m.started++
+	case KindUnitRetried:
+		m.retried++
+	case KindUnitTimedOut:
+		m.timedOut++
+	case KindUnitFailed:
+		m.failed++
+		m.unitDur.observe(time.Duration(ev.DurMicros) * time.Microsecond)
+	case KindUnitSkipped:
+		m.skipped++
+	case KindUnitCommitted:
+		m.committed++
+		m.unitDur.observe(time.Duration(ev.DurMicros) * time.Microsecond)
+	case KindRunFinished:
+		m.runs++
+		m.busy += time.Duration(ev.BusyMicros) * time.Microsecond
+		m.elapsed += time.Duration(ev.ElapsedMicros) * time.Microsecond
+		if ev.Workers > 0 && ev.ElapsedMicros > 0 {
+			m.occupancy = float64(ev.BusyMicros) / (float64(ev.ElapsedMicros) * float64(ev.Workers))
+		}
+	}
+}
+
+// Snapshot is a consistent copy of the counters for programmatic use.
+type Snapshot struct {
+	Runs, Planned, Dispatched, Started, Retried, TimedOut,
+	Failed, Skipped, Committed int64
+	Occupancy     float64
+	Busy, Elapsed time.Duration
+}
+
+// Snapshot returns the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		Runs: m.runs, Planned: m.planned, Dispatched: m.dispatched,
+		Started: m.started, Retried: m.retried, TimedOut: m.timedOut,
+		Failed: m.failed, Skipped: m.skipped, Committed: m.committed,
+		Occupancy: m.occupancy, Busy: m.busy, Elapsed: m.elapsed,
+	}
+}
+
+// Expose renders the registry as a plain-text exposition dump in the
+// conventional `name value` / `name{le="…"} value` format, with
+// deterministic line order.
+func (m *Metrics) Expose() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n%s %d\n", name, help, name, v)
+	}
+	counter("flow_runs_total", "finished runs observed", m.runs)
+	counter("flow_units_planned_total", "units announced by PlanBuilt", m.planned)
+	counter("flow_units_dispatched_total", "units handed to a worker", m.dispatched)
+	counter("flow_units_started_total", "units whose first attempt began", m.started)
+	counter("flow_unit_retries_total", "failed attempts that were retried", m.retried)
+	counter("flow_unit_timeouts_total", "attempts cut off by the task deadline", m.timedOut)
+	counter("flow_units_failed_total", "units whose final attempt failed", m.failed)
+	counter("flow_units_skipped_total", "units never run because a producer failed", m.skipped)
+	counter("flow_units_committed_total", "units recorded in the design history", m.committed)
+	fmt.Fprintf(&b, "# HELP flow_worker_occupancy busy/(elapsed*workers) of the last finished run\n")
+	fmt.Fprintf(&b, "flow_worker_occupancy %.4f\n", m.occupancy)
+	fmt.Fprintf(&b, "# HELP flow_busy_seconds_total summed worker execution time\n")
+	fmt.Fprintf(&b, "flow_busy_seconds_total %.6f\n", m.busy.Seconds())
+	fmt.Fprintf(&b, "# HELP flow_elapsed_seconds_total summed scheduling spans\n")
+	fmt.Fprintf(&b, "flow_elapsed_seconds_total %.6f\n", m.elapsed.Seconds())
+	m.unitDur.expose(&b, "flow_unit_duration_seconds", "unit start→done wall time")
+	m.queueWait.expose(&b, "flow_queue_wait_seconds", "unit ready→dispatch wait")
+	return b.String()
+}
+
+func (h *histogram) expose(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	var cum int64
+	bounds := h.bounds
+	if bounds == nil {
+		bounds = defaultDurBounds
+	}
+	for i, bound := range bounds {
+		if h.counts != nil {
+			cum += h.counts[i]
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, bound.Seconds(), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count)
+	fmt.Fprintf(b, "%s_sum %.6f\n", name, h.sum.Seconds())
+	fmt.Fprintf(b, "%s_count %d\n", name, h.count)
+}

@@ -1,0 +1,187 @@
+// Package trace is the structured run-event layer of the execution
+// engine: one Event per lifecycle transition of a run, emitted into a
+// pluggable Sink. The design-history database records *what* was
+// derived; the trace records *how the run unfolded* — dispatch, start,
+// retries, timeouts, failures, skips, commits — as an audit trail of
+// the schedule itself.
+//
+// Determinism contract. Events carry a logical sequence number (Seq)
+// assigned in *commit order from the plan*, not wall-clock completion
+// order: the engine buffers per-unit observations and emits a job's
+// events only when the in-order committer passes the job. Because plan
+// order is a pure function of the flow and the schema, a clean run's
+// masked event stream is byte-identical across worker counts,
+// scheduler disciplines and race-detector runs. Wall-clock durations
+// are segregated into the *Micros fields (and the Scheduler label into
+// its own field) so Mask can zero exactly the nondeterministic part
+// and golden comparisons can diff the rest byte for byte.
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Kind names a lifecycle transition. The nine kinds below are the
+// complete event taxonomy (DESIGN.md §8).
+type Kind string
+
+const (
+	// KindPlanBuilt opens a run: the plan is frozen, instance IDs are
+	// pre-assigned, nothing has executed yet.
+	KindPlanBuilt Kind = "PlanBuilt"
+	// KindUnitDispatched marks a (job, combo) unit leaving the ready
+	// queue for a worker; WaitMicros is the ready→dispatch delay.
+	KindUnitDispatched Kind = "UnitDispatched"
+	// KindUnitStarted marks the first attempt of a unit beginning.
+	KindUnitStarted Kind = "UnitStarted"
+	// KindUnitRetried marks a failed attempt that will be retried;
+	// Attempt is the 1-based number of the attempt that failed.
+	KindUnitRetried Kind = "UnitRetried"
+	// KindUnitTimedOut marks an attempt cut off by the per-task
+	// deadline (it may still be retried; a UnitRetried or UnitFailed
+	// event for the same attempt follows).
+	KindUnitTimedOut Kind = "UnitTimedOut"
+	// KindUnitFailed marks a unit whose final attempt failed; Attempt
+	// is the total attempt count.
+	KindUnitFailed Kind = "UnitFailed"
+	// KindUnitSkipped marks a unit that never ran because a producer
+	// failed (ContinueOnError); Blame names the root-cause node.
+	KindUnitSkipped Kind = "UnitSkipped"
+	// KindUnitCommitted marks a unit's outputs recorded in history;
+	// Insts are the committed instance IDs, exactly the planner's
+	// pre-assignment. Deliberately attempt-free: a retried-then-
+	// succeeded unit commits an event identical to a clean one.
+	KindUnitCommitted Kind = "UnitCommitted"
+	// KindRunFinished closes a run with its outcome counters.
+	KindRunFinished Kind = "RunFinished"
+)
+
+// Event is one run-event. Unit-scoped fields (Job, Combo, Unit, Nodes,
+// Type, …) are set on Unit* kinds; run-scoped fields (Jobs, Units,
+// Committed, …) on PlanBuilt and RunFinished, whose Job/Combo/Unit are
+// -1. The *Micros fields and Scheduler are the only nondeterministic
+// fields; Mask zeroes them.
+type Event struct {
+	// Seq is the deterministic logical sequence number: emission order,
+	// which for unit events is plan commit order.
+	Seq int `json:"seq"`
+	// Kind is the lifecycle transition.
+	Kind Kind `json:"kind"`
+	// Job is the job index in plan order (-1 for run-scoped events).
+	Job int `json:"job"`
+	// Combo is the input-combination index within the job (-1 for
+	// run-scoped events).
+	Combo int `json:"combo"`
+	// Unit is the global unit index in plan order (-1 for run-scoped
+	// events): jobs contribute their combos consecutively.
+	Unit int `json:"unit"`
+	// Nodes lists the flow nodes realized by the job (grouped
+	// multi-output constructions list every sibling).
+	Nodes []int `json:"nodes,omitempty"`
+	// Type is the representative node's goal type.
+	Type string `json:"type,omitempty"`
+	// Attempt is the 1-based attempt number (UnitRetried, UnitTimedOut,
+	// UnitFailed).
+	Attempt int `json:"attempt,omitempty"`
+	// Insts are the instance IDs committed for the unit (UnitCommitted),
+	// in node order.
+	Insts []string `json:"insts,omitempty"`
+	// Blame is the root-cause node of a skip (UnitSkipped).
+	Blame int `json:"blame,omitempty"`
+	// Err is the attempt or unit error text (UnitRetried, UnitTimedOut,
+	// UnitFailed).
+	Err string `json:"err,omitempty"`
+
+	// Run-scoped fields.
+	Scheduler string `json:"scheduler,omitempty"` // masked: differs across modes
+	Workers   int    `json:"workers,omitempty"`
+	Jobs      int    `json:"jobs,omitempty"`
+	Units     int    `json:"units,omitempty"`
+	Committed int    `json:"committed,omitempty"`
+	Failed    int    `json:"failed,omitempty"`
+	Skipped   int    `json:"skipped,omitempty"`
+
+	// Wall-clock fields, microseconds. Masked in golden comparisons.
+	WaitMicros    int64 `json:"wait_us,omitempty"`    // ready → dispatch (UnitDispatched)
+	DurMicros     int64 `json:"dur_us,omitempty"`     // start → done, all attempts (terminal unit events)
+	BusyMicros    int64 `json:"busy_us,omitempty"`    // summed worker time (RunFinished)
+	ElapsedMicros int64 `json:"elapsed_us,omitempty"` // scheduling span (RunFinished)
+}
+
+// Sink receives events. Emit is called from the engine's coordinator
+// goroutine, one event at a time, in Seq order; a Sink used by one run
+// at a time needs no locking of its own, but the sinks in this package
+// lock anyway so they can be shared.
+type Sink interface {
+	Emit(Event)
+}
+
+// Mask zeroes the nondeterministic fields of an event — wall-clock
+// durations and the scheduler label — leaving the logical structure.
+func Mask(ev Event) Event {
+	ev.Scheduler = ""
+	ev.WaitMicros = 0
+	ev.DurMicros = 0
+	ev.BusyMicros = 0
+	ev.ElapsedMicros = 0
+	return ev
+}
+
+// Masked returns a masked copy of a slice of events.
+func Masked(events []Event) []Event {
+	out := make([]Event, len(events))
+	for i, ev := range events {
+		out[i] = Mask(ev)
+	}
+	return out
+}
+
+// DropKinds removes every event of the given kinds and renumbers Seq
+// consecutively from the first survivor's value. Dropping the
+// fault-path kinds (UnitRetried, UnitTimedOut) projects a retried run
+// onto the clean run it converged to.
+func DropKinds(events []Event, kinds ...Kind) []Event {
+	drop := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		drop[k] = true
+	}
+	out := make([]Event, 0, len(events))
+	seq := 0
+	if len(events) > 0 {
+		seq = events[0].Seq
+	}
+	for _, ev := range events {
+		if drop[ev.Kind] {
+			continue
+		}
+		ev.Seq = seq
+		seq++
+		out = append(out, ev)
+	}
+	return out
+}
+
+// EncodeJSONL writes events as JSON Lines.
+func EncodeJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaskedJSONL renders events as masked JSON Lines — the canonical form
+// for golden-trace comparisons.
+func MaskedJSONL(events []Event) []byte {
+	var buf bytes.Buffer
+	if err := EncodeJSONL(&buf, Masked(events)); err != nil {
+		// Event marshalling cannot fail: all fields are plain values.
+		panic(fmt.Sprintf("trace: encoding events: %v", err))
+	}
+	return buf.Bytes()
+}
