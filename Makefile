@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos cover ci bench flowbench
+.PHONY: build vet test race chaos memo fuzz cover ci bench flowbench
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,25 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Backoff|Retry|Timeout|Hang|Transient|Permanent|Latency|Cancel' ./internal/exec/... ./internal/faults/...
 	$(GO) run ./cmd/flowbench -quick
 
+# memo runs only the result-cache suite (equivalence, property, chaos
+# interaction) under the race detector, plus the flowbench memo section.
+memo:
+	$(GO) test -race -run 'Memo|UnitKey|Cache' ./internal/exec/... ./internal/memo/...
+	$(GO) run ./cmd/flowbench memo
+
+# fuzz smoke-runs each native fuzz target briefly (seed corpora live in
+# testdata/fuzz/); go test accepts one -fuzz pattern per invocation.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRoundTrip$$' -fuzztime 5s ./internal/flow/
+	$(GO) test -run '^$$' -fuzz '^FuzzRefOfStoreRoundTrip$$' -fuzztime 5s ./internal/datastore/
+	$(GO) test -run '^$$' -fuzz '^FuzzDiffApply$$' -fuzztime 5s ./internal/datastore/
+	$(GO) test -run '^$$' -fuzz '^FuzzArchiveDeltaReconstruction$$' -fuzztime 5s ./internal/datastore/
+
 # cover enforces the same ratchet as the CI trace job: the traced
-# execution paths (internal/exec + internal/trace) stay above 90%.
+# execution paths (internal/exec + internal/trace) and the result cache
+# (internal/memo) stay above 90%.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/exec/ ./internal/trace/
+	$(GO) test -coverprofile=cover.out ./internal/exec/ ./internal/trace/ ./internal/memo/
 	$(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print "combined coverage: " $$3 "%"; exit ($$3 >= 90.0) ? 0 : 1}'
 
 # ci is the gate CI runs: compile, vet, full suite under the race

@@ -27,6 +27,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/hercules"
 	"repro/internal/history"
+	"repro/internal/memo"
 	"repro/internal/schema"
 	runtrace "repro/internal/trace"
 )
@@ -299,6 +300,47 @@ func BenchmarkFig6UnbalancedBranches(b *testing.B) {
 				b.StartTimer()
 				_, err := s.Run(f)
 				mustB(b, err)
+			}
+		})
+	}
+}
+
+// BenchmarkMemoWarmRerun measures the incremental re-execution claim:
+// with the derivation-keyed result cache warm, re-running the Fig. 6
+// unbalanced workload (dataflow, 4 workers) serves every unit from
+// cache and skips all simulated tool latency. Acceptance: the warm
+// sub-benchmark is ≥5× faster than the cold one.
+func BenchmarkMemoWarmRerun(b *testing.B) {
+	const depth = 6
+	const workers = 4
+	slow, fast := 8*time.Millisecond, 500*time.Microsecond
+	for _, mode := range []string{"cold", "warm"} {
+		b.Run("cache="+mode, func(b *testing.B) {
+			s := session(b)
+			s.SetWorkers(workers)
+			if mode == "warm" {
+				s.SetMemo(memo.New(0))
+				// Prime the cache with one full run.
+				f, delays := buildUnbalanced(b, s, depth, slow, fast)
+				s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
+					return delays[n]
+				})
+				_, err := s.Run(f)
+				mustB(b, err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				f, delays := buildUnbalanced(b, s, depth, slow, fast)
+				s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
+					return delays[n]
+				})
+				b.StartTimer()
+				res, err := s.Run(f)
+				mustB(b, err)
+				if mode == "warm" && res.Stats.CacheHits != res.Stats.Units {
+					b.Fatalf("warm run hit %d/%d units", res.Stats.CacheHits, res.Stats.Units)
+				}
 			}
 		})
 	}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/hercules"
 	"repro/internal/history"
+	"repro/internal/memo"
 	"repro/internal/schema"
 	runtrace "repro/internal/trace"
 )
@@ -61,13 +62,14 @@ var sections = []struct {
 	{"retrace", "consistency maintenance by automatic retracing", retraceSection},
 	{"chaos", "fault injection: retries, degradation, timeouts", chaosSection},
 	{"trace", "run tracing: determinism, metrics, overhead", traceSection},
+	{"memo", "incremental re-execution via the derivation-keyed cache", memoSection},
 	{"approaches", "the four design approaches", approachesSection},
 	{"baselines", "dynamic flows vs static flows vs traces", baselinesSection},
 }
 
 // quickSections is the smoke subset -quick runs: one schema section,
 // the two scheduler measurements, and the fault-injection section.
-var quickSections = map[string]bool{"fig1": true, "fig6": true, "sched": true, "chaos": true, "trace": true}
+var quickSections = map[string]bool{"fig1": true, "fig6": true, "sched": true, "chaos": true, "trace": true, "memo": true}
 
 func main() {
 	want := map[string]bool{}
@@ -860,6 +862,89 @@ func traceSection() {
 	fmt.Printf("unbalanced fig6 workload (best of 5): untraced %v, ring sink %v — overhead %+.2f%%\n",
 		base.Round(time.Microsecond), ring.Round(time.Microsecond),
 		100*(float64(ring)-float64(base))/float64(base))
+}
+
+// ---- memo ---------------------------------------------------------------------
+
+// memoSection demonstrates incremental re-execution: with the
+// derivation-keyed result cache (internal/memo) installed, re-running
+// the unbalanced fig6 workload executes no tool at all — every unit's
+// output is served from cache by content-addressed derivation key, yet
+// the warm run still mints fresh history instances with the same
+// artifacts and derivations as the cold run.
+func memoSection() {
+	const depth = 6
+	const workers = 4
+	slow, fast := 20*time.Millisecond, time.Millisecond
+	s := session()
+	s.SetWorkers(workers)
+	s.SetMemo(memo.New(0))
+	build := func() *flow.Flow {
+		f := s.NewFlow()
+		delays := make(map[flow.NodeID]time.Duration)
+		for c := 0; c < 2; c++ {
+			base := f.MustAdd("EditedNetlist")
+			must(f.ExpandDown(base, false))
+			tn, _ := f.Node(base).Dep("fd")
+			must(f.Bind(tn, s.Must("netEd.fulladder")))
+			prev := base
+			for d := 0; d < depth; d++ {
+				if (d+c)%2 == 0 {
+					delays[prev] = slow
+				} else {
+					delays[prev] = fast
+				}
+				if d == depth-1 {
+					break
+				}
+				next := must1(f.ExpandUp(prev, "EditedNetlist", "Netlist"))
+				must(f.ExpandDown(next, false))
+				tn, _ := f.Node(next).Dep("fd")
+				must(f.Bind(tn, s.Must("netEd.retouch")))
+				prev = next
+			}
+		}
+		s.Engine.SetTaskDelayFunc(func(n flow.NodeID, goal string) time.Duration {
+			return delays[n]
+		})
+		return f
+	}
+	fmt.Printf("unbalanced fig6 workload (two chains of %d, %v/%v latencies, %d machines)\n",
+		depth, slow, fast, workers)
+	cold := must1(s.Run(build()))
+	fWarm := build()
+	warm := must1(s.Run(fWarm))
+	fmt.Printf("cold run: %v (%d/%d units executed)\n",
+		cold.Elapsed.Round(time.Millisecond),
+		cold.Stats.Units-cold.Stats.CacheHits, cold.Stats.Units)
+	fmt.Printf("warm run: %v (%d/%d units served from cache)\n",
+		warm.Elapsed.Round(time.Microsecond),
+		warm.Stats.CacheHits, warm.Stats.Units)
+	fmt.Printf("warm-rerun speedup: %.0fx (acceptance floor 5x)\n",
+		float64(cold.Elapsed)/float64(warm.Elapsed))
+	st := s.Engine.Memo().Stats()
+	fmt.Printf("cache: %d entries — %d hits, %d misses, %d stores\n",
+		s.Engine.Memo().Len(), st.Hits, st.Misses, st.Puts)
+	// The warm run minted its own instances: none of its unbound nodes
+	// reused an ID from the cold run's result.
+	coldIDs := make(map[history.ID]bool)
+	for _, ids := range cold.Created {
+		for _, id := range ids {
+			coldIDs[id] = true
+		}
+	}
+	fresh := true
+	for n, ids := range warm.Created {
+		if fWarm.Node(n).IsBound() {
+			continue
+		}
+		for _, id := range ids {
+			if coldIDs[id] {
+				fresh = false
+			}
+		}
+	}
+	fmt.Printf("fresh history instances on warm re-run: %v\n", fresh)
 }
 
 // ---- approaches ---------------------------------------------------------------

@@ -16,6 +16,9 @@
 //	-timeout <dur>             per-task timeout, e.g. 30s (default none)
 //	-retries <n>               attempts per task (default 1 = no retry)
 //	-retry-base <dur>          base backoff before the first retry
+//	-memo <n>                  derivation-keyed result cache holding up to
+//	                           n entries (0 = disabled, negative =
+//	                           unbounded); warm re-runs skip tool execution
 //
 // Observability flags:
 //
@@ -42,6 +45,7 @@ import (
 	"repro/internal/flow"
 	"repro/internal/hercules"
 	"repro/internal/history"
+	"repro/internal/memo"
 	"repro/internal/schema"
 	"repro/internal/trace"
 )
@@ -73,6 +77,7 @@ var (
 	flagTimeout   = flag.Duration("timeout", 0, "per-task timeout (0 = none)")
 	flagRetries   = flag.Int("retries", 1, "attempts per task (1 = no retry)")
 	flagRetryBase = flag.Duration("retry-base", time.Millisecond, "base backoff delay before the first retry")
+	flagMemo      = flag.Int("memo", 0, "derivation-keyed result cache: max entries (0 = disabled, negative = unbounded)")
 	flagTrace     = flag.String("trace", "", "write a JSONL run-event trace to this file")
 	flagMetrics   = flag.Bool("metrics", false, "collect run metrics and print the exposition dump at exit")
 )
@@ -92,6 +97,9 @@ func configureEngine(s *hercules.Session) error {
 	}
 	if *flagRetries > 1 {
 		s.SetRetryPolicy(exec.RetryPolicy{MaxAttempts: *flagRetries, BaseDelay: *flagRetryBase})
+	}
+	if *flagMemo != 0 {
+		s.SetMemo(memo.New(*flagMemo))
 	}
 	return nil
 }

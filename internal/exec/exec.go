@@ -37,6 +37,7 @@ import (
 	"repro/internal/encap"
 	"repro/internal/flow"
 	"repro/internal/history"
+	"repro/internal/memo"
 	"repro/internal/schema"
 	"repro/internal/trace"
 )
@@ -70,6 +71,7 @@ type Engine struct {
 	taskTimeout  time.Duration
 	nodeTimeouts map[flow.NodeID]time.Duration
 	tracer       trace.Sink
+	memo         *memo.Cache
 	running      atomic.Bool
 }
 

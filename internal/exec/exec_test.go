@@ -34,12 +34,20 @@ func newRig(t *testing.T) *rig {
 // clock produce byte-comparable history dumps.
 func newRigClock(t *testing.T, clock func() time.Time) *rig {
 	t.Helper()
+	return newRigStore(t, clock, datastore.NewStore())
+}
+
+// newRigStore is newRigClock over a caller-supplied datastore, so two
+// rigs can share one content-addressed store — and, with it, a result
+// cache whose entries reference blobs in that store. Re-importing the
+// catalog into a shared store is idempotent (same bytes, same refs).
+func newRigStore(t *testing.T, clock func() time.Time, store *datastore.Store) *rig {
+	t.Helper()
 	s := schema.Full()
 	db := history.NewDB(s)
 	if clock != nil {
 		db.SetClock(clock)
 	}
-	store := datastore.NewStore()
 	r := &rig{s: s, db: db, store: store,
 		engine: New(s, db, store, encap.StandardRegistry()),
 		ids:    make(map[string]history.ID)}

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"repro/internal/datastore"
+	"repro/internal/encap"
+	"repro/internal/flow"
+	"repro/internal/history"
+	"repro/internal/memo"
+)
+
+// This file wires the derivation-keyed result cache (internal/memo)
+// into the engine as a plan-time/run-time hybrid: unit derivation keys
+// are computed on the coordinator the moment a job becomes ready (all
+// producer artifacts are then resolvable), hits are completed
+// synthetically without visiting a worker, and misses publish their
+// results to the cache when the in-order committer records them —
+// never earlier, so a failed, timed-out, skipped or cancelled unit can
+// never poison the cache, and a retried-then-succeeded unit caches
+// only its final committed output.
+//
+// The determinism contract survives warm caches untouched: hits flow
+// through the same plan-order committer as executed units, so the
+// committed instance IDs are exactly the planner's pre-assignment, and
+// the trace gains only UnitCacheHit events — dropping them projects a
+// warm run onto the cold run it reproduces (see trace_golden_test.go).
+
+// SetMemo installs a derivation-keyed result cache consulted before
+// each unit executes and fed from each commit; nil removes it. A cache
+// may be shared across engines that share a datastore (entries hold
+// content refs, so a cache whose blobs are absent from this engine's
+// store simply never hits). Not safe to call during a run.
+func (e *Engine) SetMemo(c *memo.Cache) {
+	e.checkIdle("SetMemo")
+	e.memo = c
+}
+
+// Memo returns the installed result cache, or nil.
+func (e *Engine) Memo() *memo.Cache { return e.memo }
+
+// memoUnit describes one (job, combo) unit by content: the derivation
+// the cache keys on. It resolves every combo instance to its artifact
+// bytes through lookup (pending set first, then history/datastore).
+func (e *Engine) memoUnit(f *flow.Flow, j *plannedJob, ci int,
+	lookup func(history.ID) (string, []byte, error)) (memo.Unit, error) {
+	u := memo.Unit{Goal: j.repType, Composite: j.composite}
+	for _, nid := range j.nodes {
+		u.Outputs = append(u.Outputs, f.Node(nid).Type)
+	}
+	for k, inst := range j.combos[ci] {
+		typ, b, err := lookup(inst)
+		if err != nil {
+			return memo.Unit{}, err
+		}
+		if k == "fd" && !j.composite {
+			u.ToolType = typ
+			u.Tool = datastore.RefOf(b)
+			continue
+		}
+		u.Inputs = append(u.Inputs, memo.InputRef{Key: k, Ref: datastore.RefOf(b)})
+	}
+	return u, nil
+}
+
+// memoConsult computes a ready unit's derivation key (remembered on the
+// job for the commit-time publish) and consults the cache. On a hit it
+// reconstructs the outputs from the datastore and returns them; on any
+// shortfall — no entry, a missing blob, an output type the entry does
+// not cover, a lookup failure — it returns nil and the unit executes
+// normally (the worker path re-surfaces any real error).
+func (e *Engine) memoConsult(f *flow.Flow, j *plannedJob, ci int,
+	lookup func(history.ID) (string, []byte, error)) encap.Outputs {
+	if e.memo == nil {
+		return nil
+	}
+	u, err := e.memoUnit(f, j, ci, lookup)
+	if err != nil {
+		return nil
+	}
+	j.memoKeys[ci] = memo.UnitKey(u)
+	entry, ok := e.memo.Get(j.memoKeys[ci])
+	if !ok {
+		return nil
+	}
+	out := make(encap.Outputs, len(entry.Outputs))
+	for typ, ref := range entry.Outputs {
+		b, ok := e.store.Get(ref)
+		if !ok {
+			return nil
+		}
+		out[typ] = b
+	}
+	// Every grouped node's type must be covered, or dependents would
+	// execute against a hole in the pending set.
+	for _, nid := range j.nodes {
+		if _, ok := out[f.Node(nid).Type]; !ok {
+			return nil
+		}
+	}
+	j.cacheHit[ci] = true
+	return out
+}
+
+// memoPublish stores a just-committed job's executed units in the
+// cache. Called by the in-order committer only after recordJob
+// succeeded: commit is the cache's write barrier. Units that were
+// themselves cache hits are skipped (nothing new to learn), as are
+// units whose key could not be computed.
+func (e *Engine) memoPublish(j *plannedJob) {
+	if e.memo == nil || j.memoKeys == nil {
+		return
+	}
+	for ci := range j.combos {
+		if j.cacheHit[ci] || j.memoKeys[ci] == "" {
+			continue
+		}
+		out := j.outputs[ci]
+		refs := make(map[string]datastore.Ref, len(out))
+		for typ, data := range out {
+			// Content-addressed Put: the committed group blobs are
+			// already present, and secondary outputs become resolvable
+			// for future hits.
+			refs[typ] = e.store.Put(data)
+		}
+		e.memo.Put(j.memoKeys[ci], memo.Entry{Outputs: refs})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/encap"
 	"repro/internal/flow"
 	"repro/internal/history"
+	"repro/internal/memo"
 )
 
 // This file is the planning half of the engine: it turns a validated
@@ -51,6 +52,11 @@ type plannedJob struct {
 	blame     int  // root-cause job index when skipped
 	outputs   []encap.Outputs
 	dur       time.Duration // longest single combo, for the critical path
+	// Memoization state (allocated by execute only when a result cache
+	// is installed): per-combo derivation keys, computed at ready time
+	// and used by the commit-time publish, and per-combo hit marks.
+	memoKeys []memo.Key
+	cacheHit []bool
 
 	// Per-unit observations buffered for deterministic trace emission
 	// (allocated by newRunTracer only when a sink is installed).

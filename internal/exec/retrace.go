@@ -5,8 +5,10 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/datastore"
 	"repro/internal/encap"
 	"repro/internal/history"
+	"repro/internal/memo"
 )
 
 // This file implements automatic retracing (§3.3): when derived design
@@ -27,6 +29,9 @@ type RetraceResult struct {
 	Rebuilt map[history.ID]history.ID
 	// Fresh is true when nothing needed to be done.
 	Fresh bool
+	// CacheHits counts re-run constructions satisfied from the result
+	// cache (Engine.SetMemo) without running the tool.
+	CacheHits int
 	// Elapsed is the wall-clock duration of the retrace.
 	Elapsed time.Duration
 }
@@ -137,16 +142,48 @@ func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error
 			req.Inputs[in.Key] = b
 			rec.Inputs = append(rec.Inputs, history.Input{Key: in.Key, Inst: inst})
 		}
-		out, err := enc.Run(req)
-		if err != nil {
-			return fmt.Errorf("exec: retrace of %s: %w", old.ID, err)
-		}
-		data, ok := out[old.Type]
-		if !ok {
-			return fmt.Errorf("exec: retrace tool run produced no %s", old.Type)
-		}
 		rec.Tool = toolInst
-		rec.Data = e.store.Put(data)
+		// The retrace unit keys exactly like an ungrouped scheduler unit
+		// (Outputs = the one rebuilt type), so a warm cache from a flow
+		// run also accelerates retraces — and vice versa.
+		var key memo.Key
+		hit := false
+		if e.memo != nil {
+			mu := memo.Unit{Goal: old.Type, Outputs: []string{old.Type},
+				ToolType: toolIn.Type, Tool: datastore.RefOf(toolArt)}
+			for _, in := range rec.Inputs {
+				mu.Inputs = append(mu.Inputs, memo.InputRef{
+					Key: in.Key, Ref: datastore.RefOf(req.Inputs[in.Key])})
+			}
+			key = memo.UnitKey(mu)
+			if entry, ok := e.memo.Get(key); ok {
+				if ref, ok := entry.Outputs[old.Type]; ok {
+					if _, present := e.store.Get(ref); present {
+						rec.Data = ref
+						hit = true
+						res.CacheHits++
+					}
+				}
+			}
+		}
+		if !hit {
+			out, err := enc.Run(req)
+			if err != nil {
+				return fmt.Errorf("exec: retrace of %s: %w", old.ID, err)
+			}
+			data, ok := out[old.Type]
+			if !ok {
+				return fmt.Errorf("exec: retrace tool run produced no %s", old.Type)
+			}
+			rec.Data = e.store.Put(data)
+			if e.memo != nil {
+				refs := make(map[string]datastore.Ref, len(out))
+				for typ, b := range out {
+					refs[typ] = e.store.Put(b)
+				}
+				e.memo.Put(key, memo.Entry{Outputs: refs})
+			}
+		}
 	}
 
 	inst, err := e.db.Record(rec)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/encap"
 	"repro/internal/flow"
 	"repro/internal/history"
+	"repro/internal/memo"
 )
 
 // This file is the execution half of the engine: a dependency-counting
@@ -97,6 +98,10 @@ type unitTask struct {
 	j       *plannedJob
 	ci      int
 	readyAt time.Time
+	// hit carries the cache-reconstructed outputs of a unit satisfied by
+	// the result cache; such units are completed by the coordinator and
+	// never visit a worker.
+	hit encap.Outputs
 }
 
 type unitResult struct {
@@ -107,6 +112,7 @@ type unitResult struct {
 	attempts int
 	timeouts int
 	alog     []attemptRec  // one record per attempt, for the tracer
+	cacheHit bool          // satisfied from the result cache, no tool run
 	wait     time.Duration // ready -> start
 	dur      time.Duration // start -> done (all attempts)
 }
@@ -168,15 +174,31 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 	}
 
 	var queue []unitTask
+	var hits []unitTask // cache-satisfied units, completed by the coordinator
 	ready := func(j *plannedJob) {
+		// A ready job's producer artifacts are all resolvable (pending
+		// set or history), so this is the earliest point the derivation
+		// key exists. Hits go to a separate queue drained by the main
+		// loop — completing them here would recurse through complete()
+		// and double-ready jobs whose initial pending count is zero.
 		now := time.Now()
 		for ci := range j.combos {
-			queue = append(queue, unitTask{j: j, ci: ci, readyAt: now})
+			u := unitTask{j: j, ci: ci, readyAt: now}
+			if out := e.memoConsult(f, j, ci, lookup); out != nil {
+				u.hit = out
+				hits = append(hits, u)
+				continue
+			}
+			queue = append(queue, u)
 		}
 	}
 	for _, j := range p.jobs {
 		j.pending = len(j.deps)
 		j.remaining = len(j.combos)
+		if e.memo != nil {
+			j.memoKeys = make([]memo.Key, len(j.combos))
+			j.cacheHit = make([]bool, len(j.combos))
+		}
 	}
 	for _, j := range p.jobs {
 		if j.pending == 0 {
@@ -214,6 +236,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 					return
 				}
 				res.TasksRun += len(j.combos)
+				e.memoPublish(j) // commit is the cache's write barrier
 				tr.committedJob(j)
 			case e.policy == ContinueOnError && (j.skipped || (j.failed && j.remaining == 0)):
 				tr.passJob(j)
@@ -245,6 +268,9 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 		stats.observeUnit(d.j, d.wait, d.dur)
 		stats.Retries += d.attempts - 1
 		stats.Timeouts += d.timeouts
+		if d.cacheHit {
+			stats.CacheHits++
+		}
 		j := d.j
 		if d.err != nil {
 			stats.UnitsFailed++
@@ -297,6 +323,17 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 	ctxDone := ctx.Done()
 	outstanding := 0
 	for {
+		// Serve cache hits before dispatching: each is a finished unit
+		// that never visits a worker. Completing one may ready dependents
+		// (and produce further hits), so drain through the same loop.
+		if len(hits) > 0 && !stop {
+			u := hits[0]
+			hits = hits[1:]
+			complete(unitResult{j: u.j, ci: u.ci, out: u.hit, attempts: 1,
+				alog: []attemptRec{{cacheHit: true}}, cacheHit: true,
+				wait: time.Since(u.readyAt)})
+			continue
+		}
 		var sendCh chan unitTask
 		var next unitTask
 		if len(queue) > 0 && !stop {

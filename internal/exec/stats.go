@@ -37,6 +37,9 @@ type Stats struct {
 	// counts constructions never dispatched because a producer failed
 	// (ContinueOnError).
 	Retries, Timeouts, UnitsFailed, JobsSkipped int
+	// CacheHits counts units satisfied from the derivation-keyed result
+	// cache (Engine.SetMemo) without running a tool.
+	CacheHits int
 	// PerTask aggregates wall time by the job's representative type.
 	PerTask map[string]TaskStat
 	// QueueWait histograms the delay between a unit becoming ready and a
@@ -156,6 +159,9 @@ func (s *Stats) Summary() string {
 	fmt.Fprintf(&b, "elapsed=%v busy=%v occupancy=%.0f%% critical-path=%v (%d jobs)\n",
 		s.Elapsed.Round(time.Microsecond), s.Busy.Round(time.Microsecond),
 		s.Occupancy*100, s.CriticalPath.Round(time.Microsecond), s.CriticalPathJobs)
+	if s.CacheHits != 0 {
+		fmt.Fprintf(&b, "memo: cache-hits=%d/%d\n", s.CacheHits, s.Units)
+	}
 	if s.Retries != 0 || s.Timeouts != 0 || s.UnitsFailed != 0 || s.JobsSkipped != 0 {
 		fmt.Fprintf(&b, "faults: retries=%d timeouts=%d failed=%d skipped=%d\n",
 			s.Retries, s.Timeouts, s.UnitsFailed, s.JobsSkipped)

@@ -8,8 +8,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/datastore"
 	"repro/internal/faults"
 	"repro/internal/flow"
+	"repro/internal/memo"
 	"repro/internal/trace"
 )
 
@@ -147,5 +149,54 @@ func TestGoldenTraceRetriedMatchesClean(t *testing.T) {
 	if !bytes.Equal(projected, cleanTrace) {
 		t.Errorf("retried trace (with %d retries dropped) differs from the clean golden:\n--- clean ---\n%s\n--- retried ---\n%s",
 			retried, cleanTrace, projected)
+	}
+}
+
+// TestGoldenTraceWarmMatchesClean is the memoization analogue of the
+// retried≡clean projection: a warm-cache run — every unit served from
+// the derivation-keyed result cache, no tool executed — must produce,
+// after dropping the UnitCacheHit events and masking, exactly the cold
+// run's golden trace, committed instance IDs included. The cold rig and
+// the warm rig share the datastore and the cache but have separate
+// history databases, so equal instance IDs demonstrate the planner's
+// pre-assignment, not shared state. Pinned for both schedulers.
+func TestGoldenTraceWarmMatchesClean(t *testing.T) {
+	for _, sched := range []Scheduler{Dataflow, Barrier} {
+		t.Run(sched.String(), func(t *testing.T) {
+			store := datastore.NewStore()
+			cache := memo.New(0)
+
+			cold := newRigStore(t, nil, store)
+			cold.engine.SetMemo(cache)
+			cold.engine.SetScheduler(sched)
+			cold.engine.SetWorkers(2)
+			fCold, _ := cold.perfFlow(t)
+			cleanTrace := trace.MaskedJSONL(runTraced(t, cold, fCold))
+			// A cold run with the cache installed is indistinguishable
+			// from one without it.
+			compareGolden(t, "golden_perf_trace.jsonl", cleanTrace)
+
+			warm := newRigStore(t, nil, store)
+			warm.engine.SetMemo(cache)
+			warm.engine.SetScheduler(sched)
+			warm.engine.SetWorkers(2)
+			fWarm, _ := warm.perfFlow(t)
+			events := runTraced(t, warm, fWarm)
+
+			hits := 0
+			for _, ev := range events {
+				if ev.Kind == trace.KindUnitCacheHit {
+					hits++
+				}
+			}
+			if hits != 4 {
+				t.Fatalf("warm run hit %d of 4 units; the projection below would be vacuous", hits)
+			}
+			projected := trace.MaskedJSONL(trace.DropKinds(events, trace.KindUnitCacheHit))
+			if !bytes.Equal(projected, cleanTrace) {
+				t.Errorf("warm trace (with %d cache hits dropped) differs from the clean golden:\n--- clean ---\n%s\n--- warm ---\n%s",
+					hits, cleanTrace, projected)
+			}
+		})
 	}
 }

@@ -31,6 +31,7 @@ func (e *Engine) SetTracer(s trace.Sink) {
 type attemptRec struct {
 	errMsg   string
 	timedOut bool
+	cacheHit bool // the unit was satisfied from the result cache
 }
 
 // runTracer drives one run's event emission. All methods are safe on a
@@ -116,6 +117,16 @@ func (t *runTracer) passJob(j *plannedJob) {
 		started := ev
 		started.Kind = trace.KindUnitStarted
 		t.emit(started)
+		if log[0].cacheHit {
+			// A cache hit has exactly one synthetic attempt: emit the
+			// extra UnitCacheHit on top of the normal lifecycle, so
+			// DropKinds(UnitCacheHit) projects the warm run onto the
+			// cold one.
+			hit := ev
+			hit.Kind = trace.KindUnitCacheHit
+			t.emit(hit)
+			continue
+		}
 		for i, a := range log {
 			if a.errMsg == "" {
 				break // successful final attempt; Committed follows separately

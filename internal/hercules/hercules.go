@@ -23,6 +23,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/flow"
 	"repro/internal/history"
+	"repro/internal/memo"
 	"repro/internal/schema"
 	"repro/internal/trace"
 )
@@ -223,6 +224,12 @@ func (s *Session) SetFailurePolicy(p exec.FailurePolicy) { s.Engine.SetFailurePo
 
 // SetTaskTimeout bounds every tool-run attempt; 0 disables the bound.
 func (s *Session) SetTaskTimeout(d time.Duration) { s.Engine.SetTaskTimeout(d) }
+
+// SetMemo installs a derivation-keyed result cache (see internal/memo)
+// consulted before each unit of work is dispatched and fed from every
+// committed result; nil removes it. A warm cache lets a re-run mint its
+// history instances without executing any tool.
+func (s *Session) SetMemo(c *memo.Cache) { s.Engine.SetMemo(c) }
 
 // SetTracer installs a run-event sink (see internal/trace) receiving
 // one structured event per lifecycle transition of every run; nil

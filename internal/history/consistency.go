@@ -107,8 +107,12 @@ func (db *DB) StaleInputs(id ID) ([]Stale, error) {
 		}
 		newest := newestOf(rootOf(n))
 		// Skip if the newer version is itself part of the derivation
-		// (the flow already consumed it elsewhere).
-		if newest != n && !inBack[newest] {
+		// (the flow already consumed it elsewhere), or if the newer
+		// version carries byte-identical content: consumers are functions
+		// of artifact bytes, so such a supersession cannot invalidate
+		// anything — and the derivation-keyed result cache (internal/memo)
+		// keys on content, so staleness here must agree with it.
+		if newest != n && !inBack[newest] && !db.sameContentLocked(n, newest) {
 			out = append(out, Stale{Used: n, Newest: newest})
 		}
 	}
@@ -116,8 +120,22 @@ func (db *DB) StaleInputs(id ID) ([]Stale, error) {
 	return out, nil
 }
 
+// sameContentLocked reports whether two instances carry byte-identical
+// artifacts: the same non-empty content ref, or the same archive
+// revision. Caller holds db.mu.
+func (db *DB) sameContentLocked(a, b ID) bool {
+	ia, ib := db.byID[a], db.byID[b]
+	if ia == nil || ib == nil {
+		return false
+	}
+	if ia.Data != "" && ia.Data == ib.Data {
+		return true
+	}
+	return ia.Archive != "" && ia.Archive == ib.Archive && ia.Revision == ib.Revision
+}
+
 // OutOfDate reports whether id's derivation used any instance that has
-// since been superseded.
+// since been superseded with actually different content.
 func (db *DB) OutOfDate(id ID) (bool, error) {
 	stale, err := db.StaleInputs(id)
 	if err != nil {

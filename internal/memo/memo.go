@@ -1,0 +1,210 @@
+// Package memo is the derivation-keyed result cache of the execution
+// engine: the memoization layer that joins the content-addressed
+// datastore with the per-instance derivations of the history database.
+//
+// The paper's consistency maintainer (§3.3) detects out-of-date derived
+// data and replans a retrace, but a planner alone re-runs every
+// construction it schedules — even one whose derivation (tool artifact +
+// input artifacts + goal) is byte-for-byte what a previous run already
+// executed. This package memoizes those tool runs: the key of a unit of
+// work is a hash of everything that determines its outputs, and the
+// value is the content address of each output artifact. A warm cache
+// turns a re-run into a sequence of blob lookups.
+//
+// Invalidation falls out of content addressing: a changed input has a
+// different artifact ref, hence a different key, hence a guaranteed
+// miss. There is nothing to expire and no staleness to track — entries
+// are facts about pure functions ("this tool over these bytes produced
+// those bytes") and remain true forever; the optional entry limit
+// exists only to bound memory, not correctness.
+package memo
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+	"sync"
+
+	"repro/internal/datastore"
+)
+
+// Key is the derivation key of one unit of work: "memo:" plus the hex
+// SHA-256 of the unit's canonical derivation encoding (see UnitKey).
+type Key string
+
+// InputRef names one input artifact of a unit: the dependency key it
+// fills and the content address of its bytes.
+type InputRef struct {
+	Key string
+	Ref datastore.Ref
+}
+
+// Unit describes one unit of work — a tool run or a composition — by
+// content only: nothing in it depends on scheduling, instance IDs, or
+// history state, so equal Units denote equal computations.
+type Unit struct {
+	// Goal is the representative entity type the unit constructs.
+	Goal string
+	// Outputs lists every entity type the unit realizes (a grouped
+	// multi-output construction lists all its siblings). Order is
+	// irrelevant; UnitKey sorts.
+	Outputs []string
+	// Composite marks an implicit composition instead of a tool run.
+	Composite bool
+	// ToolType is the concrete entity type of the tool instance (empty
+	// for composites). It is part of the key because the encapsulation —
+	// and therefore the behaviour — is selected by tool type, not by the
+	// tool artifact alone (two tools with empty artifacts must not
+	// collide).
+	ToolType string
+	// Tool is the content address of the tool instance's artifact — the
+	// encapsulation parameters, in this framework: an editor whose
+	// artifact says "generate ripple 4" and one that says "copy" hash
+	// differently.
+	Tool datastore.Ref
+	// Inputs are the data inputs, one per dependency key. Order is
+	// irrelevant; UnitKey sorts by key.
+	Inputs []InputRef
+}
+
+// UnitKey computes the derivation key of a unit: a SHA-256 over a
+// canonical, length-prefixed encoding of all fields, so no two distinct
+// units can collide by concatenation tricks.
+func UnitKey(u Unit) Key {
+	h := sha256.New()
+	field := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	field("goal")
+	field(u.Goal)
+	if u.Composite {
+		field("composite")
+	} else {
+		field("tool")
+		field(u.ToolType)
+		field(string(u.Tool))
+	}
+	outs := append([]string(nil), u.Outputs...)
+	sort.Strings(outs)
+	field("outputs")
+	for _, o := range outs {
+		field(o)
+	}
+	ins := append([]InputRef(nil), u.Inputs...)
+	sort.Slice(ins, func(i, j int) bool { return ins[i].Key < ins[j].Key })
+	field("inputs")
+	for _, in := range ins {
+		field(in.Key)
+		field(string(in.Ref))
+	}
+	return Key("memo:" + hex.EncodeToString(h.Sum(nil)))
+}
+
+// Entry is the memoized result of one unit: the content address of each
+// output artifact, keyed by entity type. The bytes themselves live in
+// the datastore; an entry whose blobs are missing from the consulting
+// engine's store is simply a miss.
+type Entry struct {
+	Outputs map[string]datastore.Ref
+}
+
+// clone copies an entry so cached state never aliases caller maps.
+func (e Entry) clone() Entry {
+	out := make(map[string]datastore.Ref, len(e.Outputs))
+	for k, v := range e.Outputs {
+		out[k] = v
+	}
+	return Entry{Outputs: out}
+}
+
+// Stats counts cache traffic.
+type Stats struct {
+	Hits      int64 // Get calls that found an entry
+	Misses    int64 // Get calls that did not
+	Puts      int64 // entries stored (including overwrites)
+	Evictions int64 // entries dropped by the size limit
+}
+
+// Cache is a bounded, thread-safe derivation-keyed result cache. The
+// zero value is unusable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	limit   int // max entries; <= 0 means unbounded
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+	stats   Stats
+}
+
+type cacheItem struct {
+	key   Key
+	entry Entry
+}
+
+// New returns an empty cache with the given entry limit (<= 0 means
+// unbounded). Entries are evicted least-recently-used first.
+func New(limit int) *Cache {
+	return &Cache{limit: limit, entries: make(map[Key]*list.Element), lru: list.New()}
+}
+
+// Get returns the entry for a key, if present, marking it recently
+// used.
+func (c *Cache) Get(k Key) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheItem).entry.clone(), true
+}
+
+// Put stores (or refreshes) the entry for a key, evicting the least
+// recently used entries beyond the limit.
+func (c *Cache) Put(k Key, e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Puts++
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheItem).entry = e.clone()
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&cacheItem{key: k, entry: e.clone()})
+	for c.limit > 0 && c.lru.Len() > c.limit {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheItem).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of entries held.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats snapshots the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]*list.Element)
+	c.lru.Init()
+	c.stats = Stats{}
+}

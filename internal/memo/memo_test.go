@@ -1,0 +1,200 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/datastore"
+)
+
+func ref(s string) datastore.Ref { return datastore.RefOf([]byte(s)) }
+
+func baseUnit() Unit {
+	return Unit{
+		Goal:     "Performance",
+		Outputs:  []string{"Performance"},
+		ToolType: "InstalledSimulator",
+		Tool:     ref("hspice"),
+		Inputs: []InputRef{
+			{Key: "Circuit", Ref: ref("circuit bytes")},
+			{Key: "Stimuli", Ref: ref("stimuli bytes")},
+		},
+	}
+}
+
+func TestUnitKeyDeterministicAndOrderInsensitive(t *testing.T) {
+	a := baseUnit()
+	b := baseUnit()
+	// Reversed input and output order must not change the key.
+	b.Inputs = []InputRef{b.Inputs[1], b.Inputs[0]}
+	if UnitKey(a) != UnitKey(b) {
+		t.Error("input order changed the key")
+	}
+	multi := baseUnit()
+	multi.Outputs = []string{"ExtractedNetlist", "ExtractionStatistics"}
+	multi2 := baseUnit()
+	multi2.Outputs = []string{"ExtractionStatistics", "ExtractedNetlist"}
+	if UnitKey(multi) != UnitKey(multi2) {
+		t.Error("output order changed the key")
+	}
+	if UnitKey(a) == UnitKey(multi) {
+		t.Error("different output sets produced the same key")
+	}
+}
+
+func TestUnitKeySensitivity(t *testing.T) {
+	base := UnitKey(baseUnit())
+	mutations := map[string]func(*Unit){
+		"goal":       func(u *Unit) { u.Goal = "Verification" },
+		"tool type":  func(u *Unit) { u.ToolType = "CompiledSimulator" },
+		"tool bytes": func(u *Unit) { u.Tool = ref("hspice v2") },
+		"input bytes": func(u *Unit) {
+			u.Inputs[0].Ref = ref("different circuit")
+		},
+		"input key": func(u *Unit) { u.Inputs[0].Key = "Netlist" },
+		"composite": func(u *Unit) {
+			u.Composite = true
+			u.ToolType = ""
+			u.Tool = ""
+		},
+		"extra input": func(u *Unit) {
+			u.Inputs = append(u.Inputs, InputRef{Key: "Models", Ref: ref("m")})
+		},
+	}
+	for name, mutate := range mutations {
+		u := baseUnit()
+		u.Inputs = append([]InputRef(nil), u.Inputs...)
+		mutate(&u)
+		if UnitKey(u) == base {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+}
+
+// TestUnitKeyNoConcatenationCollision pins that the length-prefixed
+// encoding keeps adjacent fields apart: moving a byte across a field
+// boundary must change the key.
+func TestUnitKeyNoConcatenationCollision(t *testing.T) {
+	a := Unit{Goal: "AB", ToolType: "C"}
+	b := Unit{Goal: "A", ToolType: "BC"}
+	if UnitKey(a) == UnitKey(b) {
+		t.Error("field boundary collision")
+	}
+	c := Unit{Goal: "G", Inputs: []InputRef{{Key: "xy", Ref: "z"}}}
+	d := Unit{Goal: "G", Inputs: []InputRef{{Key: "x", Ref: "yz"}}}
+	if UnitKey(c) == UnitKey(d) {
+		t.Error("input key/ref boundary collision")
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(0)
+	k := UnitKey(baseUnit())
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	e := Entry{Outputs: map[string]datastore.Ref{"Performance": ref("result")}}
+	c.Put(k, e)
+	got, ok := c.Get(k)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if got.Outputs["Performance"] != ref("result") {
+		t.Errorf("entry round-trip: got %v", got.Outputs)
+	}
+	// The cached entry must not alias the caller's map, either way.
+	e.Outputs["Performance"] = "mutated"
+	got2, _ := c.Get(k)
+	if got2.Outputs["Performance"] != ref("result") {
+		t.Error("Put aliased the caller's map")
+	}
+	got2.Outputs["Performance"] = "mutated"
+	got3, _ := c.Get(k)
+	if got3.Outputs["Performance"] != ref("result") {
+		t.Error("Get aliased the cached map")
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("stats = %+v, want 3 hits / 1 miss / 1 put", s)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(2)
+	keys := make([]Key, 3)
+	for i := range keys {
+		u := baseUnit()
+		u.Goal = fmt.Sprintf("G%d", i)
+		keys[i] = UnitKey(u)
+	}
+	e := Entry{Outputs: map[string]datastore.Ref{"x": "y"}}
+	c.Put(keys[0], e)
+	c.Put(keys[1], e)
+	// Touch key 0 so key 1 is the LRU victim.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("key 0 missing")
+	}
+	c.Put(keys[2], e)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	for _, k := range []Key{keys[0], keys[2]} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("recently used entry %s was evicted", k[:12])
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestCacheOverwriteRefreshes(t *testing.T) {
+	c := New(0)
+	k := UnitKey(baseUnit())
+	c.Put(k, Entry{Outputs: map[string]datastore.Ref{"a": "1"}})
+	c.Put(k, Entry{Outputs: map[string]datastore.Ref{"a": "2"}})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	got, _ := c.Get(k)
+	if got.Outputs["a"] != "2" {
+		t.Errorf("overwrite not visible: %v", got.Outputs)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := New(0)
+	c.Put(UnitKey(baseUnit()), Entry{})
+	c.Reset()
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Errorf("reset left state: len=%d stats=%+v", c.Len(), c.Stats())
+	}
+}
+
+// TestCacheConcurrent exercises the lock paths under the race detector.
+func TestCacheConcurrent(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				u := baseUnit()
+				u.Goal = fmt.Sprintf("G%d", (g+i)%100)
+				k := UnitKey(u)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, Entry{Outputs: map[string]datastore.Ref{"x": "y"}})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("limit exceeded: %d", c.Len())
+	}
+}

@@ -21,6 +21,7 @@ type Metrics struct {
 	started    int64
 	retried    int64
 	timedOut   int64
+	cacheHits  int64
 	failed     int64
 	skipped    int64
 	committed  int64
@@ -82,6 +83,8 @@ func (m *Metrics) Emit(ev Event) {
 		m.retried++
 	case KindUnitTimedOut:
 		m.timedOut++
+	case KindUnitCacheHit:
+		m.cacheHits++
 	case KindUnitFailed:
 		m.failed++
 		m.unitDur.observe(time.Duration(ev.DurMicros) * time.Microsecond)
@@ -103,7 +106,7 @@ func (m *Metrics) Emit(ev Event) {
 // Snapshot is a consistent copy of the counters for programmatic use.
 type Snapshot struct {
 	Runs, Planned, Dispatched, Started, Retried, TimedOut,
-	Failed, Skipped, Committed int64
+	CacheHits, Failed, Skipped, Committed int64
 	Occupancy     float64
 	Busy, Elapsed time.Duration
 }
@@ -115,7 +118,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
 		Runs: m.runs, Planned: m.planned, Dispatched: m.dispatched,
 		Started: m.started, Retried: m.retried, TimedOut: m.timedOut,
-		Failed: m.failed, Skipped: m.skipped, Committed: m.committed,
+		CacheHits: m.cacheHits, Failed: m.failed, Skipped: m.skipped,
+		Committed: m.committed,
 		Occupancy: m.occupancy, Busy: m.busy, Elapsed: m.elapsed,
 	}
 }
@@ -136,6 +140,7 @@ func (m *Metrics) Expose() string {
 	counter("flow_units_started_total", "units whose first attempt began", m.started)
 	counter("flow_unit_retries_total", "failed attempts that were retried", m.retried)
 	counter("flow_unit_timeouts_total", "attempts cut off by the task deadline", m.timedOut)
+	counter("flow_unit_cache_hits_total", "units satisfied from the derivation-keyed result cache", m.cacheHits)
 	counter("flow_units_failed_total", "units whose final attempt failed", m.failed)
 	counter("flow_units_skipped_total", "units never run because a producer failed", m.skipped)
 	counter("flow_units_committed_total", "units recorded in the design history", m.committed)

@@ -24,8 +24,8 @@ import (
 	"io"
 )
 
-// Kind names a lifecycle transition. The nine kinds below are the
-// complete event taxonomy (DESIGN.md §8).
+// Kind names a lifecycle transition. The ten kinds below are the
+// complete event taxonomy (DESIGN.md §8, §9).
 type Kind string
 
 const (
@@ -50,6 +50,12 @@ const (
 	// KindUnitSkipped marks a unit that never ran because a producer
 	// failed (ContinueOnError); Blame names the root-cause node.
 	KindUnitSkipped Kind = "UnitSkipped"
+	// KindUnitCacheHit marks a unit satisfied from the derivation-keyed
+	// result cache (internal/memo): its outputs were reconstructed from
+	// the datastore without running the tool. It is emitted in addition
+	// to the normal lifecycle events, so dropping it (DropKinds)
+	// projects a warm-cache run onto the cold run it reproduces.
+	KindUnitCacheHit Kind = "UnitCacheHit"
 	// KindUnitCommitted marks a unit's outputs recorded in history;
 	// Insts are the committed instance IDs, exactly the planner's
 	// pre-assignment. Deliberately attempt-free: a retried-then-
