@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos memo fuzz cover ci bench flowbench
+.PHONY: build vet test race chaos memo concurrent fuzz cover ci bench flowbench
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,14 @@ chaos:
 memo:
 	$(GO) test -race -run 'Memo|UnitKey|Cache' ./internal/exec/... ./internal/memo/...
 	$(GO) run ./cmd/flowbench memo
+
+# concurrent runs the multi-run engine suite (admission control, shared
+# pool, per-run attribution, 32-flow determinism) and the flow service
+# under the race detector, then the flowd end-to-end smoke round trip —
+# the same gate as the CI concurrent job.
+concurrent:
+	$(GO) test -race -run 'Concurrent|Admission|SharedMemo|RunOptions|Close|Retrace|Setters|Service|EventLog' ./internal/exec/... ./internal/service/...
+	$(GO) run ./cmd/flowd -smoke
 
 # fuzz smoke-runs each native fuzz target briefly (seed corpora live in
 # testdata/fuzz/); go test accepts one -fuzz pattern per invocation.

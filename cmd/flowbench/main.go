@@ -11,16 +11,20 @@
 //	flowbench            # all figures
 //	flowbench fig6 fig11 # selected figures
 //	flowbench -quick     # smoke subset (CI): fig1 fig6 sched chaos
+//	flowbench -out BENCH_concurrent.json concurrent
+//	                     # multi-flow load generator, JSON measurements
 package main
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/baseline/staticflow"
@@ -31,6 +35,7 @@ import (
 	"repro/internal/cad/models"
 	"repro/internal/cad/netlist"
 	"repro/internal/cad/sim"
+	"repro/internal/datastore"
 	"repro/internal/encap"
 	"repro/internal/exec"
 	"repro/internal/faults"
@@ -65,19 +70,35 @@ var sections = []struct {
 	{"memo", "incremental re-execution via the derivation-keyed cache", memoSection},
 	{"approaches", "the four design approaches", approachesSection},
 	{"baselines", "dynamic flows vs static flows vs traces", baselinesSection},
+	{"concurrent", "multi-flow load: one engine, many designers' runs", concurrentSection},
 }
 
 // quickSections is the smoke subset -quick runs: one schema section,
 // the two scheduler measurements, and the fault-injection section.
 var quickSections = map[string]bool{"fig1": true, "fig6": true, "sched": true, "chaos": true, "trace": true, "memo": true}
 
+// benchOut, when set with -out <file>, makes the concurrent section
+// write its measurements as JSON (BENCH_concurrent.json).
+var benchOut string
+
 func main() {
 	want := map[string]bool{}
-	for _, a := range os.Args[1:] {
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		a := args[i]
 		if a == "-quick" || a == "--quick" {
 			for name := range quickSections {
 				want[name] = true
 			}
+			continue
+		}
+		if a == "-out" || a == "--out" {
+			if i+1 >= len(args) {
+				fmt.Fprintln(os.Stderr, "flowbench: -out requires a file name")
+				os.Exit(2)
+			}
+			i++
+			benchOut = args[i]
 			continue
 		}
 		want[a] = true
@@ -1021,6 +1042,146 @@ func baselinesSection() {
 	tr := must1(trace.Capture(sess.DB, target))
 	fmt.Printf("trace  : captured %d events (%v); replays as a prototype but enforces nothing\n",
 		len(tr.Events), tr.ToolSequence())
+}
+
+// ---- concurrent -------------------------------------------------------------
+
+// concurrentSection is the multi-flow load generator: one long-lived
+// engine with a shared worker pool executes 32 designers' flows — each
+// in its own session (own history database) over one shared
+// content-addressed store — first serially (the old one-run-at-a-time
+// regime), then concurrently at several pool widths, then concurrently
+// against a warmed shared result cache. With -out <file> the
+// measurements are written as JSON (BENCH_concurrent.json).
+func concurrentSection() {
+	const (
+		flows = 32
+		delay = 5 * time.Millisecond
+	)
+	store := datastore.NewStore()
+	host := hercules.NewSessionStore("bench", store)
+	engine := host.Engine
+
+	type runSpec struct {
+		sess *hercules.Session
+		user string
+		f    *flow.Flow
+	}
+	mkRuns := func(n int) []runSpec {
+		specs := make([]runSpec, n)
+		for i := range specs {
+			user := fmt.Sprintf("designer-%02d", i)
+			sess := hercules.NewSessionStore(user, store)
+			must(sess.Bootstrap())
+			f := must1(sess.Catalogs.StartFromPlan("simulate-netlist"))
+			bindLeaf(sess, f, "Simulator", "sim")
+			bindLeaf(sess, f, "Stimuli", "stim.exhaustive3")
+			bindLeaf(sess, f, "NetlistEditor", "netEd.fulladder")
+			bindLeaf(sess, f, "DeviceModelEditor", "dmEd.default")
+			specs[i] = runSpec{sess, user, f}
+		}
+		return specs
+	}
+	d := delay
+	runOne := func(i int, rs runSpec, cache *memo.Cache) *exec.Result {
+		return must1(engine.RunFlowOptions(context.Background(), rs.f, &exec.RunOptions{
+			DB: rs.sess.DB, User: rs.user, Label: fmt.Sprintf("r%02d", i),
+			TaskDelay: &d, Memo: cache,
+		}))
+	}
+
+	type batchResult struct {
+		Workers   int     `json:"workers"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+		RunsPerS  float64 `json:"runs_per_s"`
+		UnitsPerS float64 `json:"units_per_s"`
+		CacheHits int     `json:"cache_hits,omitempty"`
+	}
+	runBatch := func(workers int, concurrent bool, cache *memo.Cache) batchResult {
+		engine.SetWorkers(workers)
+		specs := mkRuns(flows)
+		units, hits := 0, 0
+		t0 := time.Now()
+		if concurrent {
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			for i, rs := range specs {
+				wg.Add(1)
+				go func(i int, rs runSpec) {
+					defer wg.Done()
+					res := runOne(i, rs, cache)
+					mu.Lock()
+					units += res.Stats.Units
+					hits += res.Stats.CacheHits
+					mu.Unlock()
+				}(i, rs)
+			}
+			wg.Wait()
+		} else {
+			for i, rs := range specs {
+				res := runOne(i, rs, cache)
+				units += res.Stats.Units
+				hits += res.Stats.CacheHits
+			}
+		}
+		el := time.Since(t0)
+		return batchResult{
+			Workers:   workers,
+			ElapsedMS: float64(el.Microseconds()) / 1000,
+			RunsPerS:  float64(flows) / el.Seconds(),
+			UnitsPerS: float64(units) / el.Seconds(),
+			CacheHits: hits,
+		}
+	}
+
+	fmt.Printf("%d flows x 4 units, %v simulated tool latency per unit\n", flows, delay)
+	fmt.Printf("%-26s %9s %12s %9s %9s\n", "regime", "workers", "elapsed", "runs/s", "units/s")
+	row := func(name string, b batchResult) {
+		fmt.Printf("%-26s %9d %11.0fms %9.1f %9.1f\n",
+			name, b.Workers, b.ElapsedMS, b.RunsPerS, b.UnitsPerS)
+	}
+	serial := runBatch(1, false, nil)
+	row("serial (old regime)", serial)
+	var conc []batchResult
+	for _, w := range []int{1, 4, 16} {
+		b := runBatch(w, true, nil)
+		conc = append(conc, b)
+		row("concurrent", b)
+	}
+	// Warm shared cache: one run fills it, then every concurrent run is
+	// answered from it — no tool executes, so the simulated latency
+	// vanishes entirely.
+	shared := memo.New(0)
+	warmSpec := mkRuns(1)[0]
+	engine.SetWorkers(4)
+	must1(engine.RunFlowOptions(context.Background(), warmSpec.f, &exec.RunOptions{
+		DB: warmSpec.sess.DB, User: warmSpec.user, Label: "warmup",
+		TaskDelay: &d, Memo: shared,
+	}))
+	warm := runBatch(4, true, shared)
+	row("concurrent, warm cache", warm)
+	fmt.Printf("cache answered %d/%d units on the warm pass\n", warm.CacheHits, flows*4)
+	fmt.Printf("speedup over serial: %.1fx cold (16 workers), %.1fx warm\n",
+		serial.ElapsedMS/conc[len(conc)-1].ElapsedMS, serial.ElapsedMS/warm.ElapsedMS)
+	if a, q := engine.Runs(); a != 0 || q != 0 {
+		panic(fmt.Sprintf("engine not drained: %d active, %d queued", a, q))
+	}
+
+	if benchOut != "" {
+		out := struct {
+			Bench      string        `json:"bench"`
+			Flows      int           `json:"flows"`
+			UnitsEach  int           `json:"units_per_flow"`
+			DelayMS    float64       `json:"task_delay_ms"`
+			Serial     batchResult   `json:"serial"`
+			Concurrent []batchResult `json:"concurrent"`
+			WarmMemo   batchResult   `json:"concurrent_warm_memo"`
+		}{"flowbench concurrent", flows, 4, float64(delay.Microseconds()) / 1000,
+			serial, conc, warm}
+		data := must1(json.MarshalIndent(out, "", "  "))
+		must(os.WriteFile(benchOut, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", benchOut)
+	}
 }
 
 // ---- helpers ---------------------------------------------------------------

@@ -1,0 +1,185 @@
+// Command flowd runs the flow service: one long-lived engine with a
+// shared worker pool, admission control and a shared result cache,
+// executing many designers' flows concurrently and streaming each run's
+// masked JSONL trace over HTTP (internal/service).
+//
+// Usage:
+//
+//	flowd                      # serve on :8080
+//	flowd -addr 127.0.0.1:9090 # serve elsewhere
+//	flowd -smoke               # self-test: start on a loopback port, do a
+//	                           # submit→status→trace→cancel round trip,
+//	                           # print "smoke ok" and exit (CI)
+//
+// Flags:
+//
+//	-workers <n>   shared worker-pool size (default 4)
+//	-max-runs <n>  concurrently executing run bound (default 64)
+//	-queue <n>     queued-run bound beyond -max-runs (default 256)
+//	-memo <n>      shared result cache entries (0 = unbounded,
+//	               negative = disabled; default 0)
+//
+// Try it:
+//
+//	curl localhost:8080/v1/flows
+//	curl -X POST localhost:8080/v1/runs -d '{"flow":"perf","user":"alice"}'
+//	curl localhost:8080/v1/runs/r-0001/trace
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "shared worker-pool size")
+	maxRuns := flag.Int("max-runs", 0, "concurrently executing run bound (0 = default 64)")
+	queue := flag.Int("queue", -1, "queued-run bound (-1 = default 256)")
+	memoN := flag.Int("memo", 0, "shared result cache entries (0 = unbounded, negative = disabled)")
+	smoke := flag.Bool("smoke", false, "start on a loopback port, run a self round trip, exit")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers: *workers, MaxRuns: *maxRuns, MaxQueue: *queue, MemoEntries: *memoN,
+	})
+
+	if *smoke {
+		if err := runSmoke(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "smoke failed:", err)
+			os.Exit(1)
+		}
+		fmt.Println("smoke ok")
+		return
+	}
+
+	fmt.Printf("flowd: serving on %s (%d workers)\n", *addr, *workers)
+	if err := http.ListenAndServe(*addr, srv); err != nil {
+		fmt.Fprintln(os.Stderr, "flowd:", err)
+		os.Exit(1)
+	}
+}
+
+// runSmoke exercises the service end to end against a real listener:
+// submit a slow flow and cancel it mid-dispatch, then submit a flow,
+// poll it to success and read its full masked trace.
+func runSmoke(srv *service.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = http.Serve(ln, srv) }()
+	base := "http://" + ln.Addr().String()
+
+	var run struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Tasks int    `json:"tasks_run"`
+		Error string `json:"error"`
+	}
+	post := func(path, body string, out any) error {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			var e map[string]string
+			_ = json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("POST %s: status %d (%v)", path, resp.StatusCode, e)
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	get := func(path string, out any) error {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if out == nil {
+			return nil
+		}
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	// Cancel a slow run mid-dispatch. This comes first: once another run
+	// of the same flow succeeds, the shared result cache would answer the
+	// slow run's units instantly and there would be nothing to cancel.
+	if err := post("/v1/runs", `{"flow":"slow","user":"smoke"}`, &run); err != nil {
+		return err
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := post("/v1/runs/"+run.ID+"/cancel", "", &run); err != nil {
+		return err
+	}
+	if run.State != "cancelled" {
+		return fmt.Errorf("after cancel run is %s, want cancelled", run.State)
+	}
+
+	// Submit → poll to success.
+	if err := post("/v1/runs", `{"flow":"perf","user":"smoke"}`, &run); err != nil {
+		return err
+	}
+	id := run.ID
+	deadline := time.Now().Add(10 * time.Second)
+	for run.State == "running" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("run %s still running after 10s", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if err := get("/v1/runs/"+id, &run); err != nil {
+			return err
+		}
+	}
+	if run.State != "succeeded" || run.Tasks != 4 {
+		return fmt.Errorf("run %s ended %s with %d tasks (error %q), want succeeded/4",
+			id, run.State, run.Tasks, run.Error)
+	}
+
+	// Trace: complete masked JSONL, PlanBuilt first, RunFinished last.
+	resp, err := http.Get(base + "/v1/runs/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var first, last map[string]any
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev map[string]any
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("bad trace line %q: %v", line, err)
+		}
+		if n == 0 {
+			first = ev
+		}
+		last = ev
+		n++
+	}
+	if n < 2 || first["kind"] != "PlanBuilt" || last["kind"] != "RunFinished" {
+		return fmt.Errorf("trace shape wrong: %d events, first %v last %v",
+			n, first["kind"], last["kind"])
+	}
+
+	if err := get("/metrics", nil); err != nil {
+		return err
+	}
+	return ln.Close()
+}

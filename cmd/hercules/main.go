@@ -19,6 +19,9 @@
 //	-memo <n>                  derivation-keyed result cache holding up to
 //	                           n entries (0 = disabled, negative =
 //	                           unbounded); warm re-runs skip tool execution
+//	-workers <n>               worker-pool size for run/retrace dispatch
+//	                           (default 1; results are identical at any
+//	                           width)
 //
 // Observability flags:
 //
@@ -78,6 +81,7 @@ var (
 	flagRetries   = flag.Int("retries", 1, "attempts per task (1 = no retry)")
 	flagRetryBase = flag.Duration("retry-base", time.Millisecond, "base backoff delay before the first retry")
 	flagMemo      = flag.Int("memo", 0, "derivation-keyed result cache: max entries (0 = disabled, negative = unbounded)")
+	flagWorkers   = flag.Int("workers", 1, "worker-pool size for run/retrace dispatch")
 	flagTrace     = flag.String("trace", "", "write a JSONL run-event trace to this file")
 	flagMetrics   = flag.Bool("metrics", false, "collect run metrics and print the exposition dump at exit")
 )
@@ -100,6 +104,9 @@ func configureEngine(s *hercules.Session) error {
 	}
 	if *flagMemo != 0 {
 		s.SetMemo(memo.New(*flagMemo))
+	}
+	if *flagWorkers > 1 {
+		s.SetWorkers(*flagWorkers)
 	}
 	return nil
 }

@@ -282,42 +282,11 @@ func TestBackoffDeterministicFullJitter(t *testing.T) {
 	}
 }
 
-// Engine setters refuse to mutate a running engine, loudly.
-func TestSettersPanicDuringRun(t *testing.T) {
-	r := newRig(t)
-	r.engine.running.Store(true)
-	defer r.engine.running.Store(false)
-	cases := map[string]func(){
-		"SetWorkers":       func() { r.engine.SetWorkers(2) },
-		"SetScheduler":     func() { r.engine.SetScheduler(Barrier) },
-		"SetRetryPolicy":   func() { r.engine.SetRetryPolicy(RetryPolicy{}) },
-		"SetFailurePolicy": func() { r.engine.SetFailurePolicy(ContinueOnError) },
-		"SetTaskTimeout":   func() { r.engine.SetTaskTimeout(time.Second) },
-		"SetNodeTimeout":   func() { r.engine.SetNodeTimeout(1, time.Second) },
-		"SetTaskDelay":     func() { r.engine.SetTaskDelay(time.Second) },
-		"SetTracer":        func() { r.engine.SetTracer(trace.NewBuffer()) },
-	}
-	for name, fn := range cases {
-		func() {
-			defer func() {
-				p := recover()
-				if p == nil {
-					t.Errorf("%s did not panic during a run", name)
-					return
-				}
-				msg, _ := p.(string)
-				if !strings.Contains(msg, name+" called during a run") {
-					t.Errorf("%s panic = %q, want it to name the setter", name, msg)
-				}
-			}()
-			fn()
-		}()
-	}
-}
-
-// A second RunFlow while one is in flight is refused with an error, not
-// interleaved.
-func TestConcurrentRunRefused(t *testing.T) {
+// Engine setters are safe to call during a run: in a long-lived daemon
+// a misordered SetRetryPolicy must never crash the process. The run in
+// flight keeps its admitted configuration snapshot; the mutation
+// applies to the next run only.
+func TestSettersSafeDuringRun(t *testing.T) {
 	r := newRig(t)
 	release := make(chan struct{})
 	started := make(chan struct{})
@@ -331,23 +300,117 @@ func TestConcurrentRunRefused(t *testing.T) {
 		return encap.Outputs{req.Goal: []byte("ok")}, nil
 	}))
 	f := flow.New(r.s, r.db)
-	addBranch(t, r, f)
+	n := addBranch(t, r, f)
 
-	done := make(chan error, 1)
+	done := make(chan *Result, 1)
 	go func() {
-		_, err := r.engine.RunFlow(f)
-		done <- err
+		res, err := r.engine.RunFlow(f)
+		if err != nil {
+			t.Errorf("first run: %v", err)
+		}
+		done <- res
 	}()
 	<-started
 
-	f2 := flow.New(r.s, r.db)
-	addBranch(t, r, f2)
-	if _, err := r.engine.RunFlow(f2); err == nil || !strings.Contains(err.Error(), "already running") {
-		t.Errorf("concurrent run err = %v, want refusal", err)
-	}
+	// Every setter, mid-run. None may panic; none may affect the run in
+	// flight.
+	r.engine.SetWorkers(2)
+	r.engine.SetScheduler(Barrier)
+	r.engine.SetRetryPolicy(RetryPolicy{MaxAttempts: 3})
+	r.engine.SetFailurePolicy(ContinueOnError)
+	r.engine.SetTaskTimeout(time.Second)
+	r.engine.SetNodeTimeout(1, time.Second)
+	r.engine.SetTaskDelay(time.Millisecond)
+	r.engine.SetTracer(trace.NewBuffer())
+	r.engine.SetUser("interloper")
+
 	close(release)
-	if err := <-done; err != nil {
-		t.Fatalf("first run: %v", err)
+	res := <-done
+	inst, err := res.One(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.db.Get(inst).User; got != "designer" {
+		t.Errorf("in-flight run recorded user %q, want the admitted snapshot's %q", got, "designer")
+	}
+
+	// The next run picks up the new defaults.
+	f2 := flow.New(r.s, r.db)
+	n2 := addBranch(t, r, f2)
+	res2, err := r.engine.RunFlow(f2)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	inst2, err := res2.One(n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.db.Get(inst2).User; got != "interloper" {
+		t.Errorf("subsequent run recorded user %q, want %q", got, "interloper")
+	}
+	if res2.Stats.Scheduler != "barrier" {
+		t.Errorf("subsequent run scheduler = %q, want %q", res2.Stats.Scheduler, "barrier")
+	}
+}
+
+// Two runs against the same history database serialize on it instead of
+// being refused: the second blocks until the first's commit window
+// closes, then runs to completion — both deterministic.
+func TestConcurrentRunsSameDBSerialize(t *testing.T) {
+	r := newRig(t)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var once bool
+	r.engine.reg.Register("NetlistEditor", encap.Func(func(req *encap.Request) (encap.Outputs, error) {
+		if !once {
+			once = true
+			close(started)
+		}
+		<-release
+		return encap.Outputs{req.Goal: []byte("ok")}, nil
+	}))
+	f := flow.New(r.s, r.db)
+	n1 := addBranch(t, r, f)
+	f2 := flow.New(r.s, r.db)
+	n2 := addBranch(t, r, f2)
+
+	done1 := make(chan *Result, 1)
+	go func() {
+		res, err := r.engine.RunFlow(f)
+		if err != nil {
+			t.Errorf("first run: %v", err)
+		}
+		done1 <- res
+	}()
+	<-started
+
+	done2 := make(chan *Result, 1)
+	go func() {
+		res, err := r.engine.RunFlow(f2)
+		if err != nil {
+			t.Errorf("second run: %v", err)
+		}
+		done2 <- res
+	}()
+	// The second run must wait on the first's database lock, not fail.
+	select {
+	case <-done2:
+		t.Fatal("second run finished while the first still held the database")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(release)
+	res1, res2 := <-done1, <-done2
+	i1, err := res1.One(n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := res2.One(n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 == i2 {
+		t.Errorf("both runs recorded the same instance %s", i1)
 	}
 }
 

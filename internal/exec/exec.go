@@ -20,6 +20,14 @@
 //   - automatic retracing of stale derivations (consistency
 //     maintenance).
 //
+// One long-lived Engine executes many flows concurrently: every run
+// snapshots the engine configuration at admission into a per-run
+// context (the run type), executes over the engine's shared, bounded
+// worker pool, and commits to its own history database. Admission
+// control bounds how many runs are in flight (see pool.go); runs that
+// share one history database serialize on it, because the determinism
+// contract pins commit order per database.
+//
 // Execution is observable: every run returns per-task wall times, worker
 // occupancy, the measured critical path and a queue-wait histogram on
 // Result.Stats.
@@ -30,7 +38,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"repro/internal/datastore"
@@ -49,19 +57,17 @@ import (
 // error instead of exhausting memory.
 const DefaultMaxCombos = 100_000
 
-// Engine executes flows against one schema, history database, datastore
-// and encapsulation registry. An Engine may be reused across runs but
-// runs one flow at a time: a second concurrent run is refused with an
-// error, and calling a setter during a run panics (the running flag
-// makes the misuse loud instead of silently racy).
-type Engine struct {
-	schema       *schema.Schema
+// runConfig is the complete configuration of one run. The engine holds
+// the mutable defaults (guarded by Engine.mu, mutated by the setters);
+// every run snapshots them at admission and overlays its RunOptions, so
+// a run's configuration is immutable for the run's whole lifetime no
+// matter what the setters do meanwhile.
+type runConfig struct {
 	db           *history.DB
 	store        *datastore.Store
-	reg          *encap.Registry
 	archives     func(name string, rev int) (string, error)
 	user         string
-	workers      int
+	label        string
 	sched        Scheduler
 	maxCombos    int
 	taskDelay    time.Duration
@@ -72,128 +78,241 @@ type Engine struct {
 	nodeTimeouts map[flow.NodeID]time.Duration
 	tracer       trace.Sink
 	memo         *memo.Cache
-	running      atomic.Bool
+}
+
+// Engine executes flows against one schema and encapsulation registry.
+// A single long-lived Engine serves many concurrent runs over a shared,
+// bounded worker pool: each run snapshots the engine's configuration at
+// admission, so the setters are safe to call at any time — they apply
+// to runs admitted afterwards and never to a run in flight. Per-run
+// overrides (its own history database, datastore, tracer, result
+// cache, …) are passed through RunOptions.
+//
+// Runs that commit to the same history database are serialized on it:
+// the planner pre-assigns instance IDs from the database's sequence
+// counter, so only one run at a time may hold a database's commit
+// window. Give each run its own database (RunOptions.DB) for true
+// concurrency; the content-addressed datastore and the result cache
+// are safe to share.
+type Engine struct {
+	schema *schema.Schema
+	reg    *encap.Registry
+
+	// mu guards the defaults, the pool, and the admission state below
+	// (active, waiters).
+	mu       sync.Mutex
+	defaults runConfig
+	workers  int
+	maxRuns  int
+	maxQueue int
+	pool     *pool
+	active   int
+	waiters  []chan struct{}
+
+	// dbMu guards dbLocks, the per-database commit locks.
+	dbMu    sync.Mutex
+	dbLocks map[*history.DB]*dbLock
 }
 
 // New creates an engine. workers defaults to 1 (fully serial); use
 // SetWorkers to allow parallel branches.
 func New(s *schema.Schema, db *history.DB, store *datastore.Store, reg *encap.Registry) *Engine {
-	return &Engine{schema: s, db: db, store: store, reg: reg, user: "designer",
-		workers: 1, maxCombos: DefaultMaxCombos}
-}
-
-// checkIdle panics when a setter is called while a run is in flight:
-// the doc contract ("not safe to call during a run") enforced loudly
-// instead of left to the race detector.
-func (e *Engine) checkIdle(setter string) {
-	if e.running.Load() {
-		panic("exec: " + setter + " called during a run; engine setters are not safe to call while a flow is executing")
+	return &Engine{
+		schema:   s,
+		reg:      reg,
+		defaults: runConfig{db: db, store: store, user: "designer", maxCombos: DefaultMaxCombos},
+		workers:  1,
+		maxRuns:  DefaultMaxConcurrentRuns,
+		maxQueue: DefaultMaxQueuedRuns,
 	}
 }
 
-// SetUser sets the user recorded on created instances. Not safe to call
-// during a run.
-func (e *Engine) SetUser(u string) {
-	e.checkIdle("SetUser")
-	e.user = u
+// set runs fn on the engine's default configuration under the lock.
+// Every setter routes through here: the mutation is visible to runs
+// admitted afterwards and invisible to runs in flight (they hold their
+// own snapshot), so calling a setter during a run is safe — it simply
+// applies to subsequent runs only.
+func (e *Engine) set(fn func(c *runConfig)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fn(&e.defaults)
 }
 
-// SetWorkers sets the number of parallel workers ("machines"); values
-// below 1 are treated as 1. Not safe to call during a run.
+// SetUser sets the user recorded on created instances. Applies to
+// subsequently admitted runs.
+func (e *Engine) SetUser(u string) {
+	e.set(func(c *runConfig) { c.user = u })
+}
+
+// SetWorkers sets the size of the shared worker pool ("machines");
+// values below 1 are treated as 1. The pool is resized lazily: the
+// next run admitted while no other run is in flight swaps it.
 func (e *Engine) SetWorkers(n int) {
-	e.checkIdle("SetWorkers")
 	if n < 1 {
 		n = 1
 	}
+	e.mu.Lock()
 	e.workers = n
+	e.mu.Unlock()
 }
 
 // SetScheduler selects the scheduling discipline: Dataflow (default) or
 // the Barrier baseline. Both record identical instance IDs for the same
-// flow; Barrier exists so the level-barrier cost can be measured. Not
-// safe to call during a run.
+// flow; Barrier exists so the level-barrier cost can be measured.
+// Applies to subsequently admitted runs.
 func (e *Engine) SetScheduler(s Scheduler) {
-	e.checkIdle("SetScheduler")
-	e.sched = s
+	e.set(func(c *runConfig) { c.sched = s })
 }
 
 // SetMaxCombos caps the cartesian product of input combinations a single
 // node may fan out into (§4.1 multi-instance bindings). Runs exceeding
 // the cap fail with a clear error instead of exhausting memory. Values
-// below 1 restore DefaultMaxCombos. Not safe to call during a run.
+// below 1 restore DefaultMaxCombos. Applies to subsequently admitted
+// runs.
 func (e *Engine) SetMaxCombos(n int) {
-	e.checkIdle("SetMaxCombos")
 	if n < 1 {
 		n = DefaultMaxCombos
 	}
-	e.maxCombos = n
+	e.set(func(c *runConfig) { c.maxCombos = n })
 }
 
 // SetTaskDelay adds a simulated dispatch latency to every tool run —
 // the stand-in for remote-machine tool startup used when demonstrating
-// Fig. 6 (parallel branches win by ~workers×). Not safe to call during
-// a run.
+// Fig. 6 (parallel branches win by ~workers×). Applies to subsequently
+// admitted runs.
 func (e *Engine) SetTaskDelay(d time.Duration) {
-	e.checkIdle("SetTaskDelay")
-	e.taskDelay = d
+	e.set(func(c *runConfig) { c.taskDelay = d })
 }
 
 // SetTaskDelayFunc installs a per-task simulated latency keyed by the
 // representative node and the goal type, for benchmarks that need
 // unbalanced flows (some branches slow, some fast). When set it takes
-// precedence over SetTaskDelay; pass nil to remove it. Not safe to call
-// during a run.
+// precedence over SetTaskDelay; pass nil to remove it. Applies to
+// subsequently admitted runs.
 func (e *Engine) SetTaskDelayFunc(fn func(node flow.NodeID, goal string) time.Duration) {
-	e.checkIdle("SetTaskDelayFunc")
-	e.delayFn = fn
+	e.set(func(c *runConfig) { c.delayFn = fn })
 }
 
 // SetArchiveSource supplies the checkout function for archive-backed
 // instances (footnote 5: instances whose artifact lives at a revision of
-// a shared archive rather than as a blob). Not safe to call during a
-// run.
+// a shared archive rather than as a blob). Applies to subsequently
+// admitted runs.
 func (e *Engine) SetArchiveSource(checkout func(name string, rev int) (string, error)) {
-	e.checkIdle("SetArchiveSource")
-	e.archives = checkout
+	e.set(func(c *runConfig) { c.archives = checkout })
 }
 
-// artifactOf fetches an instance's artifact: from the blob store when a
-// Data ref is present, from the archive source when the instance is
-// archive-backed, or nil for artifact-less instances (installed tools).
-func (e *Engine) artifactOf(inst history.ID) ([]byte, error) {
-	in := e.db.Get(inst)
-	if in == nil {
-		return nil, fmt.Errorf("exec: instance %s disappeared", inst)
-	}
-	return e.artifactOfInstance(in)
+// DB returns the engine's default history database.
+func (e *Engine) DB() *history.DB {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.defaults.db
 }
 
-func (e *Engine) artifactOfInstance(in *history.Instance) ([]byte, error) {
-	if in.Data != "" {
-		b, ok := e.store.Get(in.Data)
-		if !ok {
-			return nil, fmt.Errorf("exec: artifact %s of %s missing from datastore", in.Data, in.ID)
-		}
-		return b, nil
-	}
-	if in.Archive != "" {
-		if e.archives == nil {
-			return nil, fmt.Errorf("exec: instance %s is archive-backed but no archive source is configured", in.ID)
-		}
-		text, err := e.archives(in.Archive, in.Revision)
-		if err != nil {
-			return nil, fmt.Errorf("exec: checkout of %s: %w", in.ID, err)
-		}
-		return []byte(text), nil
-	}
-	return nil, nil
+// Store returns the engine's default datastore.
+func (e *Engine) Store() *datastore.Store {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.defaults.store
 }
 
-// DB returns the engine's history database.
-func (e *Engine) DB() *history.DB { return e.db }
+// RunOptions override the engine's configuration for a single run. Nil
+// and zero fields inherit the engine default. The usual multi-tenant
+// arrangement gives each run its own history database (so commit
+// windows never contend) while sharing the engine's datastore and
+// result cache, which are content-addressed and safe to share.
+type RunOptions struct {
+	// DB is the history database the run plans against and commits to.
+	DB *history.DB
+	// Store is the artifact store of the run.
+	Store *datastore.Store
+	// User is recorded on created instances.
+	User string
+	// Label tags every trace event of the run (Event.Run), so streams
+	// from concurrent runs sharing one sink stay attributable.
+	Label string
+	// Tracer receives the run's events (see internal/trace).
+	Tracer trace.Sink
+	// Memo is the derivation-keyed result cache to consult and feed.
+	Memo *memo.Cache
+	// Scheduler overrides the scheduling discipline.
+	Scheduler *Scheduler
+	// Retry overrides the per-unit retry policy.
+	Retry *RetryPolicy
+	// Policy overrides the failure policy.
+	Policy *FailurePolicy
+	// TaskTimeout overrides the per-attempt deadline (0 disables it).
+	TaskTimeout *time.Duration
+	// TaskDelay overrides the simulated dispatch latency (and clears
+	// any engine-level delay function).
+	TaskDelay *time.Duration
+	// MaxCombos overrides the fan-out cap when positive.
+	MaxCombos int
+}
 
-// Store returns the engine's datastore.
-func (e *Engine) Store() *datastore.Store { return e.store }
+// apply overlays non-zero options on a snapshot of the defaults.
+func (c runConfig) apply(o *RunOptions) runConfig {
+	if o == nil {
+		return c
+	}
+	if o.DB != nil {
+		c.db = o.DB
+	}
+	if o.Store != nil {
+		c.store = o.Store
+	}
+	if o.User != "" {
+		c.user = o.User
+	}
+	if o.Label != "" {
+		c.label = o.Label
+	}
+	if o.Tracer != nil {
+		c.tracer = o.Tracer
+	}
+	if o.Memo != nil {
+		c.memo = o.Memo
+	}
+	if o.Scheduler != nil {
+		c.sched = *o.Scheduler
+	}
+	if o.Retry != nil {
+		c.retry = *o.Retry
+	}
+	if o.Policy != nil {
+		c.policy = *o.Policy
+	}
+	if o.TaskTimeout != nil {
+		c.taskTimeout = *o.TaskTimeout
+	}
+	if o.TaskDelay != nil {
+		c.taskDelay = *o.TaskDelay
+		c.delayFn = nil
+	}
+	if o.MaxCombos > 0 {
+		c.maxCombos = o.MaxCombos
+	}
+	return c
+}
+
+// run is the per-run context: one flow execution's complete state — its
+// immutable configuration snapshot, plan, pending-artifact set, result,
+// and the channel its pool workers report completions on. Nothing here
+// is shared between runs except the pool reference and whatever the
+// configuration deliberately shares (datastore, result cache).
+type run struct {
+	e       *Engine
+	cfg     runConfig
+	pool    *pool
+	workers int // pool size at admission (Stats.Workers is min of this and the unit count)
+
+	f   *flow.Flow
+	res *Result
+
+	// Execution state, set by execute.
+	ctx    context.Context
+	st     *runState
+	doneCh chan unitResult
+}
 
 // Result reports one flow run. On error the result is still returned:
 // Elapsed is the time spent before failing, Created holds the bound
@@ -237,32 +356,45 @@ func (r *Result) One(id flow.NodeID) (history.ID, error) {
 // node). On error the returned Result still carries partial state (see
 // Result).
 func (e *Engine) RunFlow(f *flow.Flow) (*Result, error) {
-	return e.RunFlowContext(context.Background(), f)
+	return e.RunFlowOptions(context.Background(), f, nil)
 }
 
 // RunFlowContext is RunFlow under a context: cancelling ctx stops
 // dispatching, cuts off well-behaved in-flight tools (Request.Ctx), and
-// returns the partial Result with ctx's error joined in.
+// returns the partial Result with ctx's error joined in. Cancellation
+// is per-run: other runs sharing the engine are unaffected.
 func (e *Engine) RunFlowContext(ctx context.Context, f *flow.Flow) (*Result, error) {
-	return e.run(ctx, f, f.Roots())
+	return e.RunFlowOptions(ctx, f, nil)
+}
+
+// RunFlowOptions is RunFlowContext with per-run overrides of the
+// engine's configuration (see RunOptions).
+func (e *Engine) RunFlowOptions(ctx context.Context, f *flow.Flow, opts *RunOptions) (*Result, error) {
+	return e.runTargets(ctx, f, f.Roots(), opts)
 }
 
 // RunNode executes the sub-flow rooted at one node — §4.1's "a sub-flow
 // may be run at any stage as long as its dependencies are satisfied
 // independently of the remainder of the flow".
 func (e *Engine) RunNode(f *flow.Flow, id flow.NodeID) (*Result, error) {
-	return e.RunNodeContext(context.Background(), f, id)
+	return e.RunNodeOptions(context.Background(), f, id, nil)
 }
 
 // RunNodeContext is RunNode under a context (see RunFlowContext).
 func (e *Engine) RunNodeContext(ctx context.Context, f *flow.Flow, id flow.NodeID) (*Result, error) {
+	return e.RunNodeOptions(ctx, f, id, nil)
+}
+
+// RunNodeOptions is RunNodeContext with per-run overrides (see
+// RunOptions).
+func (e *Engine) RunNodeOptions(ctx context.Context, f *flow.Flow, id flow.NodeID, opts *RunOptions) (*Result, error) {
 	if f.Node(id) == nil {
 		return nil, fmt.Errorf("exec: no node %d", id)
 	}
-	return e.run(ctx, f, []flow.NodeID{id})
+	return e.runTargets(ctx, f, []flow.NodeID{id}, opts)
 }
 
-func (e *Engine) run(ctx context.Context, f *flow.Flow, targets []flow.NodeID) (*Result, error) {
+func (e *Engine) runTargets(ctx context.Context, f *flow.Flow, targets []flow.NodeID, opts *RunOptions) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -272,10 +404,17 @@ func (e *Engine) run(ctx context.Context, f *flow.Flow, targets []flow.NodeID) (
 		res.Elapsed = time.Since(start)
 		return res, err
 	}
-	if !e.running.CompareAndSwap(false, true) {
-		return fail(fmt.Errorf("exec: engine is already running a flow (an Engine runs one flow at a time)"))
+	r, err := e.beginRun(ctx, opts)
+	if err != nil {
+		return fail(err)
 	}
-	defer e.running.Store(false)
+	defer e.release()
+	// One run at a time per history database: the plan below reads the
+	// database's sequence counter and pre-assigns every instance ID, so
+	// the run must own the commit window until its last job lands.
+	unlock := e.lockDB(r.cfg.db)
+	defer unlock()
+	r.f, r.res = f, res
 	if err := f.Validate(); err != nil {
 		return fail(err)
 	}
@@ -284,18 +423,50 @@ func (e *Engine) run(ctx context.Context, f *flow.Flow, targets []flow.NodeID) (
 			return fail(fmt.Errorf("exec: flow is not executable: %s", why))
 		}
 	}
-	p, err := e.plan(f, targets)
+	p, err := r.plan(targets)
 	if err != nil {
 		return fail(err)
 	}
 	for id, insts := range p.bound {
 		res.Created[id] = insts
 	}
-	if err := e.execute(ctx, f, p, res); err != nil {
+	if err := r.execute(ctx, p); err != nil {
 		return fail(err)
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// artifactOf fetches an instance's artifact: from the blob store when a
+// Data ref is present, from the archive source when the instance is
+// archive-backed, or nil for artifact-less instances (installed tools).
+func (r *run) artifactOf(inst history.ID) ([]byte, error) {
+	in := r.cfg.db.Get(inst)
+	if in == nil {
+		return nil, fmt.Errorf("exec: instance %s disappeared", inst)
+	}
+	return r.artifactOfInstance(in)
+}
+
+func (r *run) artifactOfInstance(in *history.Instance) ([]byte, error) {
+	if in.Data != "" {
+		b, ok := r.cfg.store.Get(in.Data)
+		if !ok {
+			return nil, fmt.Errorf("exec: artifact %s of %s missing from datastore", in.Data, in.ID)
+		}
+		return b, nil
+	}
+	if in.Archive != "" {
+		if r.cfg.archives == nil {
+			return nil, fmt.Errorf("exec: instance %s is archive-backed but no archive source is configured", in.ID)
+		}
+		text, err := r.cfg.archives(in.Archive, in.Revision)
+		if err != nil {
+			return nil, fmt.Errorf("exec: checkout of %s: %w", in.ID, err)
+		}
+		return []byte(text), nil
+	}
+	return nil, nil
 }
 
 // taskSignature groups sibling nodes that share one construction (same
@@ -329,17 +500,16 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // executeCombo performs one tool run (or composition) for one input
-// combination. lookup resolves an instance to its (type, artifact) —
-// from the in-flight pending set for planned instances not yet
-// committed, from the database otherwise.
-func (e *Engine) executeCombo(ctx context.Context, f *flow.Flow, j *plannedJob, combo map[string]history.ID,
-	lookup func(history.ID) (string, []byte, error)) (encap.Outputs, error) {
-	rep := f.Node(j.nodes[0])
+// combination. Instances resolve through the run's lookup — the
+// in-flight pending set for planned instances not yet committed, the
+// database otherwise.
+func (r *run) executeCombo(ctx context.Context, j *plannedJob, combo map[string]history.ID) (encap.Outputs, error) {
+	rep := r.f.Node(j.nodes[0])
 	var delay time.Duration
-	if e.delayFn != nil {
-		delay = e.delayFn(j.nodes[0], rep.Type)
+	if r.cfg.delayFn != nil {
+		delay = r.cfg.delayFn(j.nodes[0], rep.Type)
 	} else {
-		delay = e.taskDelay
+		delay = r.cfg.taskDelay
 	}
 	if delay > 0 {
 		if err := sleepCtx(ctx, delay); err != nil {
@@ -350,13 +520,13 @@ func (e *Engine) executeCombo(ctx context.Context, f *flow.Flow, j *plannedJob, 
 	if j.composite {
 		parts := make(map[string][]byte, len(combo))
 		for k, inst := range combo {
-			_, b, err := lookup(inst)
+			_, b, err := r.lookup(inst)
 			if err != nil {
 				return nil, err
 			}
 			parts[k] = b
 		}
-		if check := e.reg.Check(rep.Type); check != nil {
+		if check := r.e.reg.Check(rep.Type); check != nil {
 			if err := check(parts); err != nil {
 				return nil, fmt.Errorf("exec: composite %s consistency check failed: %w", rep.Type, err)
 			}
@@ -368,11 +538,11 @@ func (e *Engine) executeCombo(ctx context.Context, f *flow.Flow, j *plannedJob, 
 	if !ok {
 		return nil, fmt.Errorf("exec: task %s has no tool instance", rep.Type)
 	}
-	toolType, toolArt, err := lookup(toolInst)
+	toolType, toolArt, err := r.lookup(toolInst)
 	if err != nil {
 		return nil, err
 	}
-	enc, err := e.reg.Lookup(e.schema, toolType)
+	enc, err := r.e.reg.Lookup(r.e.schema, toolType)
 	if err != nil {
 		return nil, err
 	}
@@ -387,7 +557,7 @@ func (e *Engine) executeCombo(ctx context.Context, f *flow.Flow, j *plannedJob, 
 		if k == "fd" {
 			continue
 		}
-		_, b, err := lookup(inst)
+		_, b, err := r.lookup(inst)
 		if err != nil {
 			return nil, err
 		}
@@ -403,19 +573,19 @@ func (e *Engine) executeCombo(ctx context.Context, f *flow.Flow, j *plannedJob, 
 // recordJob stores artifacts and records history instances for every
 // (node, combo) of a completed job, verifying that each recorded ID
 // matches the one the planner pre-assigned (the determinism guarantee).
-func (e *Engine) recordJob(f *flow.Flow, j *plannedJob, res *Result) error {
+func (r *run) recordJob(j *plannedJob) error {
 	for ci, combo := range j.combos {
 		out := j.outputs[ci]
 		for ni, id := range j.nodes {
-			n := f.Node(id)
+			n := r.f.Node(id)
 			data, ok := out[n.Type]
 			if !ok {
 				return fmt.Errorf("exec: tool run produced no %s output (has: %s)", n.Type, outputKeys(out))
 			}
 			rec := history.Instance{
 				Type: n.Type,
-				User: e.user,
-				Data: e.store.Put(data),
+				User: r.cfg.user,
+				Data: r.cfg.store.Put(data),
 			}
 			if tool, ok := combo["fd"]; ok {
 				rec.Tool = tool
@@ -430,14 +600,14 @@ func (e *Engine) recordJob(f *flow.Flow, j *plannedJob, res *Result) error {
 			for _, k := range keys {
 				rec.Inputs = append(rec.Inputs, history.Input{Key: k, Inst: combo[k]})
 			}
-			inst, err := e.db.Record(rec)
+			inst, err := r.cfg.db.Record(rec)
 			if err != nil {
 				return fmt.Errorf("exec: recording %s: %w", n.Type, err)
 			}
 			if want := j.outIDs[ci][ni]; inst.ID != want {
 				return fmt.Errorf("exec: nondeterministic recording: got %s, planned %s (history mutated during the run?)", inst.ID, want)
 			}
-			res.Created[id] = append(res.Created[id], inst.ID)
+			r.res.Created[id] = append(r.res.Created[id], inst.ID)
 		}
 	}
 	return nil

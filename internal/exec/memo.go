@@ -3,8 +3,6 @@ package exec
 import (
 	"repro/internal/datastore"
 	"repro/internal/encap"
-	"repro/internal/flow"
-	"repro/internal/history"
 	"repro/internal/memo"
 )
 
@@ -18,6 +16,11 @@ import (
 // never poison the cache, and a retried-then-succeeded unit caches
 // only its final committed output.
 //
+// The cache is safe to share across concurrent runs (it locks
+// internally and entries hold content refs): one run's warm results
+// accelerate another's. Hit accounting stays per-run — each run's
+// Stats.CacheHits counts only the hits its own coordinator served.
+//
 // The determinism contract survives warm caches untouched: hits flow
 // through the same plan-order committer as executed units, so the
 // committed instance IDs are exactly the planner's pre-assignment, and
@@ -28,26 +31,29 @@ import (
 // each unit executes and fed from each commit; nil removes it. A cache
 // may be shared across engines that share a datastore (entries hold
 // content refs, so a cache whose blobs are absent from this engine's
-// store simply never hits). Not safe to call during a run.
+// store simply never hits). Applies to subsequently admitted runs.
 func (e *Engine) SetMemo(c *memo.Cache) {
-	e.checkIdle("SetMemo")
-	e.memo = c
+	e.set(func(cfg *runConfig) { cfg.memo = c })
 }
 
 // Memo returns the installed result cache, or nil.
-func (e *Engine) Memo() *memo.Cache { return e.memo }
+func (e *Engine) Memo() *memo.Cache {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.defaults.memo
+}
 
 // memoUnit describes one (job, combo) unit by content: the derivation
 // the cache keys on. It resolves every combo instance to its artifact
-// bytes through lookup (pending set first, then history/datastore).
-func (e *Engine) memoUnit(f *flow.Flow, j *plannedJob, ci int,
-	lookup func(history.ID) (string, []byte, error)) (memo.Unit, error) {
+// bytes through the run's lookup (pending set first, then
+// history/datastore).
+func (r *run) memoUnit(j *plannedJob, ci int) (memo.Unit, error) {
 	u := memo.Unit{Goal: j.repType, Composite: j.composite}
 	for _, nid := range j.nodes {
-		u.Outputs = append(u.Outputs, f.Node(nid).Type)
+		u.Outputs = append(u.Outputs, r.f.Node(nid).Type)
 	}
 	for k, inst := range j.combos[ci] {
-		typ, b, err := lookup(inst)
+		typ, b, err := r.lookup(inst)
 		if err != nil {
 			return memo.Unit{}, err
 		}
@@ -67,23 +73,22 @@ func (e *Engine) memoUnit(f *flow.Flow, j *plannedJob, ci int,
 // shortfall — no entry, a missing blob, an output type the entry does
 // not cover, a lookup failure — it returns nil and the unit executes
 // normally (the worker path re-surfaces any real error).
-func (e *Engine) memoConsult(f *flow.Flow, j *plannedJob, ci int,
-	lookup func(history.ID) (string, []byte, error)) encap.Outputs {
-	if e.memo == nil {
+func (r *run) memoConsult(j *plannedJob, ci int) encap.Outputs {
+	if r.cfg.memo == nil {
 		return nil
 	}
-	u, err := e.memoUnit(f, j, ci, lookup)
+	u, err := r.memoUnit(j, ci)
 	if err != nil {
 		return nil
 	}
 	j.memoKeys[ci] = memo.UnitKey(u)
-	entry, ok := e.memo.Get(j.memoKeys[ci])
+	entry, ok := r.cfg.memo.Get(j.memoKeys[ci])
 	if !ok {
 		return nil
 	}
 	out := make(encap.Outputs, len(entry.Outputs))
 	for typ, ref := range entry.Outputs {
-		b, ok := e.store.Get(ref)
+		b, ok := r.cfg.store.Get(ref)
 		if !ok {
 			return nil
 		}
@@ -92,7 +97,7 @@ func (e *Engine) memoConsult(f *flow.Flow, j *plannedJob, ci int,
 	// Every grouped node's type must be covered, or dependents would
 	// execute against a hole in the pending set.
 	for _, nid := range j.nodes {
-		if _, ok := out[f.Node(nid).Type]; !ok {
+		if _, ok := out[r.f.Node(nid).Type]; !ok {
 			return nil
 		}
 	}
@@ -105,8 +110,8 @@ func (e *Engine) memoConsult(f *flow.Flow, j *plannedJob, ci int,
 // succeeded: commit is the cache's write barrier. Units that were
 // themselves cache hits are skipped (nothing new to learn), as are
 // units whose key could not be computed.
-func (e *Engine) memoPublish(j *plannedJob) {
-	if e.memo == nil || j.memoKeys == nil {
+func (r *run) memoPublish(j *plannedJob) {
+	if r.cfg.memo == nil || j.memoKeys == nil {
 		return
 	}
 	for ci := range j.combos {
@@ -119,8 +124,8 @@ func (e *Engine) memoPublish(j *plannedJob) {
 			// Content-addressed Put: the committed group blobs are
 			// already present, and secondary outputs become resolvable
 			// for future hits.
-			refs[typ] = e.store.Put(data)
+			refs[typ] = r.cfg.store.Put(data)
 		}
-		e.memo.Put(j.memoKeys[ci], memo.Entry{Outputs: refs})
+		r.cfg.memo.Put(j.memoKeys[ci], memo.Entry{Outputs: refs})
 	}
 }

@@ -114,8 +114,9 @@ func reachable(f *flow.Flow, targets []flow.NodeID) (map[flow.NodeID]bool, error
 
 // plan builds the job graph for the targets: grouping (pass 1), combo
 // enumeration and ID pre-assignment in commit order (pass 2), and job
-// dependency edges for the engine's scheduling mode (pass 3).
-func (e *Engine) plan(f *flow.Flow, targets []flow.NodeID) (*plan, error) {
+// dependency edges for the run's scheduling mode (pass 3).
+func (r *run) plan(targets []flow.NodeID) (*plan, error) {
+	f := r.f
 	needed, err := reachable(f, targets)
 	if err != nil {
 		return nil, err
@@ -150,7 +151,7 @@ func (e *Engine) plan(f *flow.Flow, targets []flow.NodeID) (*plan, error) {
 			p.bound[id] = n.Bound()
 			continue
 		}
-		t := e.schema.Type(n.Type)
+		t := r.e.schema.Type(n.Type)
 		if t.IsPrimitiveSource() {
 			return nil, fmt.Errorf("exec: node %d (%s) is an unbound primitive source", id, n.Type)
 		}
@@ -176,9 +177,9 @@ func (e *Engine) plan(f *flow.Flow, targets []flow.NodeID) (*plan, error) {
 	for id, insts := range p.bound {
 		created[id] = insts
 	}
-	vseq := e.db.Seq()
+	vseq := r.cfg.db.Seq()
 	for _, j := range p.jobs {
-		combos, err := e.combosFor(f, j.nodes[0], created)
+		combos, err := r.combosFor(j.nodes[0], created)
 		if err != nil {
 			return nil, err
 		}
@@ -203,7 +204,7 @@ func (e *Engine) plan(f *flow.Flow, targets []flow.NodeID) (*plan, error) {
 	}
 
 	// Pass 3: job dependency edges.
-	switch e.sched {
+	switch r.cfg.sched {
 	case Barrier:
 		// Baseline: every job waits on every job of the previous
 		// nonempty level — the old stratum-drain discipline, expressed
@@ -250,9 +251,9 @@ func (e *Engine) plan(f *flow.Flow, targets []flow.NodeID) (*plan, error) {
 
 // combosFor enumerates the input combinations of a node: the cartesian
 // product of its dependencies' instance lists, in deterministic order,
-// capped at the engine's combo limit.
-func (e *Engine) combosFor(f *flow.Flow, id flow.NodeID, created map[flow.NodeID][]history.ID) ([]map[string]history.ID, error) {
-	n := f.Node(id)
+// capped at the run's combo limit.
+func (r *run) combosFor(id flow.NodeID, created map[flow.NodeID][]history.ID) ([]map[string]history.ID, error) {
+	n := r.f.Node(id)
 	keys := n.DepKeys()
 	combos := []map[string]history.ID{{}}
 	for _, k := range keys {
@@ -261,9 +262,9 @@ func (e *Engine) combosFor(f *flow.Flow, id flow.NodeID, created map[flow.NodeID
 		if len(insts) == 0 {
 			return nil, fmt.Errorf("exec: node %d dependency %q (node %d) produced no instances", id, k, c)
 		}
-		if len(combos)*len(insts) > e.maxCombos {
+		if len(combos)*len(insts) > r.cfg.maxCombos {
 			return nil, fmt.Errorf("exec: node %d (%s): input fan-out exceeds %d combinations (cartesian product over multi-instance bindings); raise Engine.SetMaxCombos if intended",
-				id, n.Type, e.maxCombos)
+				id, n.Type, r.cfg.maxCombos)
 		}
 		next := make([]map[string]history.ID, 0, len(combos)*len(insts))
 		for _, combo := range combos {

@@ -28,9 +28,8 @@ func (p FailurePolicy) String() string {
 	return "fail-fast"
 }
 
-// SetFailurePolicy selects the engine's failure policy. Not safe to
-// call during a run.
+// SetFailurePolicy selects the engine's failure policy. Applies to
+// subsequently admitted runs.
 func (e *Engine) SetFailurePolicy(p FailurePolicy) {
-	e.checkIdle("SetFailurePolicy")
-	e.policy = p
+	e.set(func(c *runConfig) { c.policy = p })
 }

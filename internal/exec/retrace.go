@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -48,17 +49,32 @@ func (r *RetraceResult) NewTarget(target history.ID) history.ID {
 // from the history database and re-executes each stale construction
 // with substituted inputs, recording the new instances.
 func (e *Engine) Retrace(target history.ID) (*RetraceResult, error) {
+	return e.RetraceOptions(context.Background(), target, nil)
+}
+
+// RetraceOptions is Retrace under a context with per-run overrides. A
+// retrace counts as a run for admission purposes and serializes on its
+// history database like any other run.
+func (e *Engine) RetraceOptions(ctx context.Context, target history.ID, opts *RunOptions) (*RetraceResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	res := &RetraceResult{Rebuilt: make(map[history.ID]history.ID)}
-	if !e.running.CompareAndSwap(false, true) {
-		res.Elapsed = time.Since(start)
-		return res, fmt.Errorf("exec: engine is already running a flow (an Engine runs one flow at a time)")
-	}
-	defer e.running.Store(false)
-	plan, err := e.db.PlanRetrace(target)
-	if err != nil {
+	fail := func(err error) (*RetraceResult, error) {
 		res.Elapsed = time.Since(start)
 		return res, err
+	}
+	r, err := e.beginRun(ctx, opts)
+	if err != nil {
+		return fail(err)
+	}
+	defer e.release()
+	unlock := e.lockDB(r.cfg.db)
+	defer unlock()
+	plan, err := r.cfg.db.PlanRetrace(target)
+	if err != nil {
+		return fail(err)
 	}
 	res.Plan = plan
 	if plan.Fresh() {
@@ -67,9 +83,11 @@ func (e *Engine) Retrace(target history.ID) (*RetraceResult, error) {
 		return res, nil
 	}
 	for _, step := range plan.Steps {
-		if err := e.retraceStep(step, res); err != nil {
-			res.Elapsed = time.Since(start)
-			return res, err
+		if err := ctx.Err(); err != nil {
+			return fail(fmt.Errorf("exec: retrace cancelled: %w", err))
+		}
+		if err := r.retraceStep(step, res); err != nil {
+			return fail(err)
 		}
 	}
 	res.Elapsed = time.Since(start)
@@ -77,8 +95,8 @@ func (e *Engine) Retrace(target history.ID) (*RetraceResult, error) {
 }
 
 // retraceStep re-runs one construction.
-func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error {
-	old := e.db.Get(step.Rebuild)
+func (r *run) retraceStep(step history.RetraceStep, res *RetraceResult) error {
+	old := r.cfg.db.Get(step.Rebuild)
 	if old == nil {
 		return fmt.Errorf("exec: retrace target %s disappeared", step.Rebuild)
 	}
@@ -92,10 +110,10 @@ func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error
 		return x
 	}
 
-	artifact := e.artifactOf
+	artifact := r.artifactOf
 
-	t := e.schema.Type(old.Type)
-	rec := history.Instance{Type: old.Type, User: e.user, Name: old.Name,
+	t := r.e.schema.Type(old.Type)
+	rec := history.Instance{Type: old.Type, User: r.cfg.user, Name: old.Name,
 		Comment: "retrace of " + string(old.ID)}
 
 	if t.Composite {
@@ -109,15 +127,15 @@ func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error
 			parts[in.Key] = b
 			rec.Inputs = append(rec.Inputs, history.Input{Key: in.Key, Inst: inst})
 		}
-		if check := e.reg.Check(old.Type); check != nil {
+		if check := r.e.reg.Check(old.Type); check != nil {
 			if err := check(parts); err != nil {
 				return fmt.Errorf("exec: retrace composite check: %w", err)
 			}
 		}
-		rec.Data = e.store.Put(encap.ComposeParts(parts))
+		rec.Data = r.cfg.store.Put(encap.ComposeParts(parts))
 	} else {
 		toolInst := resolve(old.Tool)
-		toolIn := e.db.Get(toolInst)
+		toolIn := r.cfg.db.Get(toolInst)
 		if toolIn == nil {
 			return fmt.Errorf("exec: tool instance %s disappeared", toolInst)
 		}
@@ -125,7 +143,7 @@ func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error
 		if err != nil {
 			return err
 		}
-		enc, err := e.reg.Lookup(e.schema, toolIn.Type)
+		enc, err := r.e.reg.Lookup(r.e.schema, toolIn.Type)
 		if err != nil {
 			return err
 		}
@@ -148,7 +166,7 @@ func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error
 		// run also accelerates retraces — and vice versa.
 		var key memo.Key
 		hit := false
-		if e.memo != nil {
+		if r.cfg.memo != nil {
 			mu := memo.Unit{Goal: old.Type, Outputs: []string{old.Type},
 				ToolType: toolIn.Type, Tool: datastore.RefOf(toolArt)}
 			for _, in := range rec.Inputs {
@@ -156,9 +174,9 @@ func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error
 					Key: in.Key, Ref: datastore.RefOf(req.Inputs[in.Key])})
 			}
 			key = memo.UnitKey(mu)
-			if entry, ok := e.memo.Get(key); ok {
+			if entry, ok := r.cfg.memo.Get(key); ok {
 				if ref, ok := entry.Outputs[old.Type]; ok {
-					if _, present := e.store.Get(ref); present {
+					if _, present := r.cfg.store.Get(ref); present {
 						rec.Data = ref
 						hit = true
 						res.CacheHits++
@@ -175,18 +193,18 @@ func (e *Engine) retraceStep(step history.RetraceStep, res *RetraceResult) error
 			if !ok {
 				return fmt.Errorf("exec: retrace tool run produced no %s", old.Type)
 			}
-			rec.Data = e.store.Put(data)
-			if e.memo != nil {
+			rec.Data = r.cfg.store.Put(data)
+			if r.cfg.memo != nil {
 				refs := make(map[string]datastore.Ref, len(out))
 				for typ, b := range out {
-					refs[typ] = e.store.Put(b)
+					refs[typ] = r.cfg.store.Put(b)
 				}
-				e.memo.Put(key, memo.Entry{Outputs: refs})
+				r.cfg.memo.Put(key, memo.Entry{Outputs: refs})
 			}
 		}
 	}
 
-	inst, err := e.db.Record(rec)
+	inst, err := r.cfg.db.Record(rec)
 	if err != nil {
 		return fmt.Errorf("exec: recording retrace of %s: %w", old.ID, err)
 	}

@@ -8,7 +8,6 @@ import (
 
 	"repro/internal/encap"
 	"repro/internal/flow"
-	"repro/internal/history"
 )
 
 // This file is the per-unit fault-tolerance layer: a retry loop with
@@ -109,44 +108,43 @@ func jitterHash(seed int64, job, combo, attempt int) uint64 {
 
 // SetRetryPolicy installs per-unit retry with exponential backoff and
 // full jitter. The zero policy (the default) performs a single attempt.
-// Not safe to call during a run.
+// Applies to subsequently admitted runs.
 func (e *Engine) SetRetryPolicy(p RetryPolicy) {
-	e.checkIdle("SetRetryPolicy")
-	e.retry = p
+	e.set(func(c *runConfig) { c.retry = p })
 }
 
 // SetTaskTimeout bounds every unit attempt: an attempt still running
 // after d is cut off with context.DeadlineExceeded (and, under the
 // default classification, not retried). 0 disables the bound. Per-node
-// overrides from SetNodeTimeout take precedence. Not safe to call
-// during a run.
+// overrides from SetNodeTimeout take precedence. Applies to
+// subsequently admitted runs.
 func (e *Engine) SetTaskTimeout(d time.Duration) {
-	e.checkIdle("SetTaskTimeout")
-	e.taskTimeout = d
+	e.set(func(c *runConfig) { c.taskTimeout = d })
 }
 
 // SetNodeTimeout overrides the task timeout for the construction
 // computing one node (for grouped multi-output constructions the
 // tightest override among the siblings wins). d <= 0 removes the
-// override. Not safe to call during a run.
+// override. Applies to subsequently admitted runs.
 func (e *Engine) SetNodeTimeout(id flow.NodeID, d time.Duration) {
-	e.checkIdle("SetNodeTimeout")
-	if d <= 0 {
-		delete(e.nodeTimeouts, id)
-		return
-	}
-	if e.nodeTimeouts == nil {
-		e.nodeTimeouts = make(map[flow.NodeID]time.Duration)
-	}
-	e.nodeTimeouts[id] = d
+	e.set(func(c *runConfig) {
+		if d <= 0 {
+			delete(c.nodeTimeouts, id)
+			return
+		}
+		if c.nodeTimeouts == nil {
+			c.nodeTimeouts = make(map[flow.NodeID]time.Duration)
+		}
+		c.nodeTimeouts[id] = d
+	})
 }
 
 // timeoutFor resolves the attempt deadline of a job: the tightest
-// per-node override among its grouped nodes, else the engine default.
-func (e *Engine) timeoutFor(j *plannedJob) time.Duration {
-	d := e.taskTimeout
+// per-node override among its grouped nodes, else the run default.
+func (r *run) timeoutFor(j *plannedJob) time.Duration {
+	d := r.cfg.taskTimeout
 	for _, n := range j.nodes {
-		if o, ok := e.nodeTimeouts[n]; ok && (d <= 0 || o < d) {
+		if o, ok := r.cfg.nodeTimeouts[n]; ok && (d <= 0 || o < d) {
 			d = o
 		}
 	}
@@ -158,14 +156,13 @@ func (e *Engine) timeoutFor(j *plannedJob) time.Duration {
 // if any, is the zero record) — the attempt count is len(alog) and the
 // deadline hits are the records marked timedOut. A cancelled run stops
 // retrying immediately.
-func (e *Engine) runUnit(ctx context.Context, f *flow.Flow, u unitTask,
-	lookup func(id history.ID) (string, []byte, error)) (out encap.Outputs, alog []attemptRec, err error) {
-	max := e.retry.MaxAttempts
+func (r *run) runUnit(ctx context.Context, u unitTask) (out encap.Outputs, alog []attemptRec, err error) {
+	max := r.cfg.retry.MaxAttempts
 	if max < 1 {
 		max = 1
 	}
 	for a := 0; ; a++ {
-		out, err = e.attemptUnit(ctx, f, u.j, u.ci, lookup)
+		out, err = r.attemptUnit(ctx, u.j, u.ci)
 		if err == nil {
 			alog = append(alog, attemptRec{})
 			return
@@ -175,10 +172,10 @@ func (e *Engine) runUnit(ctx context.Context, f *flow.Flow, u unitTask,
 			rec.timedOut = true
 		}
 		alog = append(alog, rec)
-		if len(alog) >= max || ctx.Err() != nil || !e.retry.retryable(err) {
+		if len(alog) >= max || ctx.Err() != nil || !r.cfg.retry.retryable(err) {
 			return
 		}
-		t := time.NewTimer(e.retry.backoff(u.j.idx, u.ci, a))
+		t := time.NewTimer(r.cfg.retry.backoff(u.j.idx, u.ci, a))
 		select {
 		case <-t.C:
 		case <-ctx.Done():
@@ -194,9 +191,8 @@ func (e *Engine) runUnit(ctx context.Context, f *flow.Flow, u unitTask,
 // goroutine that is abandoned if the deadline expires first — a truly
 // hung tool cannot be interrupted, but well-behaved encapsulations
 // observe Request.Ctx and return promptly once it is cancelled.
-func (e *Engine) attemptUnit(ctx context.Context, f *flow.Flow, j *plannedJob, ci int,
-	lookup func(id history.ID) (string, []byte, error)) (encap.Outputs, error) {
-	d := e.timeoutFor(j)
+func (r *run) attemptUnit(ctx context.Context, j *plannedJob, ci int) (encap.Outputs, error) {
+	d := r.timeoutFor(j)
 	actx := ctx
 	if d > 0 {
 		var cancel context.CancelFunc
@@ -204,7 +200,7 @@ func (e *Engine) attemptUnit(ctx context.Context, f *flow.Flow, j *plannedJob, c
 		defer cancel()
 	}
 	if actx.Done() == nil {
-		return e.executeCombo(actx, f, j, j.combos[ci], lookup)
+		return r.executeCombo(actx, j, j.combos[ci])
 	}
 	type result struct {
 		out encap.Outputs
@@ -212,12 +208,12 @@ func (e *Engine) attemptUnit(ctx context.Context, f *flow.Flow, j *plannedJob, c
 	}
 	ch := make(chan result, 1)
 	go func() {
-		out, err := e.executeCombo(actx, f, j, j.combos[ci], lookup)
+		out, err := r.executeCombo(actx, j, j.combos[ci])
 		ch <- result{out, err}
 	}()
 	select {
-	case r := <-ch:
-		return r.out, r.err
+	case res := <-ch:
+		return res.out, res.err
 	case <-actx.Done():
 		if d > 0 && errors.Is(actx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
 			return nil, fmt.Errorf("exec: attempt exceeded the %v task timeout: %w", d, context.DeadlineExceeded)

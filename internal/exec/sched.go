@@ -10,24 +10,25 @@ import (
 	"time"
 
 	"repro/internal/encap"
-	"repro/internal/flow"
 	"repro/internal/history"
 	"repro/internal/memo"
 )
 
 // This file is the execution half of the engine: a dependency-counting
 // dataflow scheduler. Jobs whose pending count hits zero enqueue all
-// their (job, combo) units; a coordinator goroutine hands units to a
-// worker pool and folds completions back in, decrementing dependents —
-// no barrier between dependency levels, so one slow task never stalls
-// ready work elsewhere in the graph (the Fig. 6 "different machines"
-// actually stay busy).
+// their (job, combo) units; the run's coordinator goroutine hands units
+// to the engine's shared worker pool and folds completions back in,
+// decrementing dependents — no barrier between dependency levels, so
+// one slow task never stalls ready work elsewhere in the graph (the
+// Fig. 6 "different machines" actually stay busy). Units from
+// concurrent runs interleave on the pool; each unit carries its run, so
+// workers stay stateless.
 //
 // Determinism: execution finishes out of order, but results are
 // committed to history strictly in plan order by an in-order committer,
 // so recorded instance IDs match the planner's pre-assignment exactly.
 // Workers read the artifacts of not-yet-committed producers from an
-// in-memory pending set (runState).
+// in-memory pending set (runState), which is per-run.
 //
 // Failure: under FailFast (the default) the first unit error stops
 // dispatch — in-flight units drain, the committed prefix stays, and
@@ -38,7 +39,8 @@ import (
 // IDs are retired via history.ReserveSeq so later commits line up), and
 // the joined error additionally names every skipped node with its
 // root-cause producer. Cancelling the run context stops dispatch,
-// cancels in-flight attempts, and joins ctx.Err() into the result.
+// cancels in-flight attempts, and joins ctx.Err() into the result —
+// other runs sharing the engine are unaffected.
 
 // Scheduler selects the engine's scheduling discipline.
 type Scheduler int
@@ -72,26 +74,24 @@ type pendingArtifact struct {
 	data []byte
 }
 
-// lookup resolves an instance to (type, artifact): pending set first,
-// then the history database / datastore / archives.
-func (e *Engine) lookup(st *runState) func(history.ID) (string, []byte, error) {
-	return func(inst history.ID) (string, []byte, error) {
-		st.mu.RLock()
-		a, ok := st.arts[inst]
-		st.mu.RUnlock()
-		if ok {
-			return a.typ, a.data, nil
-		}
-		in := e.db.Get(inst)
-		if in == nil {
-			return "", nil, fmt.Errorf("exec: instance %s disappeared", inst)
-		}
-		b, err := e.artifactOfInstance(in)
-		if err != nil {
-			return "", nil, err
-		}
-		return in.Type, b, nil
+// lookup resolves an instance to (type, artifact): the run's pending
+// set first, then the history database / datastore / archives.
+func (r *run) lookup(inst history.ID) (string, []byte, error) {
+	r.st.mu.RLock()
+	a, ok := r.st.arts[inst]
+	r.st.mu.RUnlock()
+	if ok {
+		return a.typ, a.data, nil
 	}
+	in := r.cfg.db.Get(inst)
+	if in == nil {
+		return "", nil, fmt.Errorf("exec: instance %s disappeared", inst)
+	}
+	b, err := r.artifactOfInstance(in)
+	if err != nil {
+		return "", nil, err
+	}
+	return in.Type, b, nil
 }
 
 type unitTask struct {
@@ -117,61 +117,59 @@ type unitResult struct {
 	dur      time.Duration // start -> done (all attempts)
 }
 
-// execute runs a plan through the worker pool and commits completed
-// jobs in plan order, filling res. It returns the joined error of every
-// failed unit plus, under ContinueOnError, one entry per skipped node
-// (plus any commit or cancellation error), or nil.
-func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result) error {
-	stats := newStats(e.sched, p)
+// workUnit executes one unit on a pool worker and reports the result on
+// the run's completion channel. The coordinator is always ready to
+// receive while units are outstanding, so the send cannot deadlock the
+// shared pool.
+func (r *run) workUnit(u unitTask) {
+	start := time.Now()
+	out, alog, err := r.runUnit(r.ctx, u)
+	if err == nil {
+		// Surface a tool that dropped an output here, not at commit
+		// time: a dependent must never run against a hole in the
+		// pending set.
+		for _, nid := range u.j.nodes {
+			typ := r.f.Node(nid).Type
+			if _, ok := out[typ]; !ok {
+				err = fmt.Errorf("exec: tool run produced no %s output (has: %s)", typ, outputKeys(out))
+				alog[len(alog)-1].errMsg = err.Error()
+				break
+			}
+		}
+	}
+	timeouts := 0
+	for _, a := range alog {
+		if a.timedOut {
+			timeouts++
+		}
+	}
+	r.doneCh <- unitResult{j: u.j, ci: u.ci, out: out, err: err,
+		attempts: len(alog), timeouts: timeouts, alog: alog,
+		wait: start.Sub(u.readyAt), dur: time.Since(start)}
+}
+
+// execute runs a plan through the shared worker pool and commits
+// completed jobs in plan order, filling r.res. It returns the joined
+// error of every failed unit plus, under ContinueOnError, one entry per
+// skipped node (plus any commit or cancellation error), or nil.
+func (r *run) execute(ctx context.Context, p *plan) error {
+	f, res := r.f, r.res
+	stats := newStats(r.cfg.sched, p)
 	res.Stats = stats
 	if len(p.jobs) == 0 {
 		return nil
 	}
-	workers := e.workers
+	workers := r.workers
 	if workers > p.units {
 		workers = p.units
 	}
 	stats.Workers = workers
-	tr := e.newRunTracer(p)
-	tr.planBuilt(e.sched, workers)
+	tr := r.newRunTracer(p)
+	tr.planBuilt(r.cfg.sched, workers)
 
-	st := &runState{arts: make(map[history.ID]pendingArtifact)}
-	lookup := e.lookup(st)
-	unitCh := make(chan unitTask)
-	doneCh := make(chan unitResult)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for u := range unitCh {
-				start := time.Now()
-				out, alog, err := e.runUnit(ctx, f, u, lookup)
-				if err == nil {
-					// Surface a tool that dropped an output here, not at
-					// commit time: a dependent must never run against a
-					// hole in the pending set.
-					for _, nid := range u.j.nodes {
-						typ := f.Node(nid).Type
-						if _, ok := out[typ]; !ok {
-							err = fmt.Errorf("exec: tool run produced no %s output (has: %s)", typ, outputKeys(out))
-							alog[len(alog)-1].errMsg = err.Error()
-							break
-						}
-					}
-				}
-				timeouts := 0
-				for _, a := range alog {
-					if a.timedOut {
-						timeouts++
-					}
-				}
-				doneCh <- unitResult{j: u.j, ci: u.ci, out: out, err: err,
-					attempts: len(alog), timeouts: timeouts, alog: alog,
-					wait: start.Sub(u.readyAt), dur: time.Since(start)}
-			}
-		}()
-	}
+	r.ctx = ctx
+	r.st = &runState{arts: make(map[history.ID]pendingArtifact)}
+	r.doneCh = make(chan unitResult)
 
 	var queue []unitTask
 	var hits []unitTask // cache-satisfied units, completed by the coordinator
@@ -184,7 +182,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 		now := time.Now()
 		for ci := range j.combos {
 			u := unitTask{j: j, ci: ci, readyAt: now}
-			if out := e.memoConsult(f, j, ci, lookup); out != nil {
+			if out := r.memoConsult(j, ci); out != nil {
 				u.hit = out
 				hits = append(hits, u)
 				continue
@@ -195,7 +193,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 	for _, j := range p.jobs {
 		j.pending = len(j.deps)
 		j.remaining = len(j.combos)
-		if e.memo != nil {
+		if r.cfg.memo != nil {
 			j.memoKeys = make([]memo.Key, len(j.combos))
 			j.cacheHit = make([]bool, len(j.combos))
 		}
@@ -229,18 +227,18 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 			switch {
 			case j.done:
 				tr.passJob(j)
-				if err := e.recordJob(f, j, res); err != nil {
+				if err := r.recordJob(j); err != nil {
 					commitErr = err
 					committing = false
 					stop = true
 					return
 				}
 				res.TasksRun += len(j.combos)
-				e.memoPublish(j) // commit is the cache's write barrier
+				r.memoPublish(j) // commit is the cache's write barrier
 				tr.committedJob(j)
-			case e.policy == ContinueOnError && (j.skipped || (j.failed && j.remaining == 0)):
+			case r.cfg.policy == ContinueOnError && (j.skipped || (j.failed && j.remaining == 0)):
 				tr.passJob(j)
-				e.db.ReserveSeq(len(j.combos) * len(j.nodes))
+				r.cfg.db.ReserveSeq(len(j.combos) * len(j.nodes))
 			default:
 				return
 			}
@@ -278,7 +276,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 				fmt.Errorf("exec: node %d (%s), combo %d/%d [%s]: %w",
 					j.nodes[0], j.repType, d.ci+1, len(j.combos), comboString(j.combos[d.ci]), d.err)})
 			j.failed = true
-			if e.policy != ContinueOnError {
+			if r.cfg.policy != ContinueOnError {
 				stop = true
 			}
 		} else {
@@ -289,7 +287,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 		}
 		j.remaining--
 		if j.failed {
-			if e.policy == ContinueOnError && j.remaining == 0 {
+			if r.cfg.policy == ContinueOnError && j.remaining == 0 {
 				for _, di := range j.dependents {
 					markSkipped(di, j.idx)
 				}
@@ -302,14 +300,14 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 		}
 		j.done = true
 		// Publish outputs so dependents can execute before the commit.
-		st.mu.Lock()
+		r.st.mu.Lock()
 		for ci := range j.combos {
 			for ni, nid := range j.nodes {
 				typ := f.Node(nid).Type
-				st.arts[j.outIDs[ci][ni]] = pendingArtifact{typ: typ, data: j.outputs[ci][typ]}
+				r.st.arts[j.outIDs[ci][ni]] = pendingArtifact{typ: typ, data: j.outputs[ci][typ]}
 			}
 		}
-		st.mu.Unlock()
+		r.st.mu.Unlock()
 		advance()
 		for _, di := range j.dependents {
 			dep := p.jobs[di]
@@ -334,11 +332,11 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 				wait: time.Since(u.readyAt)})
 			continue
 		}
-		var sendCh chan unitTask
-		var next unitTask
+		var sendCh chan poolTask
+		var next poolTask
 		if len(queue) > 0 && !stop {
-			sendCh = unitCh
-			next = queue[0]
+			sendCh = r.pool.tasks
+			next = poolTask{r: r, u: queue[0]}
 		}
 		if sendCh == nil && outstanding == 0 {
 			break
@@ -347,7 +345,7 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 		case sendCh <- next:
 			queue = queue[1:]
 			outstanding++
-		case d := <-doneCh:
+		case d := <-r.doneCh:
 			outstanding--
 			complete(d)
 		case <-ctxDone:
@@ -356,8 +354,6 @@ func (e *Engine) execute(ctx context.Context, f *flow.Flow, p *plan, res *Result
 			ctxDone = nil // fire once; in-flight units drain via doneCh
 		}
 	}
-	close(unitCh)
-	wg.Wait()
 	stats.finish(p)
 	tr.finish(stats, res)
 

@@ -13,17 +13,18 @@ import (
 // does not emit at completion time: per-unit observations are buffered
 // on the plannedJob and a job's events are emitted only when the
 // in-order committer passes it — strict plan order, the same order
-// that pins instance IDs. All emission happens on the coordinator
-// goroutine, one run at a time, so the tracer needs no locking.
+// that pins instance IDs. All emission happens on the run's coordinator
+// goroutine, so the tracer itself needs no locking; a sink shared by
+// concurrent runs sees their streams interleaved, each event carrying
+// its run's label (Event.Run) for attribution.
 
 // SetTracer installs a run-event sink (see internal/trace) that
 // receives one event per lifecycle transition of every subsequent run;
 // nil removes it. Events are emitted in deterministic plan order with
-// wall-clock durations segregated into maskable fields. Not safe to
-// call during a run.
+// wall-clock durations segregated into maskable fields. Applies to
+// subsequently admitted runs.
 func (e *Engine) SetTracer(s trace.Sink) {
-	e.checkIdle("SetTracer")
-	e.tracer = s
+	e.set(func(c *runConfig) { c.tracer = s })
 }
 
 // attemptRec is one attempt's observation, buffered for the tracer.
@@ -39,6 +40,7 @@ type attemptRec struct {
 // tracer is installed.
 type runTracer struct {
 	sink     trace.Sink
+	label    string // stamped on every event (Event.Run)
 	p        *plan
 	seq      int
 	unitBase []int  // first global unit index of each job
@@ -47,8 +49,8 @@ type runTracer struct {
 
 // newRunTracer returns nil when no tracer is installed; otherwise it
 // allocates the per-unit capture slots on the plan's jobs.
-func (e *Engine) newRunTracer(p *plan) *runTracer {
-	if e.tracer == nil {
+func (r *run) newRunTracer(p *plan) *runTracer {
+	if r.cfg.tracer == nil {
 		return nil
 	}
 	base := make([]int, len(p.jobs))
@@ -60,11 +62,13 @@ func (e *Engine) newRunTracer(p *plan) *runTracer {
 		j.unitDur = make([]time.Duration, len(j.combos))
 		j.unitLog = make([][]attemptRec, len(j.combos))
 	}
-	return &runTracer{sink: e.tracer, p: p, unitBase: base, passed: make([]bool, len(p.jobs))}
+	return &runTracer{sink: r.cfg.tracer, label: r.cfg.label, p: p,
+		unitBase: base, passed: make([]bool, len(p.jobs))}
 }
 
 func (t *runTracer) emit(ev trace.Event) {
 	ev.Seq = t.seq
+	ev.Run = t.label
 	t.seq++
 	t.sink.Emit(ev)
 }

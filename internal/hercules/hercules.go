@@ -50,9 +50,18 @@ type Session struct {
 // NewSession creates a session over the full example schema with the
 // standard tool encapsulations.
 func NewSession(user string) *Session {
+	return NewSessionStore(user, datastore.NewStore())
+}
+
+// NewSessionStore is NewSession over a caller-supplied datastore, so
+// many sessions — one per designer — share one content-addressed store
+// (re-importing the same artifacts is idempotent: same bytes, same
+// refs). This is the multi-tenant arrangement of a flow service: each
+// session keeps its own history database, while artifacts and
+// result-cache blobs are shared across all of them.
+func NewSessionStore(user string, store *datastore.Store) *Session {
 	s := schema.Full()
 	db := history.NewDB(s)
-	store := datastore.NewStore()
 	reg := encap.StandardRegistry()
 	eng := exec.New(s, db, store, reg)
 	eng.SetUser(user)
@@ -240,6 +249,14 @@ func (s *Session) SetTracer(sink trace.Sink) { s.Engine.SetTracer(sink) }
 // the run and returns the partial result.
 func (s *Session) RunContext(ctx context.Context, f *flow.Flow) (*exec.Result, error) {
 	return s.Engine.RunFlowContext(ctx, f)
+}
+
+// RunOptions executes a whole flow with per-run overrides (see
+// exec.RunOptions) — the entry point a multi-tenant service uses to run
+// this session's flow on a shared engine: pass the session's DB so the
+// run commits here while executing over the service engine's pool.
+func (s *Session) RunOptions(ctx context.Context, f *flow.Flow, opts *exec.RunOptions) (*exec.Result, error) {
+	return s.Engine.RunFlowOptions(ctx, f, opts)
 }
 
 // RunNode executes the sub-flow rooted at a node.

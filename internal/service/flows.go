@@ -1,0 +1,109 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/flow"
+	"repro/internal/hercules"
+)
+
+// FlowSpec is one flow the service can run on behalf of a submission.
+// Specs are built fresh per run inside the submitting user's session
+// (own history database, shared datastore), so two users running the
+// same spec never contend on a commit window — they only share the
+// worker pool, the artifact store and the result cache.
+type FlowSpec struct {
+	// Name is the submission key (POST /v1/runs {"flow": name}).
+	Name string `json:"name"`
+	// Desc is a one-line human description.
+	Desc string `json:"desc"`
+	// Units is the number of schedulable (job, combo) executions the
+	// flow plans, for capacity planning by clients.
+	Units int `json:"units"`
+	// Delay is the simulated per-tool dispatch latency applied to runs
+	// of this spec (models remote tool startup; makes "slow" flows
+	// cancellable mid-dispatch).
+	Delay time.Duration `json:"delay_ns,omitempty"`
+
+	build func(s *hercules.Session) (*flow.Flow, error)
+}
+
+// perfFlow builds the canonical Performance diamond: Performance <-
+// (simulator, Circuit(DeviceModels, EditedNetlist), stimuli), every
+// leaf bound to a bootstrap instance. 4 units.
+func perfFlow(s *hercules.Session) (*flow.Flow, error) {
+	f := s.NewFlow()
+	perf := f.MustAdd("Performance")
+	if err := f.ExpandDown(perf, false); err != nil {
+		return nil, err
+	}
+	simN, _ := f.Node(perf).Dep("fd")
+	cctN, _ := f.Node(perf).Dep("Circuit")
+	stimN, _ := f.Node(perf).Dep("Stimuli")
+	if err := f.ExpandDown(cctN, false); err != nil {
+		return nil, err
+	}
+	dmN, _ := f.Node(cctN).Dep("DeviceModels")
+	netN, _ := f.Node(cctN).Dep("Netlist")
+	if err := f.ExpandDown(dmN, false); err != nil {
+		return nil, err
+	}
+	dmToolN, _ := f.Node(dmN).Dep("fd")
+	if err := f.Specialize(netN, "EditedNetlist"); err != nil {
+		return nil, err
+	}
+	if err := f.ExpandDown(netN, false); err != nil {
+		return nil, err
+	}
+	netToolN, _ := f.Node(netN).Dep("fd")
+	for n, key := range map[flow.NodeID]string{
+		simN: "sim", stimN: "stim.exhaustive3",
+		dmToolN: "dmEd.default", netToolN: "netEd.fulladder",
+	} {
+		if err := f.Bind(n, s.Must(key)); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// wideFlow builds n independent EditedNetlist branches — pure width for
+// exercising the shared pool. n units.
+func wideFlow(n int) func(s *hercules.Session) (*flow.Flow, error) {
+	return func(s *hercules.Session) (*flow.Flow, error) {
+		f := s.NewFlow()
+		for i := 0; i < n; i++ {
+			b := f.MustAdd("EditedNetlist")
+			if err := f.ExpandDown(b, false); err != nil {
+				return nil, err
+			}
+			tn, _ := f.Node(b).Dep("fd")
+			if err := f.Bind(tn, s.Must("netEd.fulladder")); err != nil {
+				return nil, err
+			}
+		}
+		return f, nil
+	}
+}
+
+// specs is the service's flow menu, in presentation order.
+func specs() []*FlowSpec {
+	return []*FlowSpec{
+		{Name: "perf", Desc: "Performance diamond: simulate a full adder (4 units)",
+			Units: 4, build: perfFlow},
+		{Name: "wide8", Desc: "8 independent netlist branches (8 units, pure width)",
+			Units: 8, build: wideFlow(8)},
+		{Name: "slow", Desc: "Performance diamond with 100ms simulated tool latency (cancellable)",
+			Units: 4, Delay: 100 * time.Millisecond, build: perfFlow},
+	}
+}
+
+// buildFlow constructs a spec's flow inside the given session.
+func buildFlow(spec *FlowSpec, s *hercules.Session) (*flow.Flow, error) {
+	f, err := spec.build(s)
+	if err != nil {
+		return nil, fmt.Errorf("service: building flow %q: %w", spec.Name, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// eventLog is a trace.Sink that retains one run's full event stream and
+// lets readers block for events that have not arrived yet — the bridge
+// between the engine's deterministic per-run emission and the streaming
+// trace endpoint. Closed exactly once, when the run reaches a terminal
+// state, which releases every waiting reader.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	events []trace.Event
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Emit appends one event and wakes the readers.
+func (l *eventLog) Emit(ev trace.Event) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// close marks the stream complete and releases blocked readers.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// next returns event i, blocking until it exists. ok is false when the
+// stream closed before event i arrived — the reader has seen everything.
+func (l *eventLog) next(i int) (ev trace.Event, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i >= len(l.events) && !l.closed {
+		l.cond.Wait()
+	}
+	if i < len(l.events) {
+		return l.events[i], true
+	}
+	return trace.Event{}, false
+}
+
+// snapshot returns the events collected so far.
+func (l *eventLog) snapshot() []trace.Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]trace.Event(nil), l.events...)
+}

@@ -1,0 +1,363 @@
+// Package service exposes the multi-run execution engine as an
+// HTTP/JSON flow service — the paper's flow manager as a long-lived
+// daemon supervising many designers' flows at once. One engine, one
+// shared worker pool, one content-addressed datastore and one result
+// cache serve every submission; each run gets its own session (own
+// history database) and its own streamed trace.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness
+//	GET  /v1/flows             the flow menu (FlowSpec list)
+//	POST /v1/runs              submit {"flow": name, "user": name}
+//	GET  /v1/runs              list runs
+//	GET  /v1/runs/{id}         one run's status
+//	GET  /v1/runs/{id}/trace   masked JSONL event stream (follows until
+//	                           the run finishes)
+//	POST /v1/runs/{id}/cancel  cancel (DELETE /v1/runs/{id} also works)
+//	GET  /metrics              plain-text exposition of the shared fold
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/exec"
+	"repro/internal/hercules"
+	"repro/internal/memo"
+	"repro/internal/trace"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the shared pool size (default 4).
+	Workers int
+	// MaxRuns bounds concurrently executing runs (default
+	// exec.DefaultMaxConcurrentRuns).
+	MaxRuns int
+	// MaxQueue bounds runs queued behind the bound (default
+	// exec.DefaultMaxQueuedRuns).
+	MaxQueue int
+	// MemoEntries sizes the shared result cache (0 = unbounded,
+	// negative = disabled).
+	MemoEntries int
+}
+
+// runState is the lifecycle of one submission.
+type runState string
+
+const (
+	stateRunning   runState = "running"
+	stateSucceeded runState = "succeeded"
+	stateFailed    runState = "failed"
+	stateCancelled runState = "cancelled"
+)
+
+// runRecord is the server-side state of one submission.
+type runRecord struct {
+	id       string
+	flowName string
+	user     string
+	log      *eventLog
+	cancel   context.CancelFunc
+	done     chan struct{}
+
+	mu      sync.Mutex
+	state   runState
+	res     *exec.Result
+	err     error
+	started time.Time
+	elapsed time.Duration
+}
+
+// Server is the flow service: an http.Handler plus the shared engine
+// behind it.
+type Server struct {
+	cfg     Config
+	store   *datastore.Store
+	engine  *exec.Engine
+	cache   *memo.Cache
+	metrics *trace.Metrics
+	flows   []*FlowSpec
+	mux     *http.ServeMux
+
+	mu   sync.Mutex
+	seq  int
+	runs map[string]*runRecord
+}
+
+// New assembles a server: one hercules-equipped engine over a fresh
+// shared datastore.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 4
+	}
+	store := datastore.NewStore()
+	host := hercules.NewSessionStore("flowd", store)
+	host.SetWorkers(cfg.Workers)
+	if cfg.MaxRuns > 0 {
+		host.Engine.SetMaxConcurrentRuns(cfg.MaxRuns)
+	}
+	if cfg.MaxQueue >= 0 {
+		host.Engine.SetMaxQueuedRuns(cfg.MaxQueue)
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		engine:  host.Engine,
+		metrics: trace.NewMetrics(),
+		flows:   specs(),
+		mux:     http.NewServeMux(),
+		runs:    make(map[string]*runRecord),
+	}
+	if cfg.MemoEntries >= 0 {
+		s.cache = memo.New(cfg.MemoEntries)
+		host.SetMemo(s.cache)
+	}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /v1/flows", s.handleFlows)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
+	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, s.metrics.Expose())
+	})
+	return s
+}
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine exposes the shared engine (benchmarks and tests).
+func (s *Server) Engine() *exec.Engine { return s.engine }
+
+func (s *Server) spec(name string) *FlowSpec {
+	for _, sp := range s.flows {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.flows)
+}
+
+// submitRequest is the POST /v1/runs body.
+type submitRequest struct {
+	Flow string `json:"flow"`
+	User string `json:"user"`
+}
+
+// runView is the JSON shape of one run.
+type runView struct {
+	ID        string `json:"id"`
+	Flow      string `json:"flow"`
+	User      string `json:"user"`
+	State     string `json:"state"`
+	TasksRun  int    `json:"tasks_run,omitempty"`
+	CacheHits int    `json:"cache_hits,omitempty"`
+	ElapsedMS int64  `json:"elapsed_ms,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+func (rec *runRecord) view() runView {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	v := runView{ID: rec.id, Flow: rec.flowName, User: rec.user, State: string(rec.state)}
+	if rec.res != nil {
+		v.TasksRun = rec.res.TasksRun
+		if rec.res.Stats != nil {
+			v.CacheHits = rec.res.Stats.CacheHits
+		}
+	}
+	if rec.elapsed > 0 {
+		v.ElapsedMS = rec.elapsed.Milliseconds()
+	}
+	if rec.err != nil {
+		v.Error = rec.err.Error()
+	}
+	return v
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec := s.spec(req.Flow)
+	if spec == nil {
+		writeErr(w, http.StatusNotFound, "no flow %q (see /v1/flows)", req.Flow)
+		return
+	}
+	if req.User == "" {
+		req.User = "designer"
+	}
+	// Best-effort back-pressure before doing any work; the engine's own
+	// admission control is the authoritative gate.
+	maxRuns, maxQueue := s.engineBounds()
+	if active, queued := s.engine.Runs(); active >= maxRuns && queued >= maxQueue {
+		writeErr(w, http.StatusTooManyRequests,
+			"engine is busy: %d runs active, %d queued", active, queued)
+		return
+	}
+
+	// Each submission gets its own session: own history database (no
+	// commit-window contention), shared datastore and result cache.
+	sess := hercules.NewSessionStore(req.User, s.store)
+	if err := sess.Bootstrap(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "bootstrap: %v", err)
+		return
+	}
+	f, err := buildFlow(spec, sess)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("r-%04d", s.seq)
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &runRecord{id: id, flowName: spec.Name, user: req.User,
+		log: newEventLog(), cancel: cancel, done: make(chan struct{}),
+		state: stateRunning}
+	rec.started = time.Now()
+	s.runs[id] = rec
+	s.mu.Unlock()
+
+	opts := &exec.RunOptions{
+		DB:     sess.DB,
+		User:   req.User,
+		Label:  id,
+		Tracer: trace.Multi(rec.log, s.metrics),
+	}
+	if spec.Delay > 0 {
+		d := spec.Delay
+		opts.TaskDelay = &d
+	}
+	go func() {
+		res, err := s.engine.RunFlowOptions(ctx, f, opts)
+		rec.mu.Lock()
+		rec.res, rec.err = res, err
+		rec.elapsed = time.Since(rec.started)
+		switch {
+		case err == nil:
+			rec.state = stateSucceeded
+		case errors.Is(err, context.Canceled):
+			rec.state = stateCancelled
+		default:
+			rec.state = stateFailed
+		}
+		rec.mu.Unlock()
+		rec.log.close()
+		close(rec.done)
+	}()
+
+	writeJSON(w, http.StatusCreated, rec.view())
+}
+
+func (s *Server) engineBounds() (maxRuns, maxQueue int) {
+	maxRuns, maxQueue = s.cfg.MaxRuns, s.cfg.MaxQueue
+	if maxRuns <= 0 {
+		maxRuns = exec.DefaultMaxConcurrentRuns
+	}
+	if maxQueue < 0 {
+		maxQueue = exec.DefaultMaxQueuedRuns
+	}
+	return maxRuns, maxQueue
+}
+
+func (s *Server) record(id string) *runRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[id]
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	recs := make([]*runRecord, 0, len(s.runs))
+	for _, rec := range s.runs {
+		recs = append(recs, rec)
+	}
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].id < recs[j].id })
+	views := make([]runView, len(recs))
+	for i, rec := range recs {
+		views[i] = rec.view()
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec.view())
+}
+
+// handleTrace streams the run's masked JSONL trace, following until the
+// run reaches a terminal state (a finished run's trace returns
+// immediately and completely).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := 0; ; i++ {
+		ev, ok := rec.log.next(i)
+		if !ok {
+			return
+		}
+		if err := enc.Encode(trace.Mask(ev)); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec := s.record(r.PathValue("id"))
+	if rec == nil {
+		writeErr(w, http.StatusNotFound, "no run %q", r.PathValue("id"))
+		return
+	}
+	rec.cancel()
+	<-rec.done
+	writeJSON(w, http.StatusOK, rec.view())
+}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +26,13 @@ type Metrics struct {
 	failed     int64
 	skipped    int64
 	committed  int64
+
+	// cacheHitsByRun attributes hits to the run that observed them
+	// (Event.Run), so sharing one result cache across concurrent runs
+	// never double-counts: each run's hits are counted exactly once,
+	// under its own label, and the total above is their sum plus the
+	// hits of unlabelled runs.
+	cacheHitsByRun map[string]int64
 
 	unitDur   histogram // start → done of terminal unit events
 	queueWait histogram // ready → dispatch
@@ -85,6 +93,12 @@ func (m *Metrics) Emit(ev Event) {
 		m.timedOut++
 	case KindUnitCacheHit:
 		m.cacheHits++
+		if ev.Run != "" {
+			if m.cacheHitsByRun == nil {
+				m.cacheHitsByRun = make(map[string]int64)
+			}
+			m.cacheHitsByRun[ev.Run]++
+		}
 	case KindUnitFailed:
 		m.failed++
 		m.unitDur.observe(time.Duration(ev.DurMicros) * time.Microsecond)
@@ -107,19 +121,30 @@ func (m *Metrics) Emit(ev Event) {
 type Snapshot struct {
 	Runs, Planned, Dispatched, Started, Retried, TimedOut,
 	CacheHits, Failed, Skipped, Committed int64
-	Occupancy     float64
-	Busy, Elapsed time.Duration
+	// CacheHitsByRun breaks CacheHits down by run label (nil when no
+	// labelled run hit the cache). Summing it plus unlabelled hits
+	// yields CacheHits exactly — per-run attribution, no double count.
+	CacheHitsByRun map[string]int64
+	Occupancy      float64
+	Busy, Elapsed  time.Duration
 }
 
 // Snapshot returns the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var byRun map[string]int64
+	if len(m.cacheHitsByRun) > 0 {
+		byRun = make(map[string]int64, len(m.cacheHitsByRun))
+		for k, v := range m.cacheHitsByRun {
+			byRun[k] = v
+		}
+	}
 	return Snapshot{
 		Runs: m.runs, Planned: m.planned, Dispatched: m.dispatched,
 		Started: m.started, Retried: m.retried, TimedOut: m.timedOut,
 		CacheHits: m.cacheHits, Failed: m.failed, Skipped: m.skipped,
-		Committed: m.committed,
+		Committed: m.committed, CacheHitsByRun: byRun,
 		Occupancy: m.occupancy, Busy: m.busy, Elapsed: m.elapsed,
 	}
 }
@@ -141,6 +166,16 @@ func (m *Metrics) Expose() string {
 	counter("flow_unit_retries_total", "failed attempts that were retried", m.retried)
 	counter("flow_unit_timeouts_total", "attempts cut off by the task deadline", m.timedOut)
 	counter("flow_unit_cache_hits_total", "units satisfied from the derivation-keyed result cache", m.cacheHits)
+	if len(m.cacheHitsByRun) > 0 {
+		labels := make([]string, 0, len(m.cacheHitsByRun))
+		for run := range m.cacheHitsByRun {
+			labels = append(labels, run)
+		}
+		sort.Strings(labels)
+		for _, run := range labels {
+			fmt.Fprintf(&b, "flow_unit_cache_hits_total{run=%q} %d\n", run, m.cacheHitsByRun[run])
+		}
+	}
 	counter("flow_units_failed_total", "units whose final attempt failed", m.failed)
 	counter("flow_units_skipped_total", "units never run because a producer failed", m.skipped)
 	counter("flow_units_committed_total", "units recorded in the design history", m.committed)

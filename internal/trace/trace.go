@@ -72,8 +72,14 @@ const (
 // fields; Mask zeroes them.
 type Event struct {
 	// Seq is the deterministic logical sequence number: emission order,
-	// which for unit events is plan commit order.
+	// which for unit events is plan commit order. Seq is per run: sinks
+	// shared by concurrent runs see interleaved streams, each run's
+	// events in order among themselves, attributable via Run.
 	Seq int `json:"seq"`
+	// Run is the label of the run that emitted the event (RunOptions.
+	// Label), empty for unlabelled runs. Masked: the same flow must
+	// produce the same masked trace whatever the run is called.
+	Run string `json:"run,omitempty"`
 	// Kind is the lifecycle transition.
 	Kind Kind `json:"kind"`
 	// Job is the job index in plan order (-1 for run-scoped events).
@@ -117,18 +123,21 @@ type Event struct {
 	ElapsedMicros int64 `json:"elapsed_us,omitempty"` // scheduling span (RunFinished)
 }
 
-// Sink receives events. Emit is called from the engine's coordinator
-// goroutine, one event at a time, in Seq order; a Sink used by one run
-// at a time needs no locking of its own, but the sinks in this package
-// lock anyway so they can be shared.
+// Sink receives events. Each run's coordinator goroutine emits its own
+// events one at a time in Seq order, but concurrent runs sharing a sink
+// emit concurrently with their streams interleaved — a shared Sink must
+// lock (the sinks in this package all do) and can separate the streams
+// by Event.Run.
 type Sink interface {
 	Emit(Event)
 }
 
 // Mask zeroes the nondeterministic fields of an event — wall-clock
-// durations and the scheduler label — leaving the logical structure.
+// durations, the scheduler label and the run label — leaving the
+// logical structure.
 func Mask(ev Event) Event {
 	ev.Scheduler = ""
+	ev.Run = ""
 	ev.WaitMicros = 0
 	ev.DurMicros = 0
 	ev.BusyMicros = 0

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"log/slog"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -208,7 +209,7 @@ func TestMetricsFold(t *testing.T) {
 	want := Snapshot{Runs: 1, Planned: 3, Dispatched: 2, Started: 2, Retried: 1,
 		TimedOut: 1, Failed: 1, Skipped: 1, Committed: 1, Occupancy: 0.75,
 		Busy: s.Busy, Elapsed: s.Elapsed}
-	if s != want {
+	if !reflect.DeepEqual(s, want) {
 		t.Errorf("snapshot = %+v, want %+v", s, want)
 	}
 	if s.Occupancy != 0.75 {
