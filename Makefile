@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos memo concurrent fuzz cover ci bench flowbench
+.PHONY: build vet test race chaos memo concurrent fuzz cover ci bench flowbench scale
 
 build:
 	$(GO) build ./...
@@ -58,3 +58,12 @@ bench:
 
 flowbench:
 	$(GO) run ./cmd/flowbench
+
+# scale runs the raw-speed gate: the go-bench smoke subset over the
+# generated 10k-cell graphs (plan, dispatch, warm memo, chaining), then
+# the flowbench scale section, writing its report next to the committed
+# before/after record (BENCH_scale.json). Profile with
+#   go run ./cmd/flowbench -cpuprofile cpu.prof scale
+scale:
+	$(GO) test -run xxx -bench 'Scale|Chaining10k' -benchtime 1x ./internal/flowgen/ ./internal/history/
+	$(GO) run ./cmd/flowbench -out BENCH_scale_report.json scale

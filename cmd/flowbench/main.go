@@ -22,7 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -40,6 +43,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/faults"
 	"repro/internal/flow"
+	"repro/internal/flowgen"
 	"repro/internal/hercules"
 	"repro/internal/history"
 	"repro/internal/memo"
@@ -47,61 +51,109 @@ import (
 	runtrace "repro/internal/trace"
 )
 
+// sections is the single registry of benchmark sections; everything
+// else — name validation, the -quick subset — derives from it, so
+// adding a section here is the whole job of adding a section.
 var sections = []struct {
-	name string
-	desc string
-	run  func()
+	name  string
+	desc  string
+	quick bool // part of the -quick smoke subset (CI)
+	run   func()
 }{
-	{"fig1", "the example task schema", fig1},
-	{"fig2", "a tool created during design (compiled simulator)", fig2},
-	{"fig3", "three representations of one flow", fig3},
-	{"fig4", "expansions of a flow, with specialization", fig4},
-	{"fig5", "complex flow: reuse, multiple outputs", fig5},
-	{"fig6", "parallel execution of disjoint branches", fig6},
-	{"sched", "dataflow scheduler vs level-barrier baseline", schedSection},
-	{"fig7", "three views of an inverter cell", fig7},
-	{"fig8", "view synthesis and verification flows", fig8},
-	{"fig9", "browser filters over the design history", fig9},
-	{"fig10", "backward chaining through the history", fig10},
-	{"fig11", "version tree vs flow trace", fig11},
-	{"retrace", "consistency maintenance by automatic retracing", retraceSection},
-	{"chaos", "fault injection: retries, degradation, timeouts", chaosSection},
-	{"trace", "run tracing: determinism, metrics, overhead", traceSection},
-	{"memo", "incremental re-execution via the derivation-keyed cache", memoSection},
-	{"approaches", "the four design approaches", approachesSection},
-	{"baselines", "dynamic flows vs static flows vs traces", baselinesSection},
-	{"concurrent", "multi-flow load: one engine, many designers' runs", concurrentSection},
+	{"fig1", "the example task schema", true, fig1},
+	{"fig2", "a tool created during design (compiled simulator)", false, fig2},
+	{"fig3", "three representations of one flow", false, fig3},
+	{"fig4", "expansions of a flow, with specialization", false, fig4},
+	{"fig5", "complex flow: reuse, multiple outputs", false, fig5},
+	{"fig6", "parallel execution of disjoint branches", true, fig6},
+	{"sched", "dataflow scheduler vs level-barrier baseline", true, schedSection},
+	{"fig7", "three views of an inverter cell", false, fig7},
+	{"fig8", "view synthesis and verification flows", false, fig8},
+	{"fig9", "browser filters over the design history", false, fig9},
+	{"fig10", "backward chaining through the history", false, fig10},
+	{"fig11", "version tree vs flow trace", false, fig11},
+	{"retrace", "consistency maintenance by automatic retracing", false, retraceSection},
+	{"chaos", "fault injection: retries, degradation, timeouts", true, chaosSection},
+	{"trace", "run tracing: determinism, metrics, overhead", true, traceSection},
+	{"memo", "incremental re-execution via the derivation-keyed cache", true, memoSection},
+	{"approaches", "the four design approaches", false, approachesSection},
+	{"baselines", "dynamic flows vs static flows vs traces", false, baselinesSection},
+	{"concurrent", "multi-flow load: one engine, many designers' runs", false, concurrentSection},
+	{"scale", "synthetic 10k–100k-node flows: plan and dispatch throughput", false, scaleSection},
 }
 
-// quickSections is the smoke subset -quick runs: one schema section,
-// the two scheduler measurements, and the fault-injection section.
-var quickSections = map[string]bool{"fig1": true, "fig6": true, "sched": true, "chaos": true, "trace": true, "memo": true}
-
-// benchOut, when set with -out <file>, makes the concurrent section
-// write its measurements as JSON (BENCH_concurrent.json).
+// benchOut, when set with -out <file>, makes the concurrent and scale
+// sections write their measurements as JSON (BENCH_concurrent.json,
+// BENCH_scale.json).
 var benchOut string
 
+// scaleCells, set with -scale-cells <n>, sizes the scale section's
+// primary graph (default 10000 cells = 20000 flow nodes).
+var scaleCells = 10000
+
+// cpuProfile / memProfile, set with -cpuprofile/-memprofile <file>,
+// capture pprof profiles over the selected sections.
+var cpuProfile, memProfile string
+
 func main() {
+	valid := map[string]bool{}
+	for _, s := range sections {
+		valid[s.name] = true
+	}
 	want := map[string]bool{}
+	quick := false
 	args := os.Args[1:]
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		if a == "-quick" || a == "--quick" {
-			for name := range quickSections {
-				want[name] = true
-			}
-			continue
+	needValue := func(i int, name string) string {
+		if i+1 >= len(args) {
+			fmt.Fprintf(os.Stderr, "flowbench: %s requires a value\n", name)
+			os.Exit(2)
 		}
-		if a == "-out" || a == "--out" {
-			if i+1 >= len(args) {
-				fmt.Fprintln(os.Stderr, "flowbench: -out requires a file name")
+		return args[i+1]
+	}
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; strings.TrimPrefix(a, "-") {
+		case "quick":
+			quick = true
+		case "out":
+			benchOut = needValue(i, a)
+			i++
+		case "scale-cells":
+			n, err := strconv.Atoi(needValue(i, a))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "flowbench: -scale-cells: bad count %q\n", args[i+1])
 				os.Exit(2)
 			}
+			scaleCells = n
 			i++
-			benchOut = args[i]
-			continue
+		case "cpuprofile":
+			cpuProfile = needValue(i, a)
+			i++
+		case "memprofile":
+			memProfile = needValue(i, a)
+			i++
+		default:
+			if !valid[a] {
+				fmt.Fprintf(os.Stderr, "flowbench: unknown section or flag %q; sections are: %s\n",
+					a, strings.Join(sectionNames(), " "))
+				os.Exit(2)
+			}
+			want[a] = true
 		}
-		want[a] = true
+	}
+	if quick {
+		for _, s := range sections {
+			if s.quick {
+				want[s.name] = true
+			}
+		}
+	}
+	if cpuProfile != "" {
+		f := must1(os.Create(cpuProfile))
+		must(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			must(f.Close())
+		}()
 	}
 	for _, s := range sections {
 		if len(want) > 0 && !want[s.name] {
@@ -111,6 +163,20 @@ func main() {
 		s.run()
 		fmt.Println()
 	}
+	if memProfile != "" {
+		f := must1(os.Create(memProfile))
+		runtime.GC()
+		must(pprof.WriteHeapProfile(f))
+		must(f.Close())
+	}
+}
+
+func sectionNames() []string {
+	names := make([]string, len(sections))
+	for i, s := range sections {
+		names[i] = s.name
+	}
+	return names
 }
 
 // session returns a bootstrapped session.
@@ -1182,6 +1248,152 @@ func concurrentSection() {
 		must(os.WriteFile(benchOut, append(data, '\n'), 0o644))
 		fmt.Printf("wrote %s\n", benchOut)
 	}
+}
+
+// ---- scale -------------------------------------------------------------------
+
+// scaleSection is the raw-speed benchmark over synthetic flows
+// (internal/flowgen): a layered 10k-cell graph — 20k flow nodes — as
+// the primary subject, measuring graph generation + flow construction,
+// plan building in isolation (Engine.DryPlan), end-to-end dispatch at
+// several pool widths, allocation volume, and a warm re-run against
+// the result cache. A smaller sweep over every generator shape charts
+// how cost follows structure. -scale-cells resizes the primary graph;
+// with -out the measurements are written as JSON (the raw material of
+// BENCH_scale.json).
+func scaleSection() {
+	type dispatchResult struct {
+		Workers   int     `json:"workers"`
+		ElapsedMS float64 `json:"elapsed_ms"`
+		UnitsPerS float64 `json:"units_per_s"`
+	}
+	type shapeResult struct {
+		Shape     string  `json:"shape"`
+		Cells     int     `json:"cells"`
+		Edges     int     `json:"edges"`
+		Depth     int     `json:"depth"`
+		PlanMS    float64 `json:"plan_ms"`
+		RunMS     float64 `json:"run_ms"`
+		UnitsPerS float64 `json:"units_per_s"`
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+	cells := scaleCells
+	spec := flowgen.Spec{Cells: cells, Shape: flowgen.Layered, Seed: 1993}
+
+	// Graph generation + flow construction.
+	t0 := time.Now()
+	b := must1(flowgen.Build(spec))
+	buildTime := time.Since(t0)
+	fmt.Printf("graph: %s, %d cells -> %d flow nodes, %d edges, depth %d (seed %d)\n",
+		spec.Shape, cells, b.Flow.Len(), b.Graph.Edges(), b.Graph.Depth(), spec.Seed)
+	fmt.Printf("build: graph generated and flow constructed in %v\n", buildTime.Round(time.Millisecond))
+
+	// Planning in isolation: validation, executability, construction
+	// grouping, combo enumeration, instance-ID pre-assignment.
+	eng := exec.New(b.Schema, b.DB, b.Store, b.Reg)
+	t0 = time.Now()
+	jobs, units := must2(eng.DryPlan(b.Flow))
+	planTime := time.Since(t0)
+	fmt.Printf("plan:  %d jobs / %d units in %v (%.0f units/s)\n",
+		jobs, units, planTime.Round(time.Millisecond), float64(units)/planTime.Seconds())
+
+	// End-to-end dispatch at several pool widths, a fresh world each so
+	// no run replans against another's history.
+	var dispatches []dispatchResult
+	var allocMB float64
+	var mallocs uint64
+	fmt.Printf("%9s %12s %12s\n", "workers", "elapsed", "units/s")
+	for _, w := range []int{1, 4, 16} {
+		bw := must1(flowgen.Build(spec))
+		e := exec.New(bw.Schema, bw.DB, bw.Store, bw.Reg)
+		e.SetWorkers(w)
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		res := must1(e.RunFlow(bw.Flow))
+		runtime.ReadMemStats(&m1)
+		d := dispatchResult{Workers: w, ElapsedMS: ms(res.Elapsed),
+			UnitsPerS: float64(res.Stats.Units) / res.Elapsed.Seconds()}
+		dispatches = append(dispatches, d)
+		fmt.Printf("%9d %12v %12.0f\n", w, res.Elapsed.Round(time.Millisecond), d.UnitsPerS)
+		if w == 16 {
+			allocMB = float64(m1.TotalAlloc-m0.TotalAlloc) / (1 << 20)
+			mallocs = m1.Mallocs - m0.Mallocs
+		}
+	}
+	fmt.Printf("alloc: %.1f MB total / %d mallocs during the workers=16 run\n", allocMB, mallocs)
+
+	// Warm re-run against the result cache: the same flow again in the
+	// same world — every unit is served by derivation key, no tool runs.
+	bm := must1(flowgen.Build(spec))
+	em := exec.New(bm.Schema, bm.DB, bm.Store, bm.Reg)
+	em.SetWorkers(4)
+	em.SetMemo(memo.New(0))
+	cold := must1(em.RunFlow(bm.Flow))
+	warm := must1(em.RunFlow(bm.Flow))
+	fmt.Printf("memo:  cold %v, warm %v (%d/%d units from cache) — %.1fx\n",
+		cold.Elapsed.Round(time.Millisecond), warm.Elapsed.Round(time.Millisecond),
+		warm.Stats.CacheHits, warm.Stats.Units,
+		float64(cold.Elapsed)/float64(warm.Elapsed))
+
+	// Shape sweep: a smaller graph of every shape, workers=4.
+	sweepCells := cells / 5
+	if sweepCells > 2000 {
+		sweepCells = 2000
+	}
+	var shapes []shapeResult
+	fmt.Printf("shape sweep at %d cells (workers=4):\n", sweepCells)
+	fmt.Printf("%10s %8s %7s %10s %10s %10s\n", "shape", "edges", "depth", "plan", "run", "units/s")
+	for _, sh := range flowgen.Shapes() {
+		bs := must1(flowgen.Build(flowgen.Spec{Cells: sweepCells, Shape: sh, Seed: 1993}))
+		es := exec.New(bs.Schema, bs.DB, bs.Store, bs.Reg)
+		es.SetWorkers(4)
+		t0 = time.Now()
+		must2(es.DryPlan(bs.Flow))
+		pt := time.Since(t0)
+		res := must1(es.RunFlow(bs.Flow))
+		sr := shapeResult{Shape: string(sh), Cells: sweepCells, Edges: bs.Graph.Edges(),
+			Depth: bs.Graph.Depth(), PlanMS: ms(pt), RunMS: ms(res.Elapsed),
+			UnitsPerS: float64(res.Stats.Units) / res.Elapsed.Seconds()}
+		shapes = append(shapes, sr)
+		fmt.Printf("%10s %8d %7d %9.0fms %9.0fms %10.0f\n",
+			sr.Shape, sr.Edges, sr.Depth, sr.PlanMS, sr.RunMS, sr.UnitsPerS)
+	}
+
+	if benchOut != "" {
+		out := struct {
+			Bench     string           `json:"bench"`
+			Cells     int              `json:"cells"`
+			Shape     string           `json:"shape"`
+			Seed      int64            `json:"seed"`
+			FlowNodes int              `json:"flow_nodes"`
+			Edges     int              `json:"edges"`
+			Depth     int              `json:"depth"`
+			Jobs      int              `json:"jobs"`
+			Units     int              `json:"units"`
+			BuildMS   float64          `json:"build_ms"`
+			PlanMS    float64          `json:"plan_ms"`
+			PlanUPS   float64          `json:"plan_units_per_s"`
+			Dispatch  []dispatchResult `json:"dispatch"`
+			AllocMB   float64          `json:"alloc_mb_workers16"`
+			Mallocs   uint64           `json:"mallocs_workers16"`
+			ColdMS    float64          `json:"memo_cold_ms"`
+			WarmMS    float64          `json:"memo_warm_ms"`
+			Shapes    []shapeResult    `json:"shapes"`
+		}{"flowbench scale", cells, string(spec.Shape), spec.Seed, b.Flow.Len(),
+			b.Graph.Edges(), b.Graph.Depth(), jobs, units, ms(buildTime), ms(planTime),
+			float64(units) / planTime.Seconds(), dispatches, allocMB, mallocs,
+			ms(cold.Elapsed), ms(warm.Elapsed), shapes}
+		data := must1(json.MarshalIndent(out, "", "  "))
+		must(os.WriteFile(benchOut, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", benchOut)
+	}
+}
+
+// must2 is must1 over two-value returns.
+func must2[A, B any](a A, b B, err error) (A, B) {
+	must(err)
+	return a, b
 }
 
 // ---- helpers ---------------------------------------------------------------

@@ -9,12 +9,15 @@ import (
 // DumpJSON writes all blobs as a JSON object keyed by ref (bytes are
 // base64-encoded by encoding/json).
 func (s *Store) DumpJSON(w io.Writer) error {
-	s.mu.RLock()
-	blobs := make(map[Ref][]byte, len(s.blobs))
-	for r, b := range s.blobs {
-		blobs[r] = b
+	blobs := make(map[Ref][]byte, s.Len())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for r, b := range sh.blobs {
+			blobs[r] = b
+		}
+		sh.mu.RUnlock()
 	}
-	s.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	return enc.Encode(blobs)
 }

@@ -394,6 +394,31 @@ func (e *Engine) RunNodeOptions(ctx context.Context, f *flow.Flow, id flow.NodeI
 	return e.runTargets(ctx, f, []flow.NodeID{id}, opts)
 }
 
+// DryPlan validates the flow and builds — then discards — the
+// execution plan for its roots: no admission, no tool run, no commit.
+// It returns the plan's job and unit counts. The planner reads the
+// history database's sequence counter to pre-assign instance IDs but
+// writes nothing, so a dry plan is safe at any time; benchmarks use it
+// to measure planning cost in isolation from execution.
+func (e *Engine) DryPlan(f *flow.Flow) (jobs, units int, err error) {
+	e.mu.Lock()
+	cfg := e.defaults
+	e.mu.Unlock()
+	if err := f.Validate(); err != nil {
+		return 0, 0, err
+	}
+	targets := f.Roots()
+	if ok, why := f.ExecutableAll(targets); !ok {
+		return 0, 0, fmt.Errorf("exec: flow is not executable: %s", why)
+	}
+	r := &run{e: e, cfg: cfg, f: f}
+	p, err := r.plan(targets)
+	if err != nil {
+		return 0, 0, err
+	}
+	return len(p.jobs), p.units, nil
+}
+
 func (e *Engine) runTargets(ctx context.Context, f *flow.Flow, targets []flow.NodeID, opts *RunOptions) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -418,10 +443,8 @@ func (e *Engine) runTargets(ctx context.Context, f *flow.Flow, targets []flow.No
 	if err := f.Validate(); err != nil {
 		return fail(err)
 	}
-	for _, t := range targets {
-		if ok, why := f.Executable(t); !ok {
-			return fail(fmt.Errorf("exec: flow is not executable: %s", why))
-		}
+	if ok, why := f.ExecutableAll(targets); !ok {
+		return fail(fmt.Errorf("exec: flow is not executable: %s", why))
 	}
 	p, err := r.plan(targets)
 	if err != nil {
@@ -449,20 +472,30 @@ func (r *run) artifactOf(inst history.ID) ([]byte, error) {
 }
 
 func (r *run) artifactOfInstance(in *history.Instance) ([]byte, error) {
-	if in.Data != "" {
-		b, ok := r.cfg.store.Get(in.Data)
+	return r.artifactFromInfo(in.ID, in.Data, in.Archive, in.Revision)
+}
+
+// artifactFromInfo fetches artifact bytes from their storage location
+// (blob store ref, archive name+revision, or neither for artifact-less
+// installed tools) without requiring a materialized Instance — the
+// zero-copy path behind lookup/lookupRef, fed by db.ArtifactInfo.
+// Store-backed reads alias the store's single physical copy (GetShared):
+// the engine treats artifacts as immutable everywhere.
+func (r *run) artifactFromInfo(id history.ID, data datastore.Ref, archive string, revision int) ([]byte, error) {
+	if data != "" {
+		b, ok := r.cfg.store.GetShared(data)
 		if !ok {
-			return nil, fmt.Errorf("exec: artifact %s of %s missing from datastore", in.Data, in.ID)
+			return nil, fmt.Errorf("exec: artifact %s of %s missing from datastore", data, id)
 		}
 		return b, nil
 	}
-	if in.Archive != "" {
+	if archive != "" {
 		if r.cfg.archives == nil {
-			return nil, fmt.Errorf("exec: instance %s is archive-backed but no archive source is configured", in.ID)
+			return nil, fmt.Errorf("exec: instance %s is archive-backed but no archive source is configured", id)
 		}
-		text, err := r.cfg.archives(in.Archive, in.Revision)
+		text, err := r.cfg.archives(archive, revision)
 		if err != nil {
-			return nil, fmt.Errorf("exec: checkout of %s: %w", in.ID, err)
+			return nil, fmt.Errorf("exec: checkout of %s: %w", id, err)
 		}
 		return []byte(text), nil
 	}
@@ -574,8 +607,27 @@ func (r *run) executeCombo(ctx context.Context, j *plannedJob, combo map[string]
 // (node, combo) of a completed job, verifying that each recorded ID
 // matches the one the planner pre-assigned (the determinism guarantee).
 func (r *run) recordJob(j *plannedJob) error {
+	if j.memoKeys != nil {
+		j.outRefs = make([]map[string]datastore.Ref, len(j.combos))
+	}
 	for ci, combo := range j.combos {
 		out := j.outputs[ci]
+		// The input list is identical for every grouped sibling: build it
+		// once per combo.
+		keys := make([]string, 0, len(combo))
+		for k := range combo {
+			if k != "fd" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		inputs := make([]history.Input, len(keys))
+		for i, k := range keys {
+			inputs[i] = history.Input{Key: k, Inst: combo[k]}
+		}
+		if j.outRefs != nil {
+			j.outRefs[ci] = make(map[string]datastore.Ref, len(j.nodes))
+		}
 		for ni, id := range j.nodes {
 			n := r.f.Node(id)
 			data, ok := out[n.Type]
@@ -583,31 +635,25 @@ func (r *run) recordJob(j *plannedJob) error {
 				return fmt.Errorf("exec: tool run produced no %s output (has: %s)", n.Type, outputKeys(out))
 			}
 			rec := history.Instance{
-				Type: n.Type,
-				User: r.cfg.user,
-				Data: r.cfg.store.Put(data),
+				Type:   n.Type,
+				User:   r.cfg.user,
+				Data:   r.cfg.store.Put(data),
+				Inputs: inputs,
 			}
 			if tool, ok := combo["fd"]; ok {
 				rec.Tool = tool
 			}
-			var keys []string
-			for k := range combo {
-				if k != "fd" {
-					keys = append(keys, k)
-				}
+			if j.outRefs != nil {
+				j.outRefs[ci][n.Type] = rec.Data
 			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				rec.Inputs = append(rec.Inputs, history.Input{Key: k, Inst: combo[k]})
-			}
-			inst, err := r.cfg.db.Record(rec)
+			instID, err := r.cfg.db.RecordID(rec)
 			if err != nil {
 				return fmt.Errorf("exec: recording %s: %w", n.Type, err)
 			}
-			if want := j.outIDs[ci][ni]; inst.ID != want {
-				return fmt.Errorf("exec: nondeterministic recording: got %s, planned %s (history mutated during the run?)", inst.ID, want)
+			if want := j.outIDs[ci][ni]; instID != want {
+				return fmt.Errorf("exec: nondeterministic recording: got %s, planned %s (history mutated during the run?)", instID, want)
 			}
-			r.res.Created[id] = append(r.res.Created[id], inst.ID)
+			r.res.Created[id] = append(r.res.Created[id], instID)
 		}
 	}
 	return nil

@@ -44,25 +44,29 @@ func (e *Engine) Memo() *memo.Cache {
 }
 
 // memoUnit describes one (job, combo) unit by content: the derivation
-// the cache keys on. It resolves every combo instance to its artifact
-// bytes through the run's lookup (pending set first, then
-// history/datastore).
+// the cache keys on. It resolves every combo instance to its content
+// address through lookupRef — committed instances carry their ref in
+// history and pending artifacts hash once and cache it, so building a
+// unit touches no artifact bytes on the common path.
 func (r *run) memoUnit(j *plannedJob, ci int) (memo.Unit, error) {
 	u := memo.Unit{Goal: j.repType, Composite: j.composite}
-	for _, nid := range j.nodes {
-		u.Outputs = append(u.Outputs, r.f.Node(nid).Type)
+	u.Outputs = make([]string, len(j.nodes))
+	for i, nid := range j.nodes {
+		u.Outputs[i] = r.f.Node(nid).Type
 	}
-	for k, inst := range j.combos[ci] {
-		typ, b, err := r.lookup(inst)
+	combo := j.combos[ci]
+	u.Inputs = make([]memo.InputRef, 0, len(combo))
+	for k, inst := range combo {
+		typ, ref, err := r.lookupRef(inst)
 		if err != nil {
 			return memo.Unit{}, err
 		}
 		if k == "fd" && !j.composite {
 			u.ToolType = typ
-			u.Tool = datastore.RefOf(b)
+			u.Tool = ref
 			continue
 		}
-		u.Inputs = append(u.Inputs, memo.InputRef{Key: k, Ref: datastore.RefOf(b)})
+		u.Inputs = append(u.Inputs, memo.InputRef{Key: k, Ref: ref})
 	}
 	return u, nil
 }
@@ -88,7 +92,9 @@ func (r *run) memoConsult(j *plannedJob, ci int) encap.Outputs {
 	}
 	out := make(encap.Outputs, len(entry.Outputs))
 	for typ, ref := range entry.Outputs {
-		b, ok := r.cfg.store.Get(ref)
+		// Aliased read: reconstructed outputs flow through the same
+		// immutable-artifact paths as executed ones (pending set, commit).
+		b, ok := r.cfg.store.GetShared(ref)
 		if !ok {
 			return nil
 		}
@@ -121,9 +127,16 @@ func (r *run) memoPublish(j *plannedJob) {
 		out := j.outputs[ci]
 		refs := make(map[string]datastore.Ref, len(out))
 		for typ, data := range out {
-			// Content-addressed Put: the committed group blobs are
-			// already present, and secondary outputs become resolvable
-			// for future hits.
+			// recordJob just stored the group outputs and captured their
+			// refs; reuse them instead of re-hashing. Secondary outputs
+			// (types beyond the grouped nodes) are stored here so they
+			// become resolvable for future hits.
+			if j.outRefs != nil {
+				if ref, ok := j.outRefs[ci][typ]; ok {
+					refs[typ] = ref
+					continue
+				}
+			}
 			refs[typ] = r.cfg.store.Put(data)
 		}
 		r.cfg.memo.Put(j.memoKeys[ci], memo.Entry{Outputs: refs})

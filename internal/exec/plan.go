@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/datastore"
 	"repro/internal/encap"
 	"repro/internal/flow"
 	"repro/internal/history"
@@ -57,6 +58,10 @@ type plannedJob struct {
 	// and used by the commit-time publish, and per-combo hit marks.
 	memoKeys []memo.Key
 	cacheHit []bool
+	// outRefs[ci] maps each grouped node's type to the content address
+	// recordJob stored its artifact under — captured at commit so
+	// memoPublish reuses the refs instead of re-hashing every output.
+	outRefs []map[string]datastore.Ref
 
 	// Per-unit observations buffered for deterministic trace emission
 	// (allocated by newRunTracer only when a sink is installed).
@@ -125,15 +130,27 @@ func (r *run) plan(targets []flow.NodeID) (*plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	levels, err := f.Levels()
-	if err != nil {
-		return nil, err
-	}
-	levelOf := make(map[flow.NodeID]int, len(order))
-	for l, ids := range levels {
-		for _, id := range ids {
-			levelOf[id] = l
+	// Dependency level of each node, computed in one pass over the
+	// already-obtained order (calling f.Levels would re-run the
+	// topological sort — measurable at generator scale). Node IDs are
+	// dense, so a flat slice replaces the map.
+	maxID := flow.NodeID(0)
+	for _, id := range order {
+		if id > maxID {
+			maxID = id
 		}
+	}
+	levelOf := make([]int32, maxID+1)
+	for _, id := range order {
+		n := f.Node(id)
+		var l int32
+		for _, k := range n.DepKeys() {
+			c, _ := n.Dep(k)
+			if levelOf[c]+1 > l {
+				l = levelOf[c] + 1
+			}
+		}
+		levelOf[id] = l
 	}
 
 	// Pass 1: walk nodes in topological order, grouping shared
@@ -162,7 +179,7 @@ func (r *run) plan(targets []flow.NodeID) (*plan, error) {
 			continue
 		}
 		j := &plannedJob{idx: len(p.jobs), nodes: []flow.NodeID{id},
-			repType: n.Type, composite: t.Composite, level: levelOf[id]}
+			repType: n.Type, composite: t.Composite, level: int(levelOf[id])}
 		if !t.Composite {
 			grouped[sig] = j
 		}
@@ -190,7 +207,7 @@ func (r *run) plan(targets []flow.NodeID) (*plan, error) {
 			j.outIDs[ci] = make([]history.ID, len(j.nodes))
 			for ni, nid := range j.nodes {
 				vseq++
-				j.outIDs[ci][ni] = history.ID(fmt.Sprintf("%s:%d", f.Node(nid).Type, vseq))
+				j.outIDs[ci][ni] = history.MakeID(f.Node(nid).Type, vseq)
 			}
 		}
 		for ni, nid := range j.nodes {

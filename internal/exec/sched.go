@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/datastore"
 	"repro/internal/encap"
 	"repro/internal/history"
 	"repro/internal/memo"
@@ -72,10 +73,18 @@ type runState struct {
 type pendingArtifact struct {
 	typ  string
 	data []byte
+	// ref is the content address of data, computed lazily by lookupRef
+	// (only the memoizing coordinator needs it) and cached so a pending
+	// artifact consumed by many dependents is hashed once, not per edge.
+	ref datastore.Ref
 }
 
 // lookup resolves an instance to (type, artifact): the run's pending
-// set first, then the history database / datastore / archives.
+// set first, then the history database / datastore / archives. The
+// returned bytes may alias engine-owned storage; callers treat
+// artifacts as immutable (the same contract pending artifacts already
+// have — workers hand the producer's output slice straight to
+// dependents).
 func (r *run) lookup(inst history.ID) (string, []byte, error) {
 	r.st.mu.RLock()
 	a, ok := r.st.arts[inst]
@@ -83,15 +92,50 @@ func (r *run) lookup(inst history.ID) (string, []byte, error) {
 	if ok {
 		return a.typ, a.data, nil
 	}
-	in := r.cfg.db.Get(inst)
-	if in == nil {
+	typ, data, archive, rev, ok := r.cfg.db.ArtifactInfo(inst)
+	if !ok {
 		return "", nil, fmt.Errorf("exec: instance %s disappeared", inst)
 	}
-	b, err := r.artifactOfInstance(in)
+	b, err := r.artifactFromInfo(inst, data, archive, rev)
 	if err != nil {
 		return "", nil, err
 	}
-	return in.Type, b, nil
+	return typ, b, nil
+}
+
+// lookupRef resolves an instance to (type, content address) without
+// materializing artifact bytes when it can be avoided: committed
+// store-backed instances carry their ref in history (Instance.Data is
+// the store.Put address — zero hashing), pending artifacts hash once
+// and cache the result, and only archive-backed or artifact-less
+// instances fall back to fetch-and-hash. This is the memoization path's
+// replacement for lookup + RefOf, which hashed every input of every
+// unit on the coordinator.
+func (r *run) lookupRef(inst history.ID) (string, datastore.Ref, error) {
+	r.st.mu.RLock()
+	a, ok := r.st.arts[inst]
+	r.st.mu.RUnlock()
+	if ok {
+		if a.ref == "" {
+			a.ref = datastore.RefOf(a.data)
+			r.st.mu.Lock()
+			r.st.arts[inst] = a
+			r.st.mu.Unlock()
+		}
+		return a.typ, a.ref, nil
+	}
+	typ, data, archive, rev, ok := r.cfg.db.ArtifactInfo(inst)
+	if !ok {
+		return "", "", fmt.Errorf("exec: instance %s disappeared", inst)
+	}
+	if data != "" {
+		return typ, data, nil
+	}
+	b, err := r.artifactFromInfo(inst, data, archive, rev)
+	if err != nil {
+		return "", "", err
+	}
+	return typ, datastore.RefOf(b), nil
 }
 
 type unitTask struct {
@@ -168,11 +212,17 @@ func (r *run) execute(ctx context.Context, p *plan) error {
 	tr.planBuilt(r.cfg.sched, workers)
 
 	r.ctx = ctx
-	r.st = &runState{arts: make(map[history.ID]pendingArtifact)}
+	r.st = &runState{arts: make(map[history.ID]pendingArtifact, p.units)}
+	// Unbuffered on purpose: the rendezvous means a worker cannot return
+	// to the shared pool with an unreported completion, which is what
+	// makes fail-fast deterministic — after a failure folds in, no
+	// already-finished worker can have silently accepted more work. The
+	// drain fold below keeps the rendezvous cheap: parked senders are
+	// collected in one batch.
 	r.doneCh = make(chan unitResult)
 
-	var queue []unitTask
-	var hits []unitTask // cache-satisfied units, completed by the coordinator
+	queue := make([]unitTask, 0, p.units)
+	hits := make([]unitTask, 0, 16) // cache-satisfied units, completed by the coordinator
 	ready := func(j *plannedJob) {
 		// A ready job's producer artifacts are all resolvable (pending
 		// set or history), so this is the earliest point the derivation
@@ -345,9 +395,33 @@ func (r *run) execute(ctx context.Context, p *plan) error {
 		case sendCh <- next:
 			queue = queue[1:]
 			outstanding++
+			// Dispatch burst: hand further ready units to any other
+			// parked workers without a trip back through the select.
+			for burst := true; burst && len(queue) > 0 && !stop; {
+				select {
+				case r.pool.tasks <- poolTask{r: r, u: queue[0]}:
+					queue = queue[1:]
+					outstanding++
+				default:
+					burst = false
+				}
+			}
 		case d := <-r.doneCh:
 			outstanding--
 			complete(d)
+			// Drain fold: completions buffered while the coordinator was
+			// busy are folded in as one batch, so dependents of several
+			// finished producers become ready together before the next
+			// dispatch decision.
+			for fold := true; fold && outstanding > 0; {
+				select {
+				case d := <-r.doneCh:
+					outstanding--
+					complete(d)
+				default:
+					fold = false
+				}
+			}
 		case <-ctxDone:
 			cancelled = true
 			stop = true

@@ -82,7 +82,7 @@ func (f *Flow) InDegree() map[NodeID]int {
 // node, the parents whose dependencies it fills, in creation order. A
 // dataflow scheduler walks this map when a completion unblocks work.
 func (f *Flow) Dependents() map[NodeID][]NodeID {
-	parents := make(map[NodeID][]NodeID)
+	parents := make(map[NodeID][]NodeID, len(f.order))
 	for _, id := range f.order {
 		for _, key := range f.nodes[id].DepKeys() {
 			parents[f.nodes[id].deps[key]] = append(parents[f.nodes[id].deps[key]], id)
@@ -107,33 +107,108 @@ func (f *Flow) danglingDep() error {
 	return nil
 }
 
+// nodeHeap is a min-heap of node IDs — the ready queue of Order. A
+// hand-rolled heap (rather than container/heap) keeps the hot loop free
+// of interface calls and allocations.
+type nodeHeap []NodeID
+
+func (h *nodeHeap) push(x NodeID) {
+	*h = append(*h, x)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if s[p] <= s[i] {
+			break
+		}
+		s[p], s[i] = s[i], s[p]
+		i = p
+	}
+}
+
+func (h *nodeHeap) pop() NodeID {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s[l] < s[small] {
+			small = l
+		}
+		if r < n && s[r] < s[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	*h = s
+	return top
+}
+
 // Order returns the nodes in execution order: every node after all of its
-// dependencies. It fails if the graph has a cycle or a dangling dependency
-// edge (which the construction operations prevent, but a hand-assembled
-// flow might not).
+// dependencies, ties broken by smallest ID first (a min-heap over the
+// ready set — the same order the original sort-per-pop implementation
+// produced, at O(E log V) instead of O(V² log V); at 20k-node generated
+// flows the difference is seconds versus milliseconds). It fails if the
+// graph has a cycle or a dangling dependency edge (which the
+// construction operations prevent, but a hand-assembled flow might not).
 func (f *Flow) Order() ([]NodeID, error) {
 	if err := f.danglingDep(); err != nil {
 		return nil, err
 	}
-	indeg := f.InDegree()
-	// Process children before parents: start from nodes with no deps.
-	var queue []NodeID
+	// Node IDs are small dense integers (1..f.next), so in-degrees and
+	// the reverse adjacency index by ID into flat slices (the reverse
+	// edges in CSR layout: one bucket array, no per-node slice). The
+	// map-based InDegree/Dependents equivalents were a quarter of plan
+	// CPU at 20k-node generated flows, almost all of it map overhead and
+	// the GC scanning the per-node slice headers.
+	n := int(f.next) + 1
+	indeg := make([]int32, n)
 	for _, id := range f.order {
-		if indeg[id] == 0 {
-			queue = append(queue, id)
+		indeg[id] = int32(len(f.nodes[id].deps))
+	}
+	// CSR reverse adjacency: parents of c are edges[start[c]:cur[c]].
+	start := make([]int32, n+1)
+	for _, id := range f.order {
+		nd := f.nodes[id]
+		for _, k := range nd.depKeys {
+			start[nd.deps[k]+1]++
 		}
 	}
-	parents := f.Dependents()
-	var out []NodeID
-	for len(queue) > 0 {
-		sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
-		cur := queue[0]
-		queue = queue[1:]
-		out = append(out, cur)
-		for _, p := range parents[cur] {
+	for i := 1; i <= n; i++ {
+		start[i] += start[i-1]
+	}
+	edges := make([]NodeID, start[n])
+	cur := make([]int32, n)
+	copy(cur, start[:n])
+	for _, id := range f.order {
+		nd := f.nodes[id]
+		for _, k := range nd.depKeys {
+			c := nd.deps[k]
+			edges[cur[c]] = id
+			cur[c]++
+		}
+	}
+	// Process children before parents: start from nodes with no deps.
+	ready := make(nodeHeap, 0, len(f.order))
+	for _, id := range f.order {
+		if indeg[id] == 0 {
+			ready.push(id)
+		}
+	}
+	out := make([]NodeID, 0, len(f.order))
+	for len(ready) > 0 {
+		c := ready.pop()
+		out = append(out, c)
+		for _, p := range edges[start[c]:cur[c]] {
 			indeg[p]--
 			if indeg[p] == 0 {
-				queue = append(queue, p)
+				ready.push(p)
 			}
 		}
 	}
@@ -219,12 +294,40 @@ func (f *Flow) Branches() [][]NodeID {
 // required dependency edge is present and leads to an executable node.
 // Missing explanations are returned as a reason string when not
 // executable.
+//
+// Shared sub-DAGs are visited once: without the memo, a diamond-heavy
+// graph makes the walk exponential in the number of dependency paths
+// (2^depth on stacked diamonds), which at generator scale never
+// terminates.
 func (f *Flow) Executable(id NodeID) (bool, string) {
+	return f.executable(id, make(map[NodeID]bool, 64))
+}
+
+// ExecutableAll is Executable over several targets sharing one visited
+// set, so a multi-root flow is walked O(V+E) total instead of once per
+// root. It reports the first non-executable target's reason.
+func (f *Flow) ExecutableAll(ids []NodeID) (bool, string) {
+	seen := make(map[NodeID]bool, len(f.order))
+	for _, id := range ids {
+		if ok, why := f.executable(id, seen); !ok {
+			return false, why
+		}
+	}
+	return true, ""
+}
+
+// executable is Executable's body; seen memoizes nodes already proven
+// executable (failures return immediately, so only successes recur).
+func (f *Flow) executable(id NodeID, seen map[NodeID]bool) (bool, string) {
+	if seen[id] {
+		return true, ""
+	}
 	n := f.nodes[id]
 	if n == nil {
 		return false, fmt.Sprintf("no node %d", id)
 	}
 	if n.IsBound() {
+		seen[id] = true
 		return true, ""
 	}
 	t := f.schema.Type(n.Type)
@@ -248,10 +351,11 @@ func (f *Flow) Executable(id NodeID) (bool, string) {
 		}
 	}
 	for _, key := range n.DepKeys() {
-		if ok, why := f.Executable(n.deps[key]); !ok {
+		if ok, why := f.executable(n.deps[key], seen); !ok {
 			return false, why
 		}
 	}
+	seen[id] = true
 	return true, ""
 }
 

@@ -209,9 +209,11 @@ func TestValidateCatchesHandMadeDamage(t *testing.T) {
 	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "missing node") {
 		t.Errorf("Validate err = %v", err)
 	}
-	// Unknown dep key.
+	// Unknown dep key. (Direct map surgery: refresh the key cache the
+	// way every real mutation path does.)
 	delete(n.deps, "Circuit")
 	n.deps["Bogus"] = ids["stim"]
+	n.refreshDepKeys()
 	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "no data dependency") {
 		t.Errorf("Validate err = %v", err)
 	}

@@ -89,6 +89,7 @@ func (f *Flow) ExpandDown(id NodeID, withOptional bool) error {
 				return err
 			}
 			n.deps["fd"] = cid
+			n.refreshDepKeys()
 		}
 	}
 	for _, d := range t.DataDeps {
@@ -103,6 +104,7 @@ func (f *Flow) ExpandDown(id NodeID, withOptional bool) error {
 			return err
 		}
 		n.deps[d.Key()] = cid
+		n.refreshDepKeys()
 	}
 	return nil
 }
@@ -130,6 +132,7 @@ func (f *Flow) ExpandOptional(id NodeID, key string) error {
 		return err
 	}
 	n.deps[d.Key()] = cid
+	n.refreshDepKeys()
 	return nil
 }
 
@@ -160,6 +163,7 @@ func (f *Flow) ExpandUp(id NodeID, consumerType, depKey string) (NodeID, error) 
 		return 0, err
 	}
 	f.nodes[pid].deps[key] = id
+	f.nodes[pid].refreshDepKeys()
 	return pid, nil
 }
 
@@ -233,6 +237,7 @@ func (f *Flow) Connect(parent NodeID, depKey string, child NodeID) error {
 		return fmt.Errorf("flow: connecting node %d under node %d would create a cycle", child, parent)
 	}
 	p.deps[key] = child
+	p.refreshDepKeys()
 	return nil
 }
 
@@ -245,6 +250,7 @@ func (f *Flow) Unexpand(id NodeID) error {
 		return fmt.Errorf("flow: no node %d", id)
 	}
 	n.deps = make(map[string]NodeID)
+	n.refreshDepKeys()
 	f.gc()
 	return nil
 }

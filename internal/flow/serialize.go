@@ -71,6 +71,7 @@ func Decode(r io.Reader, s *schema.Schema, resolver Resolver) (*Flow, error) {
 		for k, v := range nj.Deps {
 			n.deps[k] = v
 		}
+		n.refreshDepKeys()
 		f.nodes[nj.ID] = n
 		f.order = append(f.order, nj.ID)
 		f.original[nj.ID] = nj.Original

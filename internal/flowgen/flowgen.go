@@ -1,0 +1,574 @@
+// Package flowgen generates deterministic synthetic flows at production
+// scale — 10k to 100k task nodes — for benchmarking and stress-testing
+// the execution engine.
+//
+// The paper's figures demonstrate dynamically defined flows on ~12-task
+// graphs; real CAD dependency networks are orders of magnitude larger.
+// This package emits parameterized DAGs in the shapes those networks
+// actually take (wide layers, diamond sharing, fan-out/fan-in funnels,
+// long edit chains), over a two-type synthetic schema, so every layer of
+// the engine — validation, planning, dispatch, commit, memoization,
+// history chaining — can be measured on graphs big enough to expose its
+// asymptotics.
+//
+// Everything is seeded: the same Spec always yields the same graph, the
+// same flow, the same tool artifacts and the same computed cell
+// contents, so scale benchmarks are reproducible and masked traces are
+// comparable across worker counts.
+package flowgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/datastore"
+	"repro/internal/encap"
+	"repro/internal/flow"
+	"repro/internal/history"
+	"repro/internal/schema"
+)
+
+// MaxFanIn is the number of optional Cell-typed data dependencies the
+// synthetic schema declares (roles in1..in4). A generated cell may use
+// any subset of them, which is how the generator produces arbitrary
+// DAGs from one entity type.
+const MaxFanIn = 4
+
+// Shape selects the topology family of a generated graph.
+type Shape string
+
+const (
+	// Layered is the default: L levels of roughly equal width, each
+	// cell consuming 1..FanIn random cells of the previous level. This
+	// is the general "dependency web" shape — wide ready sets, heavy
+	// sharing, many roots.
+	Layered Shape = "layered"
+	// Diamond stacks split/join motifs: one source fans out to FanIn
+	// branches that a join immediately fans back in, and the join seeds
+	// the next diamond. Path counts grow exponentially with depth, so
+	// this shape is the canonical stress for any walk that forgets to
+	// memoize shared nodes.
+	Diamond Shape = "diamond"
+	// FanOutIn is a funnel: a few sources feed a very wide middle
+	// layer, which a FanIn-ary reduction tree folds back to a single
+	// root — the "compile everything, then link" profile.
+	FanOutIn Shape = "fanout"
+	// Chain is a small number of long independent edit chains — minimal
+	// parallelism, maximal scheduling latency sensitivity.
+	Chain Shape = "chain"
+)
+
+// Shapes lists every generator topology, in a stable order.
+func Shapes() []Shape { return []Shape{Layered, Diamond, FanOutIn, Chain} }
+
+// Spec parameterizes one synthetic graph. The zero value is not usable;
+// Cells must be positive. Unset tuning fields take defaults.
+type Spec struct {
+	// Cells is the number of task (Cell) nodes. The generated flow has
+	// about twice as many flow nodes: one bound tool node per cell.
+	Cells int
+	// Shape selects the topology (default Layered).
+	Shape Shape
+	// Seed drives every random choice; equal specs generate equal
+	// graphs, byte for byte.
+	Seed int64
+	// FanIn caps the data inputs per cell, 1..MaxFanIn (default 3).
+	FanIn int
+	// Payload is the artifact size in bytes each cell run produces
+	// (default 256).
+	Payload int
+	// Levels is the layer count for the Layered shape (default 64,
+	// clamped to Cells).
+	Levels int
+}
+
+// withDefaults returns the spec with unset tuning fields filled in.
+func (s Spec) withDefaults() Spec {
+	if s.Shape == "" {
+		s.Shape = Layered
+	}
+	if s.FanIn <= 0 {
+		s.FanIn = 3
+	}
+	if s.FanIn > MaxFanIn {
+		s.FanIn = MaxFanIn
+	}
+	if s.Payload <= 0 {
+		s.Payload = 256
+	}
+	if s.Levels <= 0 {
+		s.Levels = 64
+	}
+	if s.Levels > s.Cells {
+		s.Levels = s.Cells
+	}
+	return s
+}
+
+// Cell is one task node of a generated graph.
+type Cell struct {
+	// Level is the cell's dependency depth (0 = no data inputs).
+	Level int
+	// Ins are the indices of the cells this cell consumes. Generators
+	// guarantee every input index is strictly smaller than the cell's
+	// own index, so ascending index order is a topological order.
+	Ins []int
+}
+
+// Graph is a generated DAG of cells, independent of any flow or
+// history representation.
+type Graph struct {
+	Spec  Spec
+	Cells []Cell
+}
+
+// Edges returns the total number of data-dependency edges.
+func (g *Graph) Edges() int {
+	n := 0
+	for i := range g.Cells {
+		n += len(g.Cells[i].Ins)
+	}
+	return n
+}
+
+// Depth returns the number of dependency levels (max level + 1).
+func (g *Graph) Depth() int {
+	d := 0
+	for i := range g.Cells {
+		if g.Cells[i].Level >= d {
+			d = g.Cells[i].Level + 1
+		}
+	}
+	return d
+}
+
+// Generate builds the cell DAG for a spec. It is deterministic: equal
+// specs yield equal graphs.
+func Generate(spec Spec) (*Graph, error) {
+	if spec.Cells <= 0 {
+		return nil, fmt.Errorf("flowgen: Spec.Cells must be positive, got %d", spec.Cells)
+	}
+	spec = spec.withDefaults()
+	g := &Graph{Spec: spec}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	switch spec.Shape {
+	case Layered:
+		layered(g, rng)
+	case Diamond:
+		diamond(g)
+	case FanOutIn:
+		fanOutIn(g, rng)
+	case Chain:
+		chain(g)
+	default:
+		return nil, fmt.Errorf("flowgen: unknown shape %q (have %v)", spec.Shape, Shapes())
+	}
+	return g, nil
+}
+
+// layered fills g with Levels roughly equal blocks; each cell above
+// level 0 consumes 1..FanIn distinct random cells of the previous
+// level.
+func layered(g *Graph, rng *rand.Rand) {
+	n, L := g.Spec.Cells, g.Spec.Levels
+	starts := make([]int, L+1)
+	for l := 0; l <= L; l++ {
+		starts[l] = l * n / L
+	}
+	g.Cells = make([]Cell, n)
+	for l := 0; l < L; l++ {
+		for i := starts[l]; i < starts[l+1]; i++ {
+			g.Cells[i].Level = l
+			if l == 0 {
+				continue
+			}
+			lo, hi := starts[l-1], starts[l]
+			fan := 1 + rng.Intn(g.Spec.FanIn)
+			if fan > hi-lo {
+				fan = hi - lo
+			}
+			ins := make([]int, 0, fan)
+			for len(ins) < fan {
+				c := lo + rng.Intn(hi-lo)
+				dup := false
+				for _, x := range ins {
+					if x == c {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					ins = append(ins, c)
+				}
+			}
+			sort.Ints(ins)
+			g.Cells[i].Ins = ins
+		}
+	}
+}
+
+// diamond stacks split/join blocks: source -> FanIn mids -> join, with
+// each join feeding the next source. Leftover budget extends a chain
+// off the last cell.
+func diamond(g *Graph) {
+	n, w := g.Spec.Cells, g.Spec.FanIn
+	if w < 2 {
+		w = 2
+	}
+	g.Cells = make([]Cell, 0, n)
+	prev := -1 // index of the previous block's join
+	level := 0
+	for len(g.Cells)+w+2 <= n {
+		src := len(g.Cells)
+		if prev >= 0 {
+			g.Cells = append(g.Cells, Cell{Level: level, Ins: []int{prev}})
+		} else {
+			g.Cells = append(g.Cells, Cell{Level: level})
+		}
+		mids := make([]int, w)
+		for b := 0; b < w; b++ {
+			mids[b] = len(g.Cells)
+			g.Cells = append(g.Cells, Cell{Level: level + 1, Ins: []int{src}})
+		}
+		g.Cells = append(g.Cells, Cell{Level: level + 2, Ins: mids})
+		prev = len(g.Cells) - 1
+		level += 3
+	}
+	for len(g.Cells) < n {
+		if prev >= 0 {
+			g.Cells = append(g.Cells, Cell{Level: level, Ins: []int{prev}})
+		} else {
+			g.Cells = append(g.Cells, Cell{Level: level})
+		}
+		prev = len(g.Cells) - 1
+		level++
+	}
+}
+
+// fanOutIn builds a funnel: a few sources, a wide middle each sampling
+// the sources, then a FanIn-ary reduction tree folded to a single
+// root (padded with a chain to hit the cell budget exactly).
+func fanOutIn(g *Graph, rng *rand.Rand) {
+	n := g.Spec.Cells
+	a := g.Spec.FanIn
+	if a < 2 {
+		a = 2
+	}
+	srcs := a
+	if srcs > n {
+		srcs = n
+	}
+	g.Cells = make([]Cell, 0, n)
+	for i := 0; i < srcs; i++ {
+		g.Cells = append(g.Cells, Cell{Level: 0})
+	}
+	rest := n - srcs
+	mid := rest * (a - 1) / a
+	if mid < 1 && rest > 0 {
+		mid = 1
+	}
+	frontier := make([]int, 0, mid)
+	for i := 0; i < mid && len(g.Cells) < n; i++ {
+		fan := 1 + rng.Intn(g.Spec.FanIn)
+		if fan > srcs {
+			fan = srcs
+		}
+		ins := make([]int, 0, fan)
+		for len(ins) < fan {
+			c := rng.Intn(srcs)
+			dup := false
+			for _, x := range ins {
+				if x == c {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				ins = append(ins, c)
+			}
+		}
+		sort.Ints(ins)
+		frontier = append(frontier, len(g.Cells))
+		g.Cells = append(g.Cells, Cell{Level: 1, Ins: ins})
+	}
+	level := 2
+	for len(frontier) > 1 && len(g.Cells) < n {
+		var next []int
+		for lo := 0; lo < len(frontier) && len(g.Cells) < n; lo += a {
+			hi := lo + a
+			if hi > len(frontier) {
+				hi = len(frontier)
+			}
+			ins := append([]int(nil), frontier[lo:hi]...)
+			next = append(next, len(g.Cells))
+			g.Cells = append(g.Cells, Cell{Level: level, Ins: ins})
+		}
+		frontier = next
+		level++
+	}
+	prev := len(g.Cells) - 1
+	for len(g.Cells) < n {
+		g.Cells = append(g.Cells, Cell{Level: level, Ins: []int{prev}})
+		prev = len(g.Cells) - 1
+		level++
+	}
+}
+
+// chain interleaves 8 independent chains (fewer when Cells is small):
+// cell i sits in chain i%k at depth i/k and consumes its predecessor.
+func chain(g *Graph) {
+	n := g.Spec.Cells
+	k := 8
+	if n < k {
+		k = 1
+	}
+	g.Cells = make([]Cell, n)
+	for i := 0; i < n; i++ {
+		g.Cells[i].Level = i / k
+		if i >= k {
+			g.Cells[i].Ins = []int{i - k}
+		}
+	}
+}
+
+// ---- schema, encapsulation and world construction --------------------------
+
+// inKeys are the dependency keys of the Cell type's optional inputs.
+var inKeys = func() []string {
+	out := make([]string, MaxFanIn)
+	for i := range out {
+		out[i] = fmt.Sprintf("Cell/in%d", i+1)
+	}
+	return out
+}()
+
+// Schema returns the two-type synthetic schema: a GenTool primitive
+// tool and a Cell data entity produced by it from up to MaxFanIn
+// optional Cell inputs (the optional self-dependency is the paper's
+// cycle-breaking idiom, here used to encode arbitrary DAGs).
+func Schema() *schema.Schema {
+	s := schema.New()
+	s.MustAdd(&schema.EntityType{
+		Name: "GenTool", Kind: schema.KindTool,
+		Doc: "synthetic generator tool; its artifact carries the cell salt and payload size",
+	})
+	deps := make([]schema.Dep, MaxFanIn)
+	for i := range deps {
+		deps[i] = schema.Dep{Type: "Cell", Role: fmt.Sprintf("in%d", i+1), Optional: true}
+	}
+	s.MustAdd(&schema.EntityType{
+		Name: "Cell", Kind: schema.KindData,
+		FuncDep:  &schema.Dep{Type: "GenTool"},
+		DataDeps: deps,
+		Doc:      "synthetic design datum derived from up to MaxFanIn other cells",
+	})
+	if err := s.Validate(); err != nil {
+		panic("flowgen: synthetic schema invalid: " + err.Error())
+	}
+	return s
+}
+
+// Registry returns an encapsulation registry serving GenTool.
+func Registry() *encap.Registry {
+	r := encap.NewRegistry()
+	r.Register("GenTool", encap.Func(runGen))
+	return r
+}
+
+// runGen computes a cell: a deterministic Payload-byte artifact derived
+// from the tool's salt and every input artifact — a pure function, so
+// memoized reruns and cross-worker-count runs agree byte for byte.
+func runGen(r *encap.Request) (encap.Outputs, error) {
+	payload, err := payloadOf(r.Tool)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(r.Tool)
+	keys := make([]string, 0, len(r.Inputs))
+	for k := range r.Inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write(r.Inputs[k])
+	}
+	x := h.Sum64() | 1 // xorshift state must be nonzero
+	out := make([]byte, payload)
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = byte(x)
+	}
+	return encap.Outputs{r.Goal: out}, nil
+}
+
+// toolArtifact renders the per-cell tool salt: "gen <index> <payload>".
+func toolArtifact(i, payload int) []byte {
+	b := make([]byte, 0, 24)
+	b = append(b, "gen "...)
+	b = strconv.AppendInt(b, int64(i), 10)
+	b = append(b, ' ')
+	b = strconv.AppendInt(b, int64(payload), 10)
+	return b
+}
+
+// payloadOf parses the payload size back out of a tool artifact.
+func payloadOf(tool []byte) (int, error) {
+	s := string(tool)
+	i := -1
+	for j := len(s) - 1; j >= 0; j-- {
+		if s[j] == ' ' {
+			i = j
+			break
+		}
+	}
+	if i < 0 {
+		return 0, fmt.Errorf("flowgen: malformed GenTool artifact %q", s)
+	}
+	n, err := strconv.Atoi(s[i+1:])
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("flowgen: malformed GenTool artifact %q", s)
+	}
+	return n, nil
+}
+
+// Bench is one fully wired synthetic world: schema, stores, registry
+// and (when built from BuildFlow) the executable flow.
+type Bench struct {
+	Spec   Spec
+	Graph  *Graph
+	Schema *schema.Schema
+	DB     *history.DB
+	Store  *datastore.Store
+	Reg    *encap.Registry
+	// Flow is the executable task graph (nil when built by Populate).
+	Flow *flow.Flow
+	// CellNodes[i] is the flow node of cell i (nil slice under Populate).
+	CellNodes []flow.NodeID
+	// Tools[i] is the imported GenTool instance of cell i.
+	Tools []history.ID
+}
+
+// newWorld builds the schema/db/store/registry and imports one GenTool
+// instance per cell, under a deterministic clock.
+func (g *Graph) newWorld() (*Bench, error) {
+	b := &Bench{
+		Spec:   g.Spec,
+		Graph:  g,
+		Schema: Schema(),
+		Store:  datastore.NewStore(),
+		Reg:    Registry(),
+	}
+	b.DB = history.NewDB(b.Schema)
+	tick := 0
+	t0 := time.Date(1993, 6, 14, 0, 0, 0, 0, time.UTC) // DAC'93
+	b.DB.SetClock(func() time.Time {
+		tick++
+		return t0.Add(time.Duration(tick) * time.Millisecond)
+	})
+	b.Tools = make([]history.ID, len(g.Cells))
+	for i := range g.Cells {
+		ref := b.Store.Put(toolArtifact(i, g.Spec.Payload))
+		id, err := b.DB.RecordID(history.Instance{
+			Type: "GenTool", User: "flowgen", Data: ref,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("flowgen: importing tool %d: %w", i, err)
+		}
+		b.Tools[i] = id
+	}
+	return b, nil
+}
+
+// Build generates the graph for a spec and wires it into an executable
+// flow world.
+func Build(spec Spec) (*Bench, error) {
+	g, err := Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return g.BuildFlow()
+}
+
+// BuildFlow wires the graph into an executable flow: one Cell node per
+// cell plus one bound GenTool node each (distinct tool nodes keep every
+// cell a distinct construction; distinct tool artifacts keep every
+// derivation key distinct). Edges are inserted in descending index
+// order so each Connect's acyclicity check is O(1): a cell's inputs
+// always have smaller indices, hence no outgoing edges yet.
+func (g *Graph) BuildFlow() (*Bench, error) {
+	b, err := g.newWorld()
+	if err != nil {
+		return nil, err
+	}
+	f := flow.New(b.Schema, b.DB)
+	n := len(g.Cells)
+	b.CellNodes = make([]flow.NodeID, n)
+	toolNodes := make([]flow.NodeID, n)
+	for i := 0; i < n; i++ {
+		cn, err := f.Add("Cell")
+		if err != nil {
+			return nil, err
+		}
+		tn, err := f.Add("GenTool")
+		if err != nil {
+			return nil, err
+		}
+		if err := f.Bind(tn, b.Tools[i]); err != nil {
+			return nil, err
+		}
+		b.CellNodes[i], toolNodes[i] = cn, tn
+	}
+	for i := n - 1; i >= 0; i-- {
+		if err := f.Connect(b.CellNodes[i], "fd", toolNodes[i]); err != nil {
+			return nil, err
+		}
+		for k, c := range g.Cells[i].Ins {
+			if err := f.Connect(b.CellNodes[i], inKeys[k], b.CellNodes[c]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.Flow = f
+	return b, nil
+}
+
+// Populate records the graph directly into a history database — one
+// instance per cell with its full derivation (tool + inputs) — without
+// building or executing a flow. It returns the world and the cell
+// instance IDs in cell order. This is the substrate for history-layer
+// benchmarks (chaining, provenance) at sizes where executing the flow
+// first would dominate the measurement.
+func (g *Graph) Populate() (*Bench, []history.ID, error) {
+	b, err := g.newWorld()
+	if err != nil {
+		return nil, nil, err
+	}
+	cells := make([]history.ID, len(g.Cells))
+	for i := range g.Cells {
+		c := &g.Cells[i]
+		rec := history.Instance{
+			Type: "Cell", User: "flowgen", Tool: b.Tools[i],
+			Data: b.Store.Put(toolArtifact(i, g.Spec.Payload)),
+		}
+		if len(c.Ins) > 0 {
+			rec.Inputs = make([]history.Input, len(c.Ins))
+			for k, in := range c.Ins {
+				rec.Inputs[k] = history.Input{Key: inKeys[k], Inst: cells[in]}
+			}
+		}
+		id, err := b.DB.RecordID(rec)
+		if err != nil {
+			return nil, nil, fmt.Errorf("flowgen: recording cell %d: %w", i, err)
+		}
+		cells[i] = id
+	}
+	return b, cells, nil
+}

@@ -106,7 +106,7 @@ func (db *DB) Backchain(id ID, depth int) (*Derivation, error) {
 
 // backchainLocked is Backchain's body; the caller holds the lock.
 func (db *DB) backchainLocked(id ID, depth int) (*Derivation, error) {
-	if _, ok := db.byID[id]; !ok {
+	if db.look(id) == nil {
 		return nil, fmt.Errorf("history: no instance %s", id)
 	}
 	d := &Derivation{Root: id}
@@ -116,7 +116,7 @@ func (db *DB) backchainLocked(id ID, depth int) (*Derivation, error) {
 	for level := 0; len(frontier) > 0 && (depth < 0 || level < depth); level++ {
 		var next []ID
 		for _, cur := range frontier {
-			in := db.byID[cur]
+			in := db.look(cur)
 			if in.Tool != "" {
 				d.Edges = append(d.Edges, Edge{Parent: cur, Child: in.Tool, Kind: EdgeTool})
 				if !visited[in.Tool] {
@@ -146,7 +146,7 @@ func (db *DB) backchainLocked(id ID, depth int) (*Derivation, error) {
 func (db *DB) Forwardchain(id ID, depth int) (*Derivation, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if _, ok := db.byID[id]; !ok {
+	if db.look(id) == nil {
 		return nil, fmt.Errorf("history: no instance %s", id)
 	}
 	d := &Derivation{Root: id}
@@ -157,7 +157,7 @@ func (db *DB) Forwardchain(id ID, depth int) (*Derivation, error) {
 		var next []ID
 		for _, cur := range frontier {
 			for _, user := range db.usedBy[cur] {
-				uin := db.byID[user]
+				uin := db.look(user)
 				kind, key := EdgeInput, ""
 				if uin.Tool == cur {
 					kind = EdgeTool

@@ -1,0 +1,149 @@
+package history_test
+
+// Chaining at scale: the backward- and forward-chaining queries of §4.2
+// over a generated 10k-instance derivation graph (internal/flowgen
+// Populate: 5000 cells + 5000 tool instances), checked against a naive
+// reachability reference computed directly from the generator's graph,
+// plus a benchmark of an unbounded backchain from the deepest root.
+
+import (
+	"testing"
+
+	"repro/internal/flowgen"
+	"repro/internal/history"
+)
+
+const chainCells = 5_000 // 2 instances per cell = 10k total
+
+func populate(tb testing.TB) (*flowgen.Graph, *flowgen.Bench, []history.ID) {
+	tb.Helper()
+	g, err := flowgen.Generate(flowgen.Spec{Cells: chainCells, Shape: flowgen.Layered, Seed: 1993})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	b, cells, err := g.Populate()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g, b, cells
+}
+
+// naiveReach computes, by plain recursion over the generator's graph,
+// the set of cell indices transitively reachable from root through
+// input edges (root included) — the reference Backchain must agree
+// with.
+func naiveReach(g *flowgen.Graph, root int) map[int]bool {
+	reach := make(map[int]bool)
+	var visit func(i int)
+	visit = func(i int) {
+		if reach[i] {
+			return
+		}
+		reach[i] = true
+		for _, in := range g.Cells[i].Ins {
+			visit(in)
+		}
+	}
+	visit(root)
+	return reach
+}
+
+func TestBackchainMatchesNaiveReference(t *testing.T) {
+	g, b, cells := populate(t)
+	if got, want := b.DB.Len(), 2*chainCells; got != want {
+		t.Fatalf("db holds %d instances, want %d", got, want)
+	}
+	for _, root := range []int{0, 1, chainCells / 2, chainCells - 1} {
+		d, err := b.DB.Backchain(cells[root], -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach := naiveReach(g, root)
+		// Every reached cell contributes itself, its tool instance, one
+		// tool edge and one input edge per graph input.
+		wantNodes, wantEdges := 2*len(reach), 0
+		for i := range reach {
+			wantEdges += 1 + len(g.Cells[i].Ins)
+		}
+		if len(d.Nodes) != wantNodes {
+			t.Errorf("root %d: backchain found %d nodes, naive reference %d", root, len(d.Nodes), wantNodes)
+		}
+		if len(d.Edges) != wantEdges {
+			t.Errorf("root %d: backchain found %d edges, naive reference %d", root, len(d.Edges), wantEdges)
+		}
+		got := make(map[history.ID]bool, len(d.Nodes))
+		for _, n := range d.Nodes {
+			got[n] = true
+		}
+		for i := range reach {
+			if !got[cells[i]] {
+				t.Fatalf("root %d: naive-reachable cell %d missing from backchain", root, i)
+			}
+			if !got[b.Tools[i]] {
+				t.Fatalf("root %d: tool of reached cell %d missing from backchain", root, i)
+			}
+		}
+		if d.Root != cells[root] || d.Nodes[0] != cells[root] {
+			t.Errorf("root %d: derivation rooted at %s, want %s", root, d.Root, cells[root])
+		}
+	}
+}
+
+func TestForwardchainMatchesNaiveReference(t *testing.T) {
+	g, b, cells := populate(t)
+	// Naive forward reachability from cell 0: invert the edges once.
+	users := make([][]int, chainCells)
+	for i, c := range g.Cells {
+		for _, in := range c.Ins {
+			users[in] = append(users[in], i)
+		}
+	}
+	reach := make(map[int]bool)
+	var visit func(i int)
+	visit = func(i int) {
+		if reach[i] {
+			return
+		}
+		reach[i] = true
+		for _, u := range users[i] {
+			visit(u)
+		}
+	}
+	visit(0)
+	d, err := b.DB.Forwardchain(cells[0], -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward chains stay among cells: tools are used by cells but the
+	// generator's tool instances are each used by exactly one cell, and
+	// only data arcs leave a cell forward.
+	if len(d.Nodes) != len(reach) {
+		t.Errorf("forwardchain found %d nodes, naive reference %d", len(d.Nodes), len(reach))
+	}
+	got := make(map[history.ID]bool, len(d.Nodes))
+	for _, n := range d.Nodes {
+		got[n] = true
+	}
+	for i := range reach {
+		if !got[cells[i]] {
+			t.Fatalf("naive-forward-reachable cell %d missing from forwardchain", i)
+		}
+	}
+}
+
+// BenchmarkChaining10k measures an unbounded backchain over the
+// 10k-instance derivation graph, from the last (deepest) cell.
+func BenchmarkChaining10k(b *testing.B) {
+	_, bench, cells := populate(b)
+	root := cells[chainCells-1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := bench.DB.Backchain(root, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Nodes) < 2 {
+			b.Fatalf("degenerate chain: %d nodes", len(d.Nodes))
+		}
+	}
+}

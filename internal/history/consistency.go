@@ -89,7 +89,7 @@ func (db *DB) StaleInputs(id ID) ([]Stale, error) {
 			cur := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			rootMemo[cur] = root // the walk doubles as root memoization
-			bi, ci := db.byID[best], db.byID[cur]
+			bi, ci := db.look(best), db.look(cur)
 			if ci.Created.After(bi.Created) ||
 				(ci.Created.Equal(bi.Created) && cur > best) {
 				best = cur
@@ -124,7 +124,7 @@ func (db *DB) StaleInputs(id ID) ([]Stale, error) {
 // artifacts: the same non-empty content ref, or the same archive
 // revision. Caller holds db.mu.
 func (db *DB) sameContentLocked(a, b ID) bool {
-	ia, ib := db.byID[a], db.byID[b]
+	ia, ib := db.look(a), db.look(b)
 	if ia == nil || ib == nil {
 		return false
 	}

@@ -20,6 +20,7 @@ package history
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +31,18 @@ import (
 
 // ID identifies an instance within one DB. IDs read "TypeName:seq".
 type ID string
+
+// MakeID renders the instance ID for a type and sequence number:
+// "Type:seq". This is the database's ID scheme in one place — the
+// execution engine's planner uses it to pre-assign the IDs a future
+// commit sequence will produce (see Seq).
+func MakeID(typ string, seq int) ID {
+	b := make([]byte, 0, len(typ)+12)
+	b = append(b, typ...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(seq), 10)
+	return ID(b)
+}
 
 // Input records that the instance identified by Inst filled the
 // dependency with key Key (see schema.Dep.Key) during construction.
@@ -96,13 +109,37 @@ func (in *Instance) String() string {
 	return s
 }
 
+// instShards is the number of shards the byID index is split into.
+// Sixteen keeps per-shard contention negligible at the engine's worker
+// counts without measurable memory overhead.
+const instShards = 16
+
+// instShard is one shard of the byID index: its own lock, its own map,
+// so point reads from many worker goroutines never contend on the
+// database's global lock (which continues to guard the sequence counter
+// and the derived indexes).
+type instShard struct {
+	mu sync.RWMutex
+	m  map[ID]*Instance
+}
+
 // DB is the design-history database. It is safe for concurrent use.
+//
+// Locking: db.mu guards the sequence counter, the derived indexes
+// (byType, usedBy, order) and the clock; the byID index is sharded with
+// per-shard locks (see instShard). Writers take db.mu exclusively and
+// then the shard lock of the instance they insert, so code holding
+// db.mu (either mode) may read shards freely; point readers (Get,
+// TypeOf, Has, ArtifactInfo) take only the shard lock. Stored
+// instances are immutable — Annotate replaces the stored copy rather
+// than mutating it — so a pointer read under the shard lock is safe to
+// dereference after the lock is released.
 type DB struct {
 	mu     sync.RWMutex
 	schema *schema.Schema
 	clock  func() time.Time
 	seq    int
-	byID   map[ID]*Instance
+	shards [instShards]instShard
 	byType map[string][]ID // concrete type -> IDs in creation order
 	usedBy map[ID][]ID     // forward index: instance -> direct dependents
 	order  []ID            // all IDs in creation order
@@ -113,10 +150,42 @@ func NewDB(s *schema.Schema) *DB {
 	return &DB{
 		schema: s,
 		clock:  time.Now,
-		byID:   make(map[ID]*Instance),
 		byType: make(map[string][]ID),
 		usedBy: make(map[ID][]ID),
 	}
+}
+
+// shardOf maps an ID to its shard (FNV-1a over the ID bytes).
+func (db *DB) shardOf(id ID) *instShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return &db.shards[h%instShards]
+}
+
+// look returns the stored instance, or nil. Stored instances are
+// immutable, so the caller may read fields after the shard lock is
+// released; callers handing the pointer outside the package must copy
+// (see get).
+func (db *DB) look(id ID) *Instance {
+	sh := db.shardOf(id)
+	sh.mu.RLock()
+	in := sh.m[id]
+	sh.mu.RUnlock()
+	return in
+}
+
+// insert stores an instance in its shard. The caller holds db.mu.
+func (db *DB) insert(in *Instance) {
+	sh := db.shardOf(in.ID)
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[ID]*Instance)
+	}
+	sh.m[in.ID] = in
+	sh.mu.Unlock()
 }
 
 // SetClock replaces the timestamp source; tests use it for determinism.
@@ -149,28 +218,47 @@ func (db *DB) Schema() *schema.Schema { return db.schema }
 func (db *DB) Record(rec Instance) (*Instance, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	id, err := db.recordLocked(rec)
+	if err != nil {
+		return nil, err
+	}
+	return db.get(id), nil
+}
 
+// RecordID is Record without the defensive copy of the stored instance:
+// it validates, stores, and returns only the assigned ID. Bulk loaders
+// and the engine's commit path use it on graphs where cloning every
+// just-written record is measurable overhead.
+func (db *DB) RecordID(rec Instance) (ID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.recordLocked(rec)
+}
+
+// recordLocked validates and stores rec under db.mu, returning the
+// assigned ID.
+func (db *DB) recordLocked(rec Instance) (ID, error) {
 	t := db.schema.Type(rec.Type)
 	if t == nil {
-		return nil, fmt.Errorf("history: unknown entity type %q", rec.Type)
+		return "", fmt.Errorf("history: unknown entity type %q", rec.Type)
 	}
 	if t.Abstract {
-		return nil, fmt.Errorf("history: cannot instantiate abstract type %q", rec.Type)
+		return "", fmt.Errorf("history: cannot instantiate abstract type %q", rec.Type)
 	}
 
 	// Tool / functional dependency.
 	switch {
 	case t.FuncDep != nil && rec.Tool == "":
-		return nil, fmt.Errorf("history: %s requires a tool instance (fd %s)", rec.Type, t.FuncDep.Type)
+		return "", fmt.Errorf("history: %s requires a tool instance (fd %s)", rec.Type, t.FuncDep.Type)
 	case t.FuncDep == nil && rec.Tool != "":
-		return nil, fmt.Errorf("history: %s takes no tool (it has no functional dependency)", rec.Type)
+		return "", fmt.Errorf("history: %s takes no tool (it has no functional dependency)", rec.Type)
 	case t.FuncDep != nil:
-		ti, ok := db.byID[rec.Tool]
-		if !ok {
-			return nil, fmt.Errorf("history: tool instance %s does not exist", rec.Tool)
+		ti := db.look(rec.Tool)
+		if ti == nil {
+			return "", fmt.Errorf("history: tool instance %s does not exist", rec.Tool)
 		}
 		if !db.schema.Satisfies(ti.Type, t.FuncDep.Type) {
-			return nil, fmt.Errorf("history: tool %s has type %s, which does not satisfy fd %s of %s",
+			return "", fmt.Errorf("history: tool %s has type %s, which does not satisfy fd %s of %s",
 				rec.Tool, ti.Type, t.FuncDep.Type, rec.Type)
 		}
 	}
@@ -180,34 +268,34 @@ func (db *DB) Record(rec Instance) (*Instance, error) {
 	for _, in := range rec.Inputs {
 		d, ok := t.DepByKey(in.Key)
 		if !ok || (t.FuncDep != nil && in.Key == t.FuncDep.Key()) {
-			return nil, fmt.Errorf("history: %s has no data dependency %q", rec.Type, in.Key)
+			return "", fmt.Errorf("history: %s has no data dependency %q", rec.Type, in.Key)
 		}
 		if seen[in.Key] {
-			return nil, fmt.Errorf("history: duplicate input for dependency %q", in.Key)
+			return "", fmt.Errorf("history: duplicate input for dependency %q", in.Key)
 		}
 		seen[in.Key] = true
-		ii, ok := db.byID[in.Inst]
-		if !ok {
-			return nil, fmt.Errorf("history: input instance %s does not exist", in.Inst)
+		ii := db.look(in.Inst)
+		if ii == nil {
+			return "", fmt.Errorf("history: input instance %s does not exist", in.Inst)
 		}
 		if !db.schema.Satisfies(ii.Type, d.Type) {
-			return nil, fmt.Errorf("history: input %s has type %s, which does not satisfy dd %s of %s",
+			return "", fmt.Errorf("history: input %s has type %s, which does not satisfy dd %s of %s",
 				in.Inst, ii.Type, d, rec.Type)
 		}
 	}
 	for _, d := range t.RequiredDeps() {
 		if !seen[d.Key()] {
-			return nil, fmt.Errorf("history: %s is missing required input %q", rec.Type, d.Key())
+			return "", fmt.Errorf("history: %s is missing required input %q", rec.Type, d.Key())
 		}
 	}
 
 	db.seq++
 	inst := rec // copy
-	inst.ID = ID(fmt.Sprintf("%s:%d", rec.Type, db.seq))
+	inst.ID = MakeID(rec.Type, db.seq)
 	inst.Created = db.clock()
 	inst.Inputs = append([]Input(nil), rec.Inputs...)
 
-	db.byID[inst.ID] = &inst
+	db.insert(&inst)
 	db.byType[inst.Type] = append(db.byType[inst.Type], inst.ID)
 	db.order = append(db.order, inst.ID)
 	if inst.Tool != "" {
@@ -216,7 +304,7 @@ func (db *DB) Record(rec Instance) (*Instance, error) {
 	for _, in := range inst.Inputs {
 		db.usedBy[in.Inst] = append(db.usedBy[in.Inst], inst.ID)
 	}
-	return db.get(inst.ID), nil
+	return inst.ID, nil
 }
 
 // MustRecord is Record but panics on error; for fixtures and examples.
@@ -228,10 +316,10 @@ func (db *DB) MustRecord(rec Instance) *Instance {
 	return inst
 }
 
-// get returns a defensive copy under the caller's lock.
+// get returns a defensive copy of the stored instance, or nil.
 func (db *DB) get(id ID) *Instance {
-	in, ok := db.byID[id]
-	if !ok {
+	in := db.look(id)
+	if in == nil {
 		return nil
 	}
 	cp := *in
@@ -241,19 +329,28 @@ func (db *DB) get(id ID) *Instance {
 
 // Get returns a copy of the instance with the given ID, or nil.
 func (db *DB) Get(id ID) *Instance {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.get(id)
+}
+
+// ArtifactInfo returns the artifact coordinates of an instance — its
+// concrete type, blob ref and archive placement — without copying the
+// instance's derivation. The execution engine resolves every input of
+// every unit through this accessor; Get's defensive copy of the Inputs
+// slice is measurable overhead there and none of these fields need it.
+func (db *DB) ArtifactInfo(id ID) (typ string, data datastore.Ref, archive string, revision int, ok bool) {
+	in := db.look(id)
+	if in == nil {
+		return "", "", "", 0, false
+	}
+	return in.Type, in.Data, in.Archive, in.Revision, true
 }
 
 // TypeOf returns the concrete entity type of an instance and whether the
 // instance exists. It satisfies the flow package's Resolver interface so
 // flows can type-check bindings against this database.
 func (db *DB) TypeOf(id ID) (string, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	in, ok := db.byID[id]
-	if !ok {
+	in := db.look(id)
+	if in == nil {
 		return "", false
 	}
 	return in.Type, true
@@ -261,10 +358,7 @@ func (db *DB) TypeOf(id ID) (string, bool) {
 
 // Has reports whether an instance exists.
 func (db *DB) Has(id ID) bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	_, ok := db.byID[id]
-	return ok
+	return db.look(id) != nil
 }
 
 // Seq returns the value of the instance sequence counter: the numeric
@@ -300,20 +394,24 @@ func (db *DB) ReserveSeq(n int) {
 func (db *DB) Len() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return len(db.byID)
+	return len(db.order)
 }
 
 // Annotate sets the user-visible name and comment of an instance (the
-// annotation facility of §4.1).
+// annotation facility of §4.1). Stored instances are immutable, so the
+// annotated copy replaces the stored one.
 func (db *DB) Annotate(id ID, name, comment string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	in, ok := db.byID[id]
+	sh := db.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	in, ok := sh.m[id]
 	if !ok {
 		return fmt.Errorf("history: no instance %s", id)
 	}
-	in.Name = name
-	in.Comment = comment
+	cp := *in
+	cp.Name = name
+	cp.Comment = comment
+	sh.m[id] = &cp
 	return nil
 }
 

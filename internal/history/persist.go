@@ -28,7 +28,7 @@ func (db *DB) DumpJSON(w io.Writer) error {
 func (db *DB) Restore(r io.Reader) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if len(db.byID) != 0 {
+	if len(db.order) != 0 {
 		return fmt.Errorf("history: Restore into non-empty database")
 	}
 	var insts []*Instance
@@ -43,13 +43,13 @@ func (db *DB) Restore(r io.Reader) error {
 			db.wipeLocked()
 			return fmt.Errorf("history: restore: record without ID")
 		}
-		if _, dup := db.byID[in.ID]; dup {
+		if db.look(in.ID) != nil {
 			db.wipeLocked()
 			return fmt.Errorf("history: restore: duplicate ID %s", in.ID)
 		}
 		cp := *in
 		cp.Inputs = append([]Input(nil), in.Inputs...)
-		db.byID[in.ID] = &cp
+		db.insert(&cp)
 	}
 	// Second pass: validate each record against the schema and rebuild
 	// the derived indexes in creation order.
@@ -84,7 +84,12 @@ func (db *DB) Restore(r io.Reader) error {
 
 // wipeLocked clears all state after a failed restore.
 func (db *DB) wipeLocked() {
-	db.byID = make(map[ID]*Instance)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		sh.m = nil
+		sh.mu.Unlock()
+	}
 	db.byType = make(map[string][]ID)
 	db.usedBy = make(map[ID][]ID)
 	db.order = nil
@@ -121,8 +126,8 @@ func (db *DB) validateRestored(in *Instance) error {
 	case t.FuncDep == nil && in.Tool != "":
 		return fmt.Errorf("history: restore: %s has a tool but its type takes none", in.ID)
 	case t.FuncDep != nil:
-		ti, ok := db.byID[in.Tool]
-		if !ok {
+		ti := db.look(in.Tool)
+		if ti == nil {
 			return fmt.Errorf("history: restore: %s references missing tool %s", in.ID, in.Tool)
 		}
 		if !db.schema.Satisfies(ti.Type, t.FuncDep.Type) {
@@ -139,8 +144,8 @@ func (db *DB) validateRestored(in *Instance) error {
 			return fmt.Errorf("history: restore: %s repeats input %q", in.ID, x.Key)
 		}
 		seen[x.Key] = true
-		ii, ok := db.byID[x.Inst]
-		if !ok {
+		ii := db.look(x.Inst)
+		if ii == nil {
 			return fmt.Errorf("history: restore: %s references missing input %s", in.ID, x.Inst)
 		}
 		if !db.schema.Satisfies(ii.Type, d.Type) {

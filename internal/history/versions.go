@@ -36,14 +36,14 @@ func (db *DB) IsEditType(typeName string) bool {
 // whose type is an edit type over the same root and that consumed id on
 // the self-typed dependency.
 func (db *DB) versionChildren(id ID) []ID {
-	in := db.byID[id]
+	in := db.look(id)
 	if in == nil {
 		return nil
 	}
 	root := db.schema.Root(in.Type)
 	var out []ID
 	for _, user := range db.usedBy[id] {
-		u := db.byID[user]
+		u := db.look(user)
 		if db.schema.Root(u.Type) != root {
 			continue
 		}
@@ -62,7 +62,7 @@ func (db *DB) versionChildren(id ID) []ID {
 
 // versionParent returns the version predecessor of id, or "".
 func (db *DB) versionParent(id ID) ID {
-	in := db.byID[id]
+	in := db.look(id)
 	if in == nil {
 		return ""
 	}
@@ -70,7 +70,7 @@ func (db *DB) versionParent(id ID) ID {
 	t := db.schema.Type(in.Type)
 	for _, x := range in.Inputs {
 		if d, ok := t.DepByKey(x.Key); ok && db.schema.Root(d.Type) == root {
-			parent := db.byID[x.Inst]
+			parent := db.look(x.Inst)
 			if parent != nil && db.schema.Root(parent.Type) == root {
 				return x.Inst
 			}
@@ -114,7 +114,7 @@ func (v *VersionNode) Render() string {
 func (db *DB) LineageRoot(id ID) (ID, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	if _, ok := db.byID[id]; !ok {
+	if db.look(id) == nil {
 		return "", fmt.Errorf("history: no instance %s", id)
 	}
 	cur := id
@@ -203,7 +203,7 @@ func (db *DB) FlowTrace(id ID) (*TraceNode, error) {
 	build = func(cur ID, tool ID, others []ID) *TraceNode {
 		n := &TraceNode{Inst: cur, Tool: tool, OtherInputs: others}
 		for _, c := range db.versionChildren(cur) {
-			cin := db.byID[c]
+			cin := db.look(c)
 			var extra []ID
 			for _, x := range cin.Inputs {
 				if x.Inst != cur {

@@ -1,0 +1,123 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datastore"
+)
+
+// goldenUnits is a fixed set of units spanning every branch of the key
+// encoding: tool vs composite, empty vs populated outputs/inputs,
+// unsorted slices (UnitKey must sort), and near-collision layouts that
+// only the length-prefixed framing separates.
+func goldenUnits() []Unit {
+	refA := datastore.RefOf([]byte("artifact-a"))
+	refB := datastore.RefOf([]byte("artifact-b"))
+	return []Unit{
+		{},
+		{Goal: "Netlist", Composite: true},
+		{Goal: "Netlist", ToolType: "Synthesizer", Tool: refA},
+		{
+			Goal:     "Layout",
+			Outputs:  []string{"Layout", "DRCReport", "Abstract"},
+			ToolType: "PlaceRoute",
+			Tool:     refB,
+			Inputs: []InputRef{
+				{Key: "netlist", Ref: refA},
+				{Key: "constraints", Ref: refB},
+			},
+		},
+		// Same fields as above with inputs and outputs pre-scrambled:
+		// must produce the identical key (UnitKey sorts).
+		{
+			Goal:     "Layout",
+			Outputs:  []string{"DRCReport", "Abstract", "Layout"},
+			ToolType: "PlaceRoute",
+			Tool:     refB,
+			Inputs: []InputRef{
+				{Key: "constraints", Ref: refB},
+				{Key: "netlist", Ref: refA},
+			},
+		},
+		// Framing probe: "ab"+"c" vs "a"+"bc" in adjacent fields must
+		// not collide thanks to length prefixes.
+		{Goal: "ab", ToolType: "c"},
+		{Goal: "a", ToolType: "bc"},
+		{Goal: "x", Inputs: []InputRef{{Key: "k", Ref: "r"}}},
+		{Goal: "x", Inputs: []InputRef{{Key: "kr", Ref: ""}}},
+	}
+}
+
+// goldenKeys pins the exact key bytes the encoding produced before the
+// pooled zero-allocation rewrite. Any implementation change that alters
+// these invalidates every persisted cache — the encoding is a
+// compatibility surface, not an implementation detail.
+var goldenKeys = []Key{
+	"memo:b3796fbdbd32dd78acdc06220ce2721a6286cc748efd669458695366cae69783",
+	"memo:5e05c8fef7bb36dca1c7b461dceda45c2487216afb1501f6d9a2d310839641a9",
+	"memo:7c3cc7de4104d384e2e160d3f402d8d349cfe7b597c92e150aaabdad6956fcc3",
+	"memo:4cf2c68bfb468b0b66b7b1bbaccf739a6ed93a68521c2e20ff674926bb33a9a6",
+	"memo:4cf2c68bfb468b0b66b7b1bbaccf739a6ed93a68521c2e20ff674926bb33a9a6",
+	"memo:a63920a9cd26762182a26506ea56046d0d164988901a860c4ccbdf76812118f5",
+	"memo:7a3ecb7b9b5f55c0994291ccddeb33f3c3bb68d119e74a39a482b1216d6e9a41",
+	"memo:9ff367c491823f49bd19b745bf6cbb3747ad5e2d89c5895e55f6cbd2d845cf75",
+	"memo:e8e9243f5eba2bb5e18a4a3573b22ceb49f2883ad90c435418d0f54321a4a039",
+}
+
+// TestUnitKeyGolden locks the canonical derivation encoding: keys are
+// persisted (memo dump/restore) and shared across runs, so the byte
+// stream behind them must never drift. If this test fails, the encoding
+// changed — that is a breaking change to every saved cache, not a
+// refactor.
+func TestUnitKeyGolden(t *testing.T) {
+	units := goldenUnits()
+	if len(units) != len(goldenKeys) {
+		t.Fatalf("have %d golden units but %d golden keys", len(units), len(goldenKeys))
+	}
+	for i, u := range units {
+		if got := UnitKey(u); got != goldenKeys[i] {
+			t.Errorf("unit %d: key drifted\n got %s\nwant %s", i, got, goldenKeys[i])
+		}
+	}
+	if goldenKeys[3] != goldenKeys[4] {
+		t.Error("golden fixture broken: scrambled unit must share its sorted twin's key")
+	}
+	if goldenKeys[5] == goldenKeys[6] || goldenKeys[7] == goldenKeys[8] {
+		t.Error("framing probe units collided: length prefixes are not separating fields")
+	}
+}
+
+// TestUnitKeyDoesNotMutateUnit guards the rewrite's sorting: UnitKey
+// must sort copies, never the caller's slices.
+func TestUnitKeyDoesNotMutateUnit(t *testing.T) {
+	u := Unit{
+		Goal:    "g",
+		Outputs: []string{"b", "a"},
+		Inputs:  []InputRef{{Key: "z"}, {Key: "a"}},
+	}
+	UnitKey(u)
+	if u.Outputs[0] != "b" || u.Inputs[0].Key != "z" {
+		t.Errorf("UnitKey mutated caller slices: outputs=%v inputs=%v", u.Outputs, u.Inputs)
+	}
+}
+
+// BenchmarkUnitKey measures key derivation for a representative 3-input
+// unit — the per-unit planning cost on the hot path.
+func BenchmarkUnitKey(b *testing.B) {
+	u := goldenUnits()[3]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if UnitKey(u) == "" {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func init() {
+	// Sanity: golden refs derive from fixed bytes, so the fixture is
+	// self-contained (no stored files).
+	if datastore.RefOf([]byte("artifact-a")) == datastore.RefOf([]byte("artifact-b")) {
+		panic(fmt.Sprintf("ref collision in golden fixture"))
+	}
+}

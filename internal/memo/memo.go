@@ -24,6 +24,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"hash"
 	"sort"
 	"sync"
 
@@ -69,40 +70,75 @@ type Unit struct {
 	Inputs []InputRef
 }
 
+// keyState is the reusable working set of one UnitKey computation: the
+// hash, the length-prefix scratch, a string-conversion buffer, the sum
+// buffer and the sort copies. Pooling it takes key derivation — run once
+// per unit at planning time and once per consult — from ~12 heap
+// allocations down to the single unavoidable one (the returned Key
+// string).
+type keyState struct {
+	h       hash.Hash
+	len     [8]byte
+	sum     [sha256.Size]byte
+	scratch []byte // string bytes staged for h.Write (interface Write of a []byte(s) conversion would heap-allocate)
+	outs    []string
+	ins     []InputRef
+}
+
+var keyPool = sync.Pool{New: func() any { return &keyState{h: sha256.New()} }}
+
+// field hashes one length-prefixed field, byte-for-byte identical to the
+// original closure-based encoding (pinned by TestUnitKeyGolden).
+func (ks *keyState) field(s string) {
+	binary.LittleEndian.PutUint64(ks.len[:], uint64(len(s)))
+	ks.h.Write(ks.len[:])
+	ks.scratch = append(ks.scratch[:0], s...)
+	ks.h.Write(ks.scratch)
+}
+
 // UnitKey computes the derivation key of a unit: a SHA-256 over a
 // canonical, length-prefixed encoding of all fields, so no two distinct
-// units can collide by concatenation tricks.
+// units can collide by concatenation tricks. The encoding is a
+// compatibility surface — keys are persisted and compared across runs —
+// and is pinned by TestUnitKeyGolden.
 func UnitKey(u Unit) Key {
-	h := sha256.New()
-	field := func(s string) {
-		var n [8]byte
-		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
-		h.Write(n[:])
-		h.Write([]byte(s))
-	}
-	field("goal")
-	field(u.Goal)
+	ks := keyPool.Get().(*keyState)
+	ks.h.Reset()
+	ks.field("goal")
+	ks.field(u.Goal)
 	if u.Composite {
-		field("composite")
+		ks.field("composite")
 	} else {
-		field("tool")
-		field(u.ToolType)
-		field(string(u.Tool))
+		ks.field("tool")
+		ks.field(u.ToolType)
+		ks.field(string(u.Tool))
 	}
-	outs := append([]string(nil), u.Outputs...)
+	outs := append(ks.outs[:0], u.Outputs...)
 	sort.Strings(outs)
-	field("outputs")
+	ks.field("outputs")
 	for _, o := range outs {
-		field(o)
+		ks.field(o)
 	}
-	ins := append([]InputRef(nil), u.Inputs...)
-	sort.Slice(ins, func(i, j int) bool { return ins[i].Key < ins[j].Key })
-	field("inputs")
+	ins := append(ks.ins[:0], u.Inputs...)
+	// Insertion sort: input lists are a handful of dependency keys, and
+	// sort.Slice would cost two allocations (closure and swapper).
+	for i := 1; i < len(ins); i++ {
+		for j := i; j > 0 && ins[j].Key < ins[j-1].Key; j-- {
+			ins[j], ins[j-1] = ins[j-1], ins[j]
+		}
+	}
+	ks.field("inputs")
 	for _, in := range ins {
-		field(in.Key)
-		field(string(in.Ref))
+		ks.field(in.Key)
+		ks.field(string(in.Ref))
 	}
-	return Key("memo:" + hex.EncodeToString(h.Sum(nil)))
+	ks.h.Sum(ks.sum[:0])
+	var out [5 + 2*sha256.Size]byte
+	copy(out[:], "memo:")
+	hex.Encode(out[5:], ks.sum[:])
+	ks.outs, ks.ins = outs[:0], ins[:0]
+	keyPool.Put(ks)
+	return Key(out[:])
 }
 
 // Entry is the memoized result of one unit: the content address of each

@@ -133,11 +133,14 @@ type Sink interface {
 }
 
 // Mask zeroes the nondeterministic fields of an event — wall-clock
-// durations, the scheduler label and the run label — leaving the
-// logical structure.
+// durations, the scheduler label, the run label and the worker count —
+// leaving the logical structure. Workers is masked for the same reason
+// Scheduler is: it describes the execution environment, and the
+// determinism contract promises identical logical traces across both.
 func Mask(ev Event) Event {
 	ev.Scheduler = ""
 	ev.Run = ""
+	ev.Workers = 0
 	ev.WaitMicros = 0
 	ev.DurMicros = 0
 	ev.BusyMicros = 0
