@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos memo concurrent fuzz cover ci bench flowbench scale
+.PHONY: build vet test race chaos memo concurrent crash fuzz cover ci bench flowbench scale
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,17 @@ memo:
 concurrent:
 	$(GO) test -race -run 'Concurrent|Admission|SharedMemo|RunOptions|Close|Retrace|Setters|Service|EventLog' ./internal/exec/... ./internal/service/...
 	$(GO) run ./cmd/flowd -smoke
+
+# crash runs the durability gate: the WAL/recovery suites under -race
+# (storage framing, executor kill-and-resume, service boot recovery),
+# then the whole-process round trip — build flowd, kill -9 it mid-run,
+# restart over the same data dir and require the resumed masked trace
+# to be byte-identical to an uninterrupted golden. Same gate as the CI
+# crash job.
+crash:
+	$(GO) test -race ./internal/storage/...
+	$(GO) test -race -run 'KillAndResume|Resume|Durable|Recover' ./internal/exec/... ./internal/service/...
+	CRASH_E2E=1 $(GO) test -run TestCrashRecoveryE2E -v -count=1 ./cmd/flowd
 
 # fuzz smoke-runs each native fuzz target briefly (seed corpora live in
 # testdata/fuzz/); go test accepts one -fuzz pattern per invocation.

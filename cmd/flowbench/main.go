@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/memo"
 	"repro/internal/schema"
+	"repro/internal/storage"
 	runtrace "repro/internal/trace"
 )
 
@@ -80,6 +82,7 @@ var sections = []struct {
 	{"baselines", "dynamic flows vs static flows vs traces", false, baselinesSection},
 	{"concurrent", "multi-flow load: one engine, many designers' runs", false, concurrentSection},
 	{"scale", "synthetic 10k–100k-node flows: plan and dispatch throughput", false, scaleSection},
+	{"durable", "WAL-backed runs: write-ahead overhead and crash recovery", false, durableSection},
 }
 
 // benchOut, when set with -out <file>, makes the concurrent and scale
@@ -1384,6 +1387,152 @@ func scaleSection() {
 			b.Graph.Edges(), b.Graph.Depth(), jobs, units, ms(buildTime), ms(planTime),
 			float64(units) / planTime.Seconds(), dispatches, allocMB, mallocs,
 			ms(cold.Elapsed), ms(warm.Elapsed), shapes}
+		data := must1(json.MarshalIndent(out, "", "  "))
+		must(os.WriteFile(benchOut, append(data, '\n'), 0o644))
+		fmt.Printf("wrote %s\n", benchOut)
+	}
+}
+
+// durableSection measures the durability tax and the recovery path
+// over the scale section's primary subject: the layered 10k-cell graph
+// dispatched with and without a write-ahead log underneath (same
+// worker widths as the scale section, so the overhead is comparable
+// against BENCH_scale.json), then the boot path — reading the finished
+// log back and replaying its committed units into a fresh datastore
+// and result cache. With -out the measurements are written as JSON
+// (the raw material of BENCH_durable.json).
+func durableSection() {
+	type dispatchResult struct {
+		Workers     int     `json:"workers"`
+		BaseMS      float64 `json:"base_ms"`
+		WALMS       float64 `json:"wal_ms"`
+		BaseUPS     float64 `json:"base_units_per_s"`
+		WALUPS      float64 `json:"wal_units_per_s"`
+		OverheadPct float64 `json:"overhead_pct"`
+		// Comparison against the committed BENCH_scale.json dispatch
+		// record (the PR 7 after-numbers), when that file is readable:
+		// the acceptance yardstick for the durability tax.
+		ScaleMS    float64 `json:"scale_baseline_ms,omitempty"`
+		VsScalePct float64 `json:"vs_scale_pct,omitempty"`
+	}
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+	// scaleBaseline maps workers -> elapsed_ms from BENCH_scale.json's
+	// "after" dispatch table, if the record is present in the cwd.
+	scaleBaseline := map[int]float64{}
+	if data, err := os.ReadFile("BENCH_scale.json"); err == nil {
+		var rec struct {
+			After struct {
+				Dispatch []struct {
+					Workers   int     `json:"workers"`
+					ElapsedMS float64 `json:"elapsed_ms"`
+				} `json:"dispatch"`
+			} `json:"after"`
+		}
+		if json.Unmarshal(data, &rec) == nil {
+			for _, d := range rec.After.Dispatch {
+				scaleBaseline[d.Workers] = d.ElapsedMS
+			}
+		}
+	}
+
+	cells := scaleCells
+	spec := flowgen.Spec{Cells: cells, Shape: flowgen.Layered, Seed: 1993}
+	dir := must1(os.MkdirTemp("", "flowbench-durable"))
+	defer os.RemoveAll(dir)
+
+	b := must1(flowgen.Build(spec))
+	fmt.Printf("graph: %s, %d cells -> %d flow nodes (seed %d)\n",
+		spec.Shape, cells, b.Flow.Len(), spec.Seed)
+
+	var dispatches []dispatchResult
+	var lastWAL string
+	var walBytes int64
+	const reps = 3 // best-of-3: single-shot numbers are noise-dominated
+	fmt.Printf("%9s %12s %12s %10s\n", "workers", "base", "wal", "overhead")
+	for _, w := range []int{1, 4, 16} {
+		// Reps interleave base and WAL runs so each pair sees the same
+		// machine conditions; min-of-reps on each side filters the rest
+		// of the noise (the box is single-core and shared).
+		var base, res *exec.Result
+		for r := 0; r < reps; r++ {
+			bb := must1(flowgen.Build(spec))
+			eb := exec.New(bb.Schema, bb.DB, bb.Store, bb.Reg)
+			eb.SetWorkers(w)
+			runtime.GC()
+			got := must1(eb.RunFlow(bb.Flow))
+			if base == nil || got.Elapsed < base.Elapsed {
+				base = got
+			}
+
+			bw := must1(flowgen.Build(spec))
+			ew := exec.New(bw.Schema, bw.DB, bw.Store, bw.Reg)
+			ew.SetWorkers(w)
+			runtime.GC()
+			path := filepath.Join(dir, fmt.Sprintf("w%d-%d.wal", w, r))
+			l := must1(storage.OpenFile(path))
+			wal := storage.NewRunWAL(l)
+			must(wal.AppendMeta(storage.RunMeta{ID: "bench", Flow: "layered", User: "bench"}))
+			wgot := must1(ew.RunFlowOptions(context.Background(), bw.Flow,
+				&exec.RunOptions{Label: "bench", WAL: wal}))
+			must(wal.Close())
+			must(l.Close())
+			if res == nil || wgot.Elapsed < res.Elapsed {
+				res = wgot
+			}
+			fi := must1(os.Stat(path))
+			lastWAL, walBytes = path, fi.Size()
+		}
+
+		d := dispatchResult{Workers: w, BaseMS: ms(base.Elapsed), WALMS: ms(res.Elapsed),
+			BaseUPS: float64(base.Stats.Units) / base.Elapsed.Seconds(),
+			WALUPS:  float64(res.Stats.Units) / res.Elapsed.Seconds(),
+			OverheadPct: (float64(res.Elapsed)/float64(base.Elapsed) - 1) * 100}
+		if sb := scaleBaseline[w]; sb > 0 {
+			d.ScaleMS = sb
+			d.VsScalePct = (d.WALMS/sb - 1) * 100
+		}
+		dispatches = append(dispatches, d)
+		line := fmt.Sprintf("%9d %12v %12v %+9.1f%%", w,
+			base.Elapsed.Round(time.Millisecond), res.Elapsed.Round(time.Millisecond),
+			d.OverheadPct)
+		if d.ScaleMS > 0 {
+			line += fmt.Sprintf("   (vs BENCH_scale %.0fms: %+.1f%%)", d.ScaleMS, d.VsScalePct)
+		}
+		fmt.Println(line)
+	}
+
+	// The boot path: recover the finished workers=16 log and replay its
+	// committed payloads into a fresh datastore and result cache.
+	t0 := time.Now()
+	l := must1(storage.OpenFile(lastWAL))
+	rec := must1(storage.RecoverRun(l))
+	st := datastore.NewStore()
+	must(rec.Replay(st, memo.New(0)))
+	must(l.Close())
+	recTime := time.Since(t0)
+	fmt.Printf("recover: %.1f MB log, %d events, %d committed units replayed in %v (%.0f units/s)\n",
+		float64(walBytes)/(1<<20), len(rec.Events), len(rec.Commits),
+		recTime.Round(time.Millisecond), float64(len(rec.Commits))/recTime.Seconds())
+
+	if benchOut != "" {
+		out := struct {
+			Bench      string           `json:"bench"`
+			Note       string           `json:"note"`
+			Cells      int              `json:"cells"`
+			Shape      string           `json:"shape"`
+			Seed       int64            `json:"seed"`
+			FlowNodes  int              `json:"flow_nodes"`
+			Dispatch   []dispatchResult `json:"dispatch"`
+			WALBytes   int64            `json:"wal_bytes_workers16"`
+			RecEvents  int              `json:"recover_events"`
+			RecCommits int              `json:"recover_commits"`
+			RecoverMS  float64          `json:"recover_ms"`
+		}{"flowbench durable", "base and wal are min-of-3 interleaved runs in one process; " +
+			"the box is a single shared core, so the paired base_ms is the fair reference and " +
+			"vs_scale_pct carries cross-session machine drift on top of the WAL tax",
+			cells, string(spec.Shape), spec.Seed, b.Flow.Len(),
+			dispatches, walBytes, len(rec.Events), len(rec.Commits), ms(recTime)}
 		data := must1(json.MarshalIndent(out, "", "  "))
 		must(os.WriteFile(benchOut, append(data, '\n'), 0o644))
 		fmt.Printf("wrote %s\n", benchOut)

@@ -7,6 +7,7 @@
 //
 //	flowd                      # serve on :8080
 //	flowd -addr 127.0.0.1:9090 # serve elsewhere
+//	flowd -data-dir ./flowd    # durable runs: WAL per run, crash recovery
 //	flowd -smoke               # self-test: start on a loopback port, do a
 //	                           # submit→status→trace→cancel round trip,
 //	                           # print "smoke ok" and exit (CI)
@@ -18,6 +19,17 @@
 //	-queue <n>     queued-run bound beyond -max-runs (default 256)
 //	-memo <n>      shared result cache entries (0 = unbounded,
 //	               negative = disabled; default 0)
+//	-data-dir <d>  durable state directory: one WAL per run plus a
+//	               datastore checkpoint; on boot, finished runs are
+//	               replayed and interrupted runs resume from their last
+//	               committed unit (empty = in-memory only)
+//	-drain <d>     graceful-shutdown drain timeout (default 30s)
+//
+// On SIGTERM/SIGINT flowd drains: new submissions get 503, active runs
+// get -drain to finish (WALs flushed and closed), the datastore is
+// checkpointed, and flowd exits 0 — or 2 when the deadline forced
+// running flows to abort (their WALs keep every committed unit, so the
+// next boot resumes them from there).
 //
 // Try it:
 //
@@ -29,13 +41,16 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/service"
@@ -47,12 +62,19 @@ func main() {
 	maxRuns := flag.Int("max-runs", 0, "concurrently executing run bound (0 = default 64)")
 	queue := flag.Int("queue", -1, "queued-run bound (-1 = default 256)")
 	memoN := flag.Int("memo", 0, "shared result cache entries (0 = unbounded, negative = disabled)")
+	dataDir := flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	smoke := flag.Bool("smoke", false, "start on a loopback port, run a self round trip, exit")
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	srv, err := service.New(service.Config{
 		Workers: *workers, MaxRuns: *maxRuns, MaxQueue: *queue, MemoEntries: *memoN,
+		DataDir: *dataDir,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowd:", err)
+		os.Exit(1)
+	}
 
 	if *smoke {
 		if err := runSmoke(srv); err != nil {
@@ -63,10 +85,41 @@ func main() {
 		return
 	}
 
-	fmt.Printf("flowd: serving on %s (%d workers)\n", *addr, *workers)
-	if err := http.ListenAndServe(*addr, srv); err != nil {
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "flowd:", err)
 		os.Exit(1)
+	}
+	fmt.Printf("flowd: serving on %s (%d workers)\n", ln.Addr(), *workers)
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "flowd:", err)
+		os.Exit(1)
+	case sig := <-sigCh:
+		fmt.Printf("flowd: %v: draining (timeout %s)\n", sig, *drain)
+		// Drain the service first (admission stops immediately, active
+		// runs finish and flush their WALs, datastore checkpoints), then
+		// close out the HTTP side — by now every followed trace stream
+		// has ended, so in-flight requests wind down fast.
+		forced, err := srv.Shutdown(*drain)
+		hctx, hcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = httpSrv.Shutdown(hctx)
+		hcancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowd: shutdown:", err)
+			os.Exit(1)
+		}
+		if forced {
+			fmt.Fprintln(os.Stderr, "flowd: drain timeout: running flows aborted")
+			os.Exit(2)
+		}
+		fmt.Println("flowd: drained cleanly")
 	}
 }
 

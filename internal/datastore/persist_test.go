@@ -1,0 +1,102 @@
+package datastore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDumpRestoreRoundTrip: every blob written by DumpJSON comes back
+// from Restore under the same content address.
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	src := NewStore()
+	var refs []Ref
+	for i := 0; i < 20; i++ {
+		refs = append(refs, src.Put([]byte(fmt.Sprintf("blob-%03d", i))))
+	}
+	var buf bytes.Buffer
+	if err := src.DumpJSON(&buf); err != nil {
+		t.Fatalf("DumpJSON: %v", err)
+	}
+
+	dst := NewStore()
+	if err := dst.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored store has %d blobs, want %d", dst.Len(), src.Len())
+	}
+	for i, r := range refs {
+		b, ok := dst.Get(r)
+		if !ok {
+			t.Fatalf("blob %d (%s) missing after restore", i, r)
+		}
+		if want := fmt.Sprintf("blob-%03d", i); string(b) != want {
+			t.Fatalf("blob %d = %q, want %q", i, b, want)
+		}
+	}
+	if err := dst.Verify(); err != nil {
+		t.Fatalf("restored store fails verification: %v", err)
+	}
+}
+
+// TestRestoreRejectsCorruptDump: a dump whose bytes no longer hash to
+// their stored key must be refused in full — content addressing is the
+// integrity check.
+func TestRestoreRejectsCorruptDump(t *testing.T) {
+	src := NewStore()
+	src.Put([]byte("authentic artifact"))
+	var buf bytes.Buffer
+	if err := src.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip the payload under its key: base64("authentic...") starts
+	// with "YXV0aGVudGlj"; corrupt it.
+	dump := strings.Replace(buf.String(), "YXV0aGVudGlj", "YXV0aGVudGlK", 1)
+	if dump == buf.String() {
+		t.Fatalf("test setup: payload not found in dump %q", buf.String())
+	}
+
+	dst := NewStore()
+	err := dst.Restore(strings.NewReader(dump))
+	if err == nil || !strings.Contains(err.Error(), "hashes to") {
+		t.Fatalf("Restore(corrupt) err = %v, want hash mismatch", err)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("corrupt restore left %d blobs behind", dst.Len())
+	}
+
+	// Garbage that is not even JSON is refused too.
+	if err := dst.Restore(strings.NewReader("not json")); err == nil {
+		t.Fatal("Restore(garbage) succeeded")
+	}
+}
+
+// TestRestoreIntoNonEmptyStoreDedups: restoring over live content is
+// additive and duplicate blobs collapse onto their existing address.
+func TestRestoreIntoNonEmptyStoreDedups(t *testing.T) {
+	src := NewStore()
+	shared := src.Put([]byte("shared"))
+	src.Put([]byte("only in dump"))
+	var buf bytes.Buffer
+	if err := src.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewStore()
+	dst.Put([]byte("shared"))
+	dst.Put([]byte("only in dst"))
+	if err := dst.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("store has %d blobs after restore, want 3 (shared deduped)", dst.Len())
+	}
+	if b, ok := dst.Get(shared); !ok || string(b) != "shared" {
+		t.Fatalf("shared blob = %q, %v", b, ok)
+	}
+	if err := dst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

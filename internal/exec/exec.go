@@ -47,6 +47,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/memo"
 	"repro/internal/schema"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -78,6 +79,8 @@ type runConfig struct {
 	nodeTimeouts map[flow.NodeID]time.Duration
 	tracer       trace.Sink
 	memo         *memo.Cache
+	wal          *storage.RunWAL
+	resume       *storage.Recovered
 }
 
 // Engine executes flows against one schema and encapsulation registry.
@@ -234,6 +237,19 @@ type RunOptions struct {
 	Tracer trace.Sink
 	// Memo is the derivation-keyed result cache to consult and feed.
 	Memo *memo.Cache
+	// WAL is the run's write-ahead log writer: every trace event is
+	// appended to it, with UnitCommitted events additionally carrying
+	// the unit's durable payload (artifacts + derivation key), and the
+	// run forces a durability barrier before returning. The caller owns
+	// the WAL (and its underlying log) and closes it after the run.
+	WAL *storage.RunWAL
+	// Resume carries a recovered WAL prefix (see storage.RecoverRun):
+	// the run verifies the prefix against its replanned IDs, replays
+	// the committed units through the normal committer — re-recording
+	// history, datastore and memo without re-running tools — and
+	// executes only the remaining units, with event Seq continuing
+	// exactly where the prefix ends.
+	Resume *storage.Recovered
 	// Scheduler overrides the scheduling discipline.
 	Scheduler *Scheduler
 	// Retry overrides the per-unit retry policy.
@@ -271,6 +287,12 @@ func (c runConfig) apply(o *RunOptions) runConfig {
 	}
 	if o.Memo != nil {
 		c.memo = o.Memo
+	}
+	if o.WAL != nil {
+		c.wal = o.WAL
+	}
+	if o.Resume != nil {
+		c.resume = o.Resume
 	}
 	if o.Scheduler != nil {
 		c.sched = *o.Scheduler

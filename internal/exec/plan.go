@@ -49,6 +49,7 @@ type plannedJob struct {
 	remaining int // unfinished combos
 	done      bool
 	failed    bool
+	resumed   bool // restored from a recovered WAL, not executed (durable.go)
 	skipped   bool // never dispatched: a producer failed (ContinueOnError)
 	blame     int  // root-cause job index when skipped
 	outputs   []encap.Outputs

@@ -248,8 +248,16 @@ func (r *run) execute(ctx context.Context, p *plan) error {
 			j.cacheHit = make([]bool, len(j.combos))
 		}
 	}
+	// Restore the recovered prefix before the ready scan: resumed jobs
+	// are marked done with their logged outputs, their dependents'
+	// pending counts drop, and only the remaining work becomes ready.
+	if r.cfg.resume != nil {
+		if err := r.applyResume(p, tr); err != nil {
+			return err
+		}
+	}
 	for _, j := range p.jobs {
-		if j.pending == 0 {
+		if j.pending == 0 && !j.done {
 			ready(j)
 		}
 	}
@@ -368,6 +376,15 @@ func (r *run) execute(ctx context.Context, p *plan) error {
 		}
 	}
 
+	// Commit the resumed prefix through the normal committer before any
+	// dispatch: recordJob re-records history (verifying the logged IDs
+	// against the replanned ones), memoPublish re-feeds the cache —
+	// replay rides exactly the path live execution takes, so nothing
+	// about commit semantics is special-cased for recovery.
+	if r.cfg.resume != nil {
+		advance()
+	}
+
 	ctxDone := ctx.Done()
 	outstanding := 0
 	for {
@@ -430,8 +447,13 @@ func (r *run) execute(ctx context.Context, p *plan) error {
 	}
 	stats.finish(p)
 	tr.finish(stats, res)
+	// Durability barrier: everything up to RunFinished must be on
+	// stable storage before the run's result is acknowledged. This is
+	// the one synchronous fsync of the run — per-unit durability rides
+	// the WAL writer's group-commit policy.
+	walErr := tr.barrier()
 
-	if len(unitErrs) == 0 && commitErr == nil && !cancelled {
+	if len(unitErrs) == 0 && commitErr == nil && !cancelled && walErr == nil {
 		return nil
 	}
 	sort.Slice(unitErrs, func(i, k int) bool {
@@ -458,6 +480,9 @@ func (r *run) execute(ctx context.Context, p *plan) error {
 	}
 	if commitErr != nil {
 		errs = append(errs, commitErr)
+	}
+	if walErr != nil {
+		errs = append(errs, walErr)
 	}
 	if cancelled {
 		errs = append(errs, fmt.Errorf("exec: run cancelled: %w", ctx.Err()))

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/flow"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -35,22 +36,30 @@ type attemptRec struct {
 	cacheHit bool // the unit was satisfied from the result cache
 }
 
-// runTracer drives one run's event emission. All methods are safe on a
-// nil receiver, so the scheduler hooks cost one comparison when no
-// tracer is installed.
+// runTracer drives one run's event emission — to the installed sink
+// and, when the run is durable, to its write-ahead log (the WAL is the
+// trace: both receive the same events, the WAL's UnitCommitted records
+// additionally carrying the unit's durable payload). All methods are
+// safe on a nil receiver, so the scheduler hooks cost one comparison
+// when neither a tracer nor a WAL is installed.
 type runTracer struct {
 	sink     trace.Sink
+	wal      *storage.RunWAL
 	label    string // stamped on every event (Event.Run)
 	p        *plan
 	seq      int
+	skipPlan bool   // resumed run: PlanBuilt is already in the log
 	unitBase []int  // first global unit index of each job
 	passed   []bool // job already emitted (skip/flush idempotence)
 }
 
-// newRunTracer returns nil when no tracer is installed; otherwise it
-// allocates the per-unit capture slots on the plan's jobs.
+// newRunTracer returns nil when neither a tracer nor a WAL is
+// installed; otherwise it allocates the per-unit capture slots on the
+// plan's jobs. A resumed run continues the recovered prefix's sequence
+// numbering, so the union of prefix and fresh events is one gapless
+// stream.
 func (r *run) newRunTracer(p *plan) *runTracer {
-	if r.cfg.tracer == nil {
+	if r.cfg.tracer == nil && r.cfg.wal == nil {
 		return nil
 	}
 	base := make([]int, len(p.jobs))
@@ -62,15 +71,44 @@ func (r *run) newRunTracer(p *plan) *runTracer {
 		j.unitDur = make([]time.Duration, len(j.combos))
 		j.unitLog = make([][]attemptRec, len(j.combos))
 	}
-	return &runTracer{sink: r.cfg.tracer, label: r.cfg.label, p: p,
+	t := &runTracer{sink: r.cfg.tracer, wal: r.cfg.wal, label: r.cfg.label, p: p,
 		unitBase: base, passed: make([]bool, len(p.jobs))}
+	if res := r.cfg.resume; res != nil && len(res.Events) > 0 {
+		t.seq = res.NextSeq
+		t.skipPlan = true
+	}
+	return t
 }
 
 func (t *runTracer) emit(ev trace.Event) {
 	ev.Seq = t.seq
 	ev.Run = t.label
 	t.seq++
-	t.sink.Emit(ev)
+	if t.sink != nil {
+		t.sink.Emit(ev)
+	}
+	if t.wal != nil {
+		t.wal.AppendEvent(ev)
+	}
+}
+
+// markResumed suppresses emission for a job restored from the WAL: its
+// events are already in the recovered prefix.
+func (t *runTracer) markResumed(j *plannedJob) {
+	if t == nil {
+		return
+	}
+	t.passed[j.idx] = true
+}
+
+// barrier forces everything appended to the WAL onto stable storage and
+// surfaces the writer's first error. Called once per run, after
+// RunFinished — the group-commit policy handles durability in between.
+func (t *runTracer) barrier() error {
+	if t == nil || t.wal == nil {
+		return nil
+	}
+	return t.wal.Barrier()
 }
 
 // observe buffers a unit completion for later in-order emission.
@@ -83,9 +121,10 @@ func (t *runTracer) observe(d unitResult) {
 	d.j.unitLog[d.ci] = d.alog
 }
 
-// planBuilt opens the stream.
+// planBuilt opens the stream (suppressed on a resumed run, whose
+// PlanBuilt is part of the recovered prefix).
 func (t *runTracer) planBuilt(sched Scheduler, workers int) {
-	if t == nil {
+	if t == nil || t.skipPlan {
 		return
 	}
 	t.emit(trace.Event{Kind: trace.KindPlanBuilt, Job: -1, Combo: -1, Unit: -1,
@@ -159,8 +198,12 @@ func (t *runTracer) passJob(j *plannedJob) {
 // committedJob emits one UnitCommitted per unit, after recordJob has
 // verified the planner's IDs. Deliberately attempt-free, so a
 // retried-then-succeeded run commits events identical to a clean run.
+// On a durable run each event's WAL record carries the unit's payload
+// — artifacts and derivation key — so recovery can replay the commit
+// without re-running the tool. Resumed jobs are skipped: their commit
+// records are already in the log.
 func (t *runTracer) committedJob(j *plannedJob) {
-	if t == nil {
+	if t == nil || j.resumed {
 		return
 	}
 	nodes := nodeInts(j.nodes)
@@ -169,9 +212,22 @@ func (t *runTracer) committedJob(j *plannedJob) {
 		for ni, id := range j.outIDs[ci] {
 			insts[ni] = string(id)
 		}
-		t.emit(trace.Event{Kind: trace.KindUnitCommitted, Job: j.idx, Combo: ci,
+		ev := trace.Event{Kind: trace.KindUnitCommitted, Job: j.idx, Combo: ci,
 			Unit: t.unitBase[j.idx] + ci, Nodes: nodes, Type: j.repType,
-			Insts: insts, DurMicros: j.unitDur[ci].Microseconds()})
+			Insts: insts, DurMicros: j.unitDur[ci].Microseconds()}
+		ev.Seq = t.seq
+		ev.Run = t.label
+		t.seq++
+		if t.sink != nil {
+			t.sink.Emit(ev)
+		}
+		if t.wal != nil {
+			c := &storage.UnitCommit{Unit: ev.Unit, Insts: insts, Outputs: j.outputs[ci]}
+			if j.memoKeys != nil {
+				c.MemoKey = string(j.memoKeys[ci])
+			}
+			t.wal.AppendCommit(ev, c)
+		}
 	}
 }
 

@@ -30,8 +30,10 @@ import (
 
 	"repro/internal/datastore"
 	"repro/internal/exec"
+	"repro/internal/flow"
 	"repro/internal/hercules"
 	"repro/internal/memo"
+	"repro/internal/storage"
 	"repro/internal/trace"
 )
 
@@ -48,6 +50,13 @@ type Config struct {
 	// MemoEntries sizes the shared result cache (0 = unbounded,
 	// negative = disabled).
 	MemoEntries int
+	// DataDir, when set, makes runs durable: every submission writes a
+	// write-ahead log under <DataDir>/runs and New recovers whatever it
+	// finds there — finished runs are replayed into the datastore and
+	// the result cache, interrupted runs are resumed from their last
+	// committed unit. Shutdown checkpoints the datastore to
+	// <DataDir>/store.json. Empty = in-memory only (previous behavior).
+	DataDir string
 }
 
 // runState is the lifecycle of one submission.
@@ -68,6 +77,10 @@ type runRecord struct {
 	log      *eventLog
 	cancel   context.CancelFunc
 	done     chan struct{}
+	// wal/walLog are set on durable runs: the run's write-ahead log and
+	// the file beneath it, both closed by the run goroutine at the end.
+	wal    *storage.RunWAL
+	walLog storage.Log
 
 	mu      sync.Mutex
 	state   runState
@@ -87,15 +100,19 @@ type Server struct {
 	metrics *trace.Metrics
 	flows   []*FlowSpec
 	mux     *http.ServeMux
+	dataDir string // durable root; empty = in-memory only
 
-	mu   sync.Mutex
-	seq  int
-	runs map[string]*runRecord
+	mu       sync.Mutex
+	seq      int
+	runs     map[string]*runRecord
+	draining bool // Shutdown in progress: submissions get 503
 }
 
 // New assembles a server: one hercules-equipped engine over a fresh
-// shared datastore.
-func New(cfg Config) *Server {
+// shared datastore. With Config.DataDir set it also recovers every run
+// log found there before returning, so the server comes up with its
+// pre-crash runs queryable (finished) or running again (interrupted).
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 4
 	}
@@ -135,7 +152,13 @@ func New(cfg Config) *Server {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprint(w, s.metrics.Expose())
 	})
-	return s
+	if cfg.DataDir != "" {
+		s.dataDir = cfg.DataDir
+		if err := s.initDurable(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // ServeHTTP dispatches to the service mux.
@@ -243,13 +266,39 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	s.seq++
 	id := fmt.Sprintf("r-%04d", s.seq)
+	s.mu.Unlock()
+
 	ctx, cancel := context.WithCancel(context.Background())
 	rec := &runRecord{id: id, flowName: spec.Name, user: req.User,
 		log: newEventLog(), cancel: cancel, done: make(chan struct{}),
 		state: stateRunning}
 	rec.started = time.Now()
+
+	// Durable mode: open the run's WAL and make the identity record
+	// stable before the submission is acknowledged.
+	if s.dataDir != "" {
+		if err := s.openRunWAL(rec); err != nil {
+			cancel()
+			writeErr(w, http.StatusInternalServerError, "run log: %v", err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining { // drain began while the WAL was being created
+		s.mu.Unlock()
+		cancel()
+		s.discardRunWAL(rec)
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
 	s.runs[id] = rec
 	s.mu.Unlock()
 
@@ -258,13 +307,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		User:   req.User,
 		Label:  id,
 		Tracer: trace.Multi(rec.log, s.metrics),
+		WAL:    rec.wal,
 	}
 	if spec.Delay > 0 {
 		d := spec.Delay
 		opts.TaskDelay = &d
 	}
+	s.launch(ctx, rec, f, opts)
+
+	writeJSON(w, http.StatusCreated, rec.view())
+}
+
+// launch starts the run goroutine: execute the flow, settle the
+// record's terminal state, then release the event log, the WAL and the
+// done channel — the same exit path for fresh and resumed runs.
+func (s *Server) launch(ctx context.Context, rec *runRecord, f *flow.Flow, opts *exec.RunOptions) {
 	go func() {
 		res, err := s.engine.RunFlowOptions(ctx, f, opts)
+		if rec.wal != nil {
+			if werr := rec.wal.Close(); werr != nil && err == nil {
+				err = werr
+			}
+			_ = rec.walLog.Close()
+		}
 		rec.mu.Lock()
 		rec.res, rec.err = res, err
 		rec.elapsed = time.Since(rec.started)
@@ -280,8 +345,6 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		rec.log.close()
 		close(rec.done)
 	}()
-
-	writeJSON(w, http.StatusCreated, rec.view())
 }
 
 func (s *Server) engineBounds() (maxRuns, maxQueue int) {
