@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos memo concurrent crash fuzz cover ci bench flowbench scale
+.PHONY: build vet test race chaos memo concurrent crash fuzz cover ci bench flowbench scale conformance conformance-update
 
 build:
 	$(GO) build ./...
@@ -45,19 +45,35 @@ crash:
 	$(GO) test -race -run 'KillAndResume|Resume|Durable|Recover' ./internal/exec/... ./internal/service/...
 	CRASH_E2E=1 $(GO) test -run TestCrashRecoveryE2E -v -count=1 ./cmd/flowd
 
+# conformance runs the scenario corpus (testdata/scenarios/) through
+# the harness under the race detector: every scenario under both
+# schedulers × the worker sweep, masked traces byte-identical to the
+# checked-in goldens. A golden mismatch fails with a unified diff.
+# Same gate as the CI conformance job.
+conformance:
+	$(GO) test -race -run 'TestConformance|TestCorpusShape' -v ./internal/harness/
+
+# conformance-update re-blesses the golden traces after an intended
+# trace change (review the diff before committing).
+conformance-update:
+	$(GO) test -run 'TestConformance' ./internal/harness/ -update
+
 # fuzz smoke-runs each native fuzz target briefly (seed corpora live in
-# testdata/fuzz/); go test accepts one -fuzz pattern per invocation.
+# testdata/fuzz/ and, for scenarios, testdata/scenarios/); go test
+# accepts one -fuzz pattern per invocation.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeRoundTrip$$' -fuzztime 5s ./internal/flow/
 	$(GO) test -run '^$$' -fuzz '^FuzzRefOfStoreRoundTrip$$' -fuzztime 5s ./internal/datastore/
 	$(GO) test -run '^$$' -fuzz '^FuzzDiffApply$$' -fuzztime 5s ./internal/datastore/
 	$(GO) test -run '^$$' -fuzz '^FuzzArchiveDeltaReconstruction$$' -fuzztime 5s ./internal/datastore/
+	$(GO) test -run '^$$' -fuzz '^FuzzScenarioDecode$$' -fuzztime 5s ./internal/scenario/
 
 # cover enforces the same ratchet as the CI trace job: the traced
-# execution paths (internal/exec + internal/trace) and the result cache
-# (internal/memo) stay above 90%.
+# execution paths (internal/exec + internal/trace), the result cache
+# (internal/memo) and the conformance layer (internal/scenario +
+# internal/harness) stay above 90%.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/exec/ ./internal/trace/ ./internal/memo/
+	$(GO) test -coverprofile=cover.out ./internal/exec/ ./internal/trace/ ./internal/memo/ ./internal/scenario/ ./internal/harness/
 	$(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print "combined coverage: " $$3 "%"; exit ($$3 >= 90.0) ? 0 : 1}'
 
 # ci is the gate CI runs: compile, vet, full suite under the race

@@ -11,6 +11,9 @@
 //	flowd -smoke               # self-test: start on a loopback port, do a
 //	                           # submit→status→trace→cancel round trip,
 //	                           # print "smoke ok" and exit (CI)
+//	flowd -scenario f.json     # conformance-check one scenario file
+//	                           # (internal/scenario) against its golden
+//	                           # trace and exit; -update re-blesses it
 //
 // Flags:
 //
@@ -49,10 +52,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/service"
 )
 
@@ -65,7 +70,18 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable state directory (empty = in-memory only)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout")
 	smoke := flag.Bool("smoke", false, "start on a loopback port, run a self round trip, exit")
+	scenarioPath := flag.String("scenario", "", "run the conformance check on one scenario file and exit")
+	goldenDir := flag.String("golden-dir", "", "with -scenario: golden trace directory (default <scenario dir>/golden)")
+	updateGolden := flag.Bool("update", false, "with -scenario: write the golden trace instead of comparing")
 	flag.Parse()
+
+	if *scenarioPath != "" {
+		if err := runScenario(*scenarioPath, *goldenDir, *updateGolden); err != nil {
+			fmt.Fprintln(os.Stderr, "flowd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	srv, err := service.New(service.Config{
 		Workers: *workers, MaxRuns: *maxRuns, MaxQueue: *queue, MemoEntries: *memoN,
@@ -235,4 +251,30 @@ func runSmoke(srv *service.Server) error {
 		return err
 	}
 	return ln.Close()
+}
+
+// runScenario runs the conformance harness on one scenario file — the
+// command-line face of the corpus test, for authoring new scenarios
+// (write the JSON, run with -update, inspect the golden, commit both).
+func runScenario(path, goldenDir string, update bool) error {
+	if goldenDir == "" {
+		goldenDir = filepath.Join(filepath.Dir(path), "golden")
+	}
+	rep, err := harness.RunFile(path, harness.Options{
+		GoldenDir: goldenDir,
+		Update:    update,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if rep.GoldenUpdated {
+		fmt.Printf("scenario %s: golden written: %s\n", rep.Scenario, rep.GoldenPath)
+		return nil
+	}
+	fmt.Printf("scenario %s ok: %d tasks per run, identical across %s\n",
+		rep.Scenario, rep.TasksRun, strings.Join(rep.Configs, ", "))
+	return nil
 }

@@ -1,117 +1,54 @@
 // asicflow: view management via flows (Figs. 7 and 8).
 //
-// A full adder exists as a logic view (gate netlist). The flow manager
-// synthesizes the physical view with the placer (Fig. 8a), then verifies
-// that the physical view corresponds to the netlist view by extraction
-// plus LVS (Fig. 8b). Both transformations are ordinary flows; no
-// separate view-management subsystem is involved.
+// A full adder exists as a logic view (gate netlist). One flow
+// synthesizes the physical view with the placer (Fig. 8a), extracts it
+// back, verifies netlist-vs-extracted correspondence by LVS (Fig. 8b)
+// and collects the extraction's sibling statistics output (Fig. 5) —
+// all declared in testdata/scenarios/asicflow.json and executed by the
+// conformance harness, which also asserts the LVS verdict is MATCH.
 //
-// Run with: go run ./examples/asicflow
+// Run with: go run ./examples/asicflow   (from the repository root)
 package main
 
 import (
 	"fmt"
 	"log"
+	"path/filepath"
+	"strings"
 
-	"repro/internal/hercules"
-	"repro/internal/views"
+	"repro/internal/harness"
+	"repro/internal/scenario"
 )
 
 func main() {
-	s := hercules.NewSession("asic")
-	if err := s.Bootstrap(); err != nil {
+	dir := filepath.Join("testdata", "scenarios")
+	sc, err := scenario.Load(filepath.Join(dir, "asicflow.json"))
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("scenario %s: %s\n\n", sc.Name, sc.Doc)
 
-	// Create the logic view: an edited netlist of the full adder.
-	f, netN, err := s.Catalogs.StartFromGoal("EditedNetlist")
+	// The combined synthesis + verification flow (Figs. 8a and 8b as
+	// one graph: the layout node feeds both the extractor and the LVS).
+	fmt.Println("== task graph ==")
+	graph, err := harness.Describe(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := f.ExpandDown(netN, false); err != nil {
-		log.Fatal(err)
-	}
-	toolN, _ := f.Node(netN).Dep("fd")
-	if err := f.Bind(toolN, s.Must("netEd.fulladder")); err != nil {
-		log.Fatal(err)
-	}
-	res, err := s.Run(f)
-	if err != nil {
-		log.Fatal(err)
-	}
-	netInst, err := res.One(netN)
-	if err != nil {
-		log.Fatal(err)
-	}
-	netText, _ := s.ArtifactText(netInst)
-	fmt.Printf("logic view %s presents views: %v\n", netInst,
-		views.Classify(s.Schema, "EditedNetlist", []byte(netText)))
+	fmt.Print(graph)
 
-	// Fig. 8(a): synthesize the physical view.
-	syn, err := views.SynthesisFlow(s.Schema, s.DB, netInst)
+	rep, err := harness.Run(sc, harness.Options{
+		GoldenDir: filepath.Join(dir, "golden"),
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := syn.Flow.Bind(syn.Placer, s.Must("placer")); err != nil {
-		log.Fatal(err)
-	}
-	if err := syn.Flow.Bind(syn.Options, s.Must("popts.default")); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\n== synthesis flow (Fig. 8a) ==")
-	fmt.Print(syn.Flow.Render())
-	sres, err := s.Run(syn.Flow)
-	if err != nil {
-		log.Fatal(err)
-	}
-	layInst, err := sres.One(syn.Layout)
-	if err != nil {
-		log.Fatal(err)
-	}
-	layText, _ := s.ArtifactText(layInst)
-	fmt.Printf("physical view %s presents views: %v\n", layInst,
-		views.Classify(s.Schema, "PlacedLayout", []byte(layText)))
-
-	// Fig. 8(b): verify correspondence.
-	ver, err := views.VerificationFlow(s.Schema, s.DB, layInst, netInst)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := ver.Flow.Bind(ver.Extractor, s.Must("extractor")); err != nil {
-		log.Fatal(err)
-	}
-	if err := ver.Flow.Bind(ver.Verifier, s.Must("verifier")); err != nil {
-		log.Fatal(err)
-	}
-	// Also collect the extraction's second output (Fig. 5: multiple
-	// outputs of one subtask) by connecting a statistics node to the
-	// same construction.
-	stats := ver.Flow.MustAdd("ExtractionStatistics")
-	if err := ver.Flow.Connect(stats, "fd", ver.Extractor); err != nil {
-		log.Fatal(err)
-	}
-	if err := ver.Flow.Connect(stats, "Layout", ver.Layout); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\n== verification flow (Fig. 8b) ==")
-	fmt.Print(ver.Flow.Render())
-	vres, err := s.Run(ver.Flow)
-	if err != nil {
-		log.Fatal(err)
-	}
-	vid, err := vres.One(ver.Verification)
-	if err != nil {
-		log.Fatal(err)
-	}
-	text, _ := s.ArtifactText(vid)
-	fmt.Println("\n== verification result ==")
-	fmt.Print(text)
-
-	// The extraction's second output was recorded too (Fig. 5's multiple
-	// outputs): look it up in the browser.
-	fmt.Println("== extraction statistics (sibling output) ==")
-	for _, in := range s.DB.InstancesOf("ExtractionStatistics") {
-		stats, _ := s.ArtifactText(in.ID)
-		fmt.Print(stats)
+	fmt.Printf("\n== conformance ok: %d tasks per run, identical across %s ==\n",
+		rep.TasksRun, strings.Join(rep.Configs, ", "))
+	for _, a := range sc.Expect.Artifacts {
+		fmt.Printf("asserted artifact %s contains %q\n", a.Node, a.Contains)
 	}
 }

@@ -1,108 +1,54 @@
 // Quickstart: the five-minute tour of dynamically defined flows.
 //
-// A designer wants the simulated performance of a full adder. Starting
-// from the *goal* entity (Performance), the flow is built up on demand
-// with expand operations, leaf nodes are bound to instances from the
-// catalogs, and the flow is executed. Afterwards the design history
-// answers where the result came from.
+// A designer wants the simulated performance of a full adder. The whole
+// session — goal-based start, expand operations, catalog bindings, the
+// run and its expectations — is declared in one scenario file
+// (testdata/scenarios/quickstart.json) and executed by the conformance
+// harness: the same differential sweep (both schedulers × worker
+// counts) and golden-trace comparison the test suite runs.
 //
-// Run with: go run ./examples/quickstart
+// Run with: go run ./examples/quickstart   (from the repository root)
 package main
 
 import (
 	"fmt"
 	"log"
+	"path/filepath"
+	"strings"
 
-	"repro/internal/hercules"
+	"repro/internal/harness"
+	"repro/internal/scenario"
 )
 
 func main() {
-	s := hercules.NewSession("quickstart")
-	if err := s.Bootstrap(); err != nil {
-		log.Fatal(err)
-	}
-
-	// 1. Goal-based start: pick Performance from the entity catalog.
-	f, perf, err := s.Catalogs.StartFromGoal("Performance")
+	dir := filepath.Join("testdata", "scenarios")
+	sc, err := scenario.Load(filepath.Join(dir, "quickstart.json"))
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("scenario %s: %s\n\n", sc.Name, sc.Doc)
 
-	// 2. Expand the goal: its construction needs a Simulator (fd), a
-	// Circuit and Stimuli (dds).
-	if err := f.ExpandDown(perf, false); err != nil {
-		log.Fatal(err)
-	}
-	simN, _ := f.Node(perf).Dep("fd")
-	cctN, _ := f.Node(perf).Dep("Circuit")
-	stimN, _ := f.Node(perf).Dep("Stimuli")
-
-	// 3. The Circuit is a composite of device models and a netlist.
-	if err := f.ExpandDown(cctN, false); err != nil {
-		log.Fatal(err)
-	}
-	dmN, _ := f.Node(cctN).Dep("DeviceModels")
-	netN, _ := f.Node(cctN).Dep("Netlist")
-
-	// 4. Netlist is abstract: specialize it (Fig. 4b) and expand; the
-	// same for the device models.
-	if err := f.Specialize(netN, "EditedNetlist"); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.ExpandDown(netN, false); err != nil {
-		log.Fatal(err)
-	}
-	netToolN, _ := f.Node(netN).Dep("fd")
-	if err := f.ExpandDown(dmN, false); err != nil {
-		log.Fatal(err)
-	}
-	dmToolN, _ := f.Node(dmN).Dep("fd")
-
-	// 5. Bind the leaves from the catalogs (the browser of Fig. 9).
-	must := func(err error) {
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	must(f.Bind(simN, s.Must("sim")))
-	must(f.Bind(stimN, s.Must("stim.exhaustive3")))
-	must(f.Bind(netToolN, s.Must("netEd.fulladder")))
-	must(f.Bind(dmToolN, s.Must("dmEd.default")))
-
+	// The flow the scenario's ops construct (Fig. 4's expansion).
 	fmt.Println("== task graph ==")
-	fmt.Print(f.Render())
-	fmt.Println("== functional form (paper footnote 2) ==")
-	fmt.Println(f.LispForm())
-
-	// 6. Run.
-	res, err := s.Run(f)
+	graph, err := harness.Describe(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pid, err := res.One(perf)
+	fmt.Print(graph)
+
+	// Run the full conformance check: every (scheduler, workers)
+	// configuration must produce the same masked trace, byte-identical
+	// to the checked-in golden.
+	rep, err := harness.Run(sc, harness.Options{
+		GoldenDir: filepath.Join(dir, "golden"),
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\n== executed %d tasks; result %s ==\n", res.TasksRun, pid)
-	text, _ := s.ArtifactText(pid)
-	fmt.Println(firstLines(text, 6))
-
-	// 7. Ask the history where it came from (Fig. 10).
-	fmt.Println("== derivation history ==")
-	h, _ := s.History(pid)
-	fmt.Print(h)
-}
-
-func firstLines(s string, n int) string {
-	out, count := "", 0
-	for _, r := range s {
-		out += string(r)
-		if r == '\n' {
-			count++
-			if count == n {
-				break
-			}
-		}
-	}
-	return out
+	fmt.Printf("\n== conformance ok: %d tasks per run, identical across %s ==\n",
+		rep.TasksRun, strings.Join(rep.Configs, ", "))
+	fmt.Printf("golden trace: %s\n", rep.GoldenPath)
 }

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzScenarioDecode holds Decode to its contract on arbitrary bytes:
+// it never panics, malformed input fails with an error (never a
+// half-validated scenario), and anything it accepts survives a
+// marshal → decode round trip. Seeded with the real conformance corpus
+// so the fuzzer starts from deep valid structure.
+func FuzzScenarioDecode(f *testing.F) {
+	corpus, err := filepath.Glob(filepath.Join("..", "..", "testdata", "scenarios", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range corpus {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, seed := range []string{
+		"", "{", "null", "[]", `{"name": "t"}`,
+		`{"name": "t", "schema": ["x"], "flow": [{"op": "add"}]}`,
+		`{"name": "t", "cancel": {"afterCommits": 0}}`,
+		validDoc + "{}",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Decode(data)
+		if err != nil {
+			if sc != nil {
+				t.Fatalf("Decode returned both a scenario and an error: %v", err)
+			}
+			return
+		}
+		// Decode validates, so the invariants of a valid scenario hold.
+		if sc.Name == "" {
+			t.Fatal("Decode accepted a scenario without a name")
+		}
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("accepted scenario fails re-validation: %v", err)
+		}
+		// Round trip: the struct's own JSON form must decode and validate
+		// again (field tags and DisallowUnknownFields agree).
+		out, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if _, err := Decode(out); err != nil {
+			t.Fatalf("re-decode of a valid scenario failed: %v\ndoc: %s", err, out)
+		}
+	})
+}

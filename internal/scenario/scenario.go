@@ -1,0 +1,548 @@
+// Package scenario defines the declarative workload format of the
+// conformance harness (internal/harness): one JSON document that
+// declares everything a flow run needs — the task schema (in the
+// schema DSL), generic tool encapsulations, primitive instances, the
+// flow-construction operations, run options, an optional fault plan
+// for the seeded injector (internal/faults), an optional mid-run
+// cancellation point, and the expected outcome (golden masked trace,
+// final-state assertions, error/skip sets, memo-hit contracts,
+// kill-and-resume checks).
+//
+// The paper's claim is that dynamically defined flows can manage *any*
+// design methodology; this package makes methodologies data. A scenario
+// is to the engine what a flow is to a tool set: a declarative object
+// that can be stored, diffed, queried — and replayed bit-for-bit. The
+// corpus under testdata/scenarios/ spans methodology domains well
+// beyond the paper's CAD examples (logic synthesis, PCB layout, FPGA
+// place-and-route, documentation pipelines) plus adversarial shapes
+// (diamond-heavy graphs, fault chaos, cancel-mid-run, warm reruns,
+// WAL kill-and-resume).
+//
+// This package is pure data: decoding and validation only. Building a
+// world from a scenario and executing it is internal/harness's job.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Scenario is one declarative workload.
+type Scenario struct {
+	// Name identifies the scenario; the golden trace lives at
+	// golden/<Name>.jsonl next to the scenario file. Must be a
+	// filename-safe slug.
+	Name string `json:"name"`
+	// Doc says what methodology the scenario models and what engine
+	// behaviour it pins.
+	Doc string `json:"doc,omitempty"`
+
+	// Base selects the execution world: "" (the default) builds a fresh
+	// schema from Schema and registers the generic tools of Tools;
+	// "standard" uses the paper's full example schema (schema.Full) with
+	// the standard encapsulations (encap.StandardRegistry) — the base
+	// the hand-coded examples/ ran against.
+	Base string `json:"base,omitempty"`
+	// Schema is the task schema in the line-oriented schema DSL
+	// (internal/schema), one declaration per element. Ignored (and
+	// rejected) when Base is "standard".
+	Schema []string `json:"schema,omitempty"`
+	// Tools declares generic encapsulations for the schema's tool types.
+	Tools []ToolSpec `json:"tools,omitempty"`
+	// Imports records primitive instances (installed tools, imported
+	// data) before the flow runs; flow "bind" ops reference them by key.
+	Imports []ImportSpec `json:"imports,omitempty"`
+	// Flow is the sequence of flow-construction operations (§3.2/§4.1:
+	// add, expand, specialize, connect, expand-up, bind, alias).
+	Flow []Op `json:"flow"`
+	// Run sets the execution options and the differential sweep.
+	Run RunSpec `json:"run,omitempty"`
+	// Faults, when set, instruments the registry with the seeded
+	// deterministic injector before any run.
+	Faults *FaultPlan `json:"faults,omitempty"`
+	// Cancel, when set, cancels the run context after the given number
+	// of committed units — the cancel-mid-run probe. Cancellation makes
+	// the tail of the trace nondeterministic, so a cancelling scenario
+	// must set "expect.golden": false.
+	Cancel *CancelSpec `json:"cancel,omitempty"`
+	// Expect describes the required outcome.
+	Expect Expect `json:"expect,omitempty"`
+}
+
+// ToolSpec declares one generic tool encapsulation. The harness
+// registers a deterministic behaviour for the tool type: the artifact
+// it produces embeds the goal type, the tool's own data, and a content
+// hash of every input, so downstream artifacts change whenever any
+// transitive input changes (which is what makes memo and staleness
+// scenarios meaningful).
+type ToolSpec struct {
+	// Type is the schema tool type the behaviour is registered under
+	// (subtype fallback applies, as with real encapsulations).
+	Type string `json:"type"`
+	// Behavior selects the generic behaviour: "transform" (default)
+	// derives outputs from the inputs; "fail" returns a permanent error
+	// on every run (for skip-set scenarios that need a failing tool
+	// without a fault plan).
+	Behavior string `json:"behavior,omitempty"`
+	// Outputs lists secondary output types emitted on every run, in
+	// addition to the requested goal — the Fig. 5 multi-output idiom
+	// (grouped sibling nodes require their types listed here).
+	Outputs []string `json:"outputs,omitempty"`
+	// SleepMs delays every run of the tool (context-aware), for
+	// cancel-mid-run and occupancy scenarios. Wall-clock time is masked
+	// in traces, so sleeps do not perturb goldens.
+	SleepMs int `json:"sleepMs,omitempty"`
+}
+
+// ImportSpec records one primitive instance before the flow runs.
+type ImportSpec struct {
+	// Key is the handle flow "bind" ops use.
+	Key string `json:"key"`
+	// Type is the instance's schema entity type.
+	Type string `json:"type"`
+	// Name is the browser annotation (optional).
+	Name string `json:"name,omitempty"`
+	// Data is the instance's artifact text ("" for artifact-less
+	// installed tools).
+	Data string `json:"data,omitempty"`
+}
+
+// Op is one flow-construction operation. Which fields apply depends on
+// Op:
+//
+//	{"op": "add",        "node": "perf", "type": "Performance"}
+//	{"op": "expand",     "node": "perf", "optional": true}
+//	{"op": "specialize", "node": "perf.Netlist", "type": "EditedNetlist"}
+//	{"op": "connect",    "parent": "ver", "key": "Netlist/reference", "child": "net"}
+//	{"op": "expand-up",  "node": "net", "consumer": "Verification", "key": "Netlist/subject", "as": "ver"}
+//	{"op": "bind",       "node": "perf.fd", "to": ["sim"]}
+//	{"op": "alias",      "node": "perf.Circuit.Netlist", "as": "net"}
+//
+// Node naming: "add" and "expand-up" introduce names explicitly;
+// "expand" names each created child "<parent>.<depKey>" (the functional
+// dependency is "<parent>.fd"); "alias" adds a shorthand.
+type Op struct {
+	Op string `json:"op"`
+	// Node is the operation's subject (all ops except connect).
+	Node string `json:"node,omitempty"`
+	// Type is the entity type (add: the node's type; specialize: the
+	// concrete subtype).
+	Type string `json:"type,omitempty"`
+	// Optional includes optional dependencies (expand).
+	Optional bool `json:"optional,omitempty"`
+	// Parent, Key, Child describe a connect edge; Key doubles as the
+	// dependency key of expand-up.
+	Parent string `json:"parent,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Child  string `json:"child,omitempty"`
+	// Consumer is the parent type created by expand-up.
+	Consumer string `json:"consumer,omitempty"`
+	// As names the node created by expand-up, or the alias target.
+	As string `json:"as,omitempty"`
+	// To lists import keys bound to the node (bind). Binding several
+	// fans the dependent task out once per instance (§4.1).
+	To []string `json:"to,omitempty"`
+}
+
+// RunSpec sets execution options and the differential sweep. The
+// harness runs the scenario once per (scheduler, workers) pair and
+// requires every masked trace (and final history) to be byte-identical.
+type RunSpec struct {
+	// Workers is the worker-count sweep (default [1, 2, 8]).
+	Workers []int `json:"workers,omitempty"`
+	// Schedulers is the discipline sweep: "dataflow", "barrier"
+	// (default both).
+	Schedulers []string `json:"schedulers,omitempty"`
+	// Policy is "failfast" (default) or "continue". Scenarios that
+	// expect terminal unit failures must use "continue": under failfast
+	// the committed prefix depends on scheduling, so the trace cannot be
+	// golden.
+	Policy string `json:"policy,omitempty"`
+	// Retry enables per-unit retry with deterministic jitter.
+	Retry *RetrySpec `json:"retry,omitempty"`
+	// TimeoutMs bounds each tool-run attempt (0 = unbounded).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// MaxCombos caps multi-instance fan-out (0 = engine default).
+	MaxCombos int `json:"maxCombos,omitempty"`
+	// Target runs the sub-flow rooted at the named node instead of the
+	// whole flow ("" = every root).
+	Target string `json:"target,omitempty"`
+}
+
+// RetrySpec mirrors exec.RetryPolicy.
+type RetrySpec struct {
+	// Attempts is the total attempts per unit, first included.
+	Attempts int `json:"attempts"`
+	// BaseMicros is the backoff ceiling before the first retry, in
+	// microseconds (kept tiny in scenarios: the delay is real time).
+	BaseMicros int `json:"baseMicros,omitempty"`
+	// Seed drives the deterministic jitter.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// FaultPlan configures the seeded deterministic injector
+// (internal/faults) over the scenario's registry.
+type FaultPlan struct {
+	// Seed is the injector seed; the same seed afflicts the same
+	// tool-run sites on every run, under any scheduler or worker count.
+	Seed int64 `json:"seed"`
+	// Base applies to every tool run not covered by an override.
+	Base *FaultConfig `json:"base,omitempty"`
+	// ByTool overrides per concrete tool type; ByGoal per goal type
+	// (ByGoal beats ByTool). Types must exist in the scenario's schema.
+	ByTool map[string]FaultConfig `json:"byTool,omitempty"`
+	ByGoal map[string]FaultConfig `json:"byGoal,omitempty"`
+}
+
+// FaultConfig mirrors faults.Config with JSON-friendly units.
+type FaultConfig struct {
+	TransientRate float64 `json:"transientRate,omitempty"`
+	TransientRuns int     `json:"transientRuns,omitempty"`
+	PermanentRate float64 `json:"permanentRate,omitempty"`
+	LatencyRate   float64 `json:"latencyRate,omitempty"`
+	LatencyMicros int     `json:"latencyMicros,omitempty"`
+	HangRate      float64 `json:"hangRate,omitempty"`
+	HangLimitMs   int     `json:"hangLimitMs,omitempty"`
+}
+
+// CancelSpec cancels the run after N committed units.
+type CancelSpec struct {
+	// AfterCommits is the number of UnitCommitted events after which the
+	// run context is cancelled (must be ≥ 1 and below the unit count, or
+	// the cancellation never fires).
+	AfterCommits int `json:"afterCommits"`
+}
+
+// Expect is the required outcome of every sweep configuration.
+type Expect struct {
+	// Golden controls the golden-trace comparison (default true): the
+	// masked JSONL trace must byte-equal golden/<name>.jsonl. Scenarios
+	// with inherently nondeterministic traces (cancel-mid-run, failfast
+	// with terminal failures) set it to false; cross-configuration
+	// byte-equality is then also skipped.
+	Golden *bool `json:"golden,omitempty"`
+	// Error, when non-empty, is a substring the run error must contain;
+	// empty means the run must succeed.
+	Error string `json:"error,omitempty"`
+	// TasksRun pins Result.TasksRun (committed tool executions).
+	TasksRun *int `json:"tasksRun,omitempty"`
+	// Instances pins the final per-type instance counts in the history
+	// database (imports included).
+	Instances map[string]int `json:"instances,omitempty"`
+	// Skipped names the nodes expected in Result.Skipped, in plan order
+	// (ContinueOnError degradation).
+	Skipped []string `json:"skipped,omitempty"`
+	// FailedUnits / Retries / Timeouts pin the Stats counters.
+	FailedUnits *int `json:"failedUnits,omitempty"`
+	Retries     *int `json:"retries,omitempty"`
+	Timeouts    *int `json:"timeouts,omitempty"`
+	// Artifacts asserts on produced artifact contents by node name.
+	Artifacts []ArtifactExpect `json:"artifacts,omitempty"`
+	// WarmRerun, when set, runs the scenario twice against a shared
+	// result cache and datastore: the warm rerun must hit the cache
+	// Hits times, record a byte-identical history, and its masked trace
+	// minus the UnitCacheHit events must equal the cold trace.
+	WarmRerun *WarmExpect `json:"warmRerun,omitempty"`
+	// KillResume, when true, runs the scenario durably against a WAL
+	// and sweeps kill-and-resume over every record boundary: each
+	// resumed run must complete with the full golden stream in the WAL
+	// and a history byte-identical to an uninterrupted run's.
+	KillResume bool `json:"killResume,omitempty"`
+}
+
+// ArtifactExpect asserts on the artifact produced for a node.
+type ArtifactExpect struct {
+	// Node names the flow node whose (single) instance is inspected.
+	Node string `json:"node"`
+	// Contains lists substrings the artifact must include.
+	Contains []string `json:"contains,omitempty"`
+}
+
+// WarmExpect is the warm-rerun memo contract.
+type WarmExpect struct {
+	// Hits is the exact number of cache hits of the warm rerun —
+	// normally the scenario's full unit count.
+	Hits int `json:"hits"`
+}
+
+// WantGolden reports whether the scenario pins a golden trace
+// (default true; disabled explicitly or, necessarily, by Cancel).
+func (s *Scenario) WantGolden() bool {
+	if s.Expect.Golden != nil {
+		return *s.Expect.Golden
+	}
+	return s.Cancel == nil
+}
+
+// SchemaText joins the schema DSL lines into the text schema.Parse
+// consumes.
+func (s *Scenario) SchemaText() string { return strings.Join(s.Schema, "\n") }
+
+// Decode reads a scenario from JSON, rejecting unknown fields — a
+// typo'd field name is a silent no-op otherwise, and silent no-ops in
+// a conformance corpus are how contracts rot. The decoded scenario is
+// validated.
+func Decode(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", err)
+	}
+	// Trailing garbage after the document is a malformed file, not a
+	// second scenario.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("scenario: trailing data after document")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// Load reads and decodes a scenario file.
+func Load(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	return sc, nil
+}
+
+// LoadDir loads every *.json scenario in a directory, sorted by name.
+func LoadDir(dir string) ([]*Scenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("scenario: no *.json scenarios in %s", dir)
+	}
+	out := make([]*Scenario, 0, len(paths))
+	for _, p := range paths {
+		sc, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// knownOps is the op vocabulary; Validate rejects anything else.
+var knownOps = map[string]bool{
+	"add": true, "expand": true, "specialize": true, "connect": true,
+	"expand-up": true, "bind": true, "alias": true,
+}
+
+// Validate checks everything checkable without a schema or an engine:
+// structural completeness, reference hygiene among the scenario's own
+// parts, and bounds. Schema-level errors (unknown entity types, type
+// mismatches) surface when the harness materializes the world, with
+// the schema's own diagnostics.
+func (s *Scenario) Validate() error {
+	fail := func(format string, args ...any) error {
+		name := s.Name
+		if name == "" {
+			name = "<unnamed>"
+		}
+		return fmt.Errorf("scenario %s: %s", name, fmt.Sprintf(format, args...))
+	}
+	if s.Name == "" {
+		return fail("missing name")
+	}
+	if strings.ContainsAny(s.Name, "/\\ \t\n") {
+		return fail("name %q is not a filename-safe slug", s.Name)
+	}
+	switch s.Base {
+	case "", "standard":
+	default:
+		return fail("unknown base %q (want \"\" or \"standard\")", s.Base)
+	}
+	if s.Base == "standard" {
+		if len(s.Schema) > 0 {
+			return fail("base \"standard\" supplies the schema; remove the schema field")
+		}
+		if len(s.Tools) > 0 {
+			return fail("base \"standard\" supplies the encapsulations; remove the tools field")
+		}
+	} else if len(s.Schema) == 0 {
+		return fail("missing schema (or set base to \"standard\")")
+	}
+	for i, t := range s.Tools {
+		if t.Type == "" {
+			return fail("tools[%d]: missing type", i)
+		}
+		switch t.Behavior {
+		case "", "transform", "fail":
+		default:
+			return fail("tools[%d] (%s): unknown behavior %q (want transform or fail)", i, t.Type, t.Behavior)
+		}
+		if t.SleepMs < 0 {
+			return fail("tools[%d] (%s): negative sleepMs", i, t.Type)
+		}
+	}
+	importKeys := make(map[string]bool, len(s.Imports))
+	for i, im := range s.Imports {
+		if im.Key == "" {
+			return fail("imports[%d]: missing key", i)
+		}
+		if im.Type == "" {
+			return fail("imports[%d] (%s): missing type", i, im.Key)
+		}
+		if importKeys[im.Key] {
+			return fail("imports[%d]: duplicate key %q", i, im.Key)
+		}
+		importKeys[im.Key] = true
+	}
+	if len(s.Flow) == 0 {
+		return fail("missing flow ops")
+	}
+	for i, op := range s.Flow {
+		at := func(format string, args ...any) error {
+			return fail("flow[%d] (%s): %s", i, op.Op, fmt.Sprintf(format, args...))
+		}
+		if !knownOps[op.Op] {
+			return fail("flow[%d]: unknown op %q", i, op.Op)
+		}
+		switch op.Op {
+		case "add":
+			if op.Node == "" || op.Type == "" {
+				return at("needs node and type")
+			}
+		case "expand":
+			if op.Node == "" {
+				return at("needs node")
+			}
+		case "specialize":
+			if op.Node == "" || op.Type == "" {
+				return at("needs node and type")
+			}
+		case "connect":
+			if op.Parent == "" || op.Key == "" || op.Child == "" {
+				return at("needs parent, key and child")
+			}
+		case "expand-up":
+			if op.Node == "" || op.Consumer == "" || op.Key == "" || op.As == "" {
+				return at("needs node, consumer, key and as")
+			}
+		case "bind":
+			if op.Node == "" {
+				return at("needs node")
+			}
+			if len(op.To) == 0 {
+				return at("needs at least one import key in to")
+			}
+			for _, k := range op.To {
+				if !importKeys[k] {
+					return at("unknown import key %q (have: %s)", k, keyList(importKeys))
+				}
+			}
+		case "alias":
+			if op.Node == "" || op.As == "" {
+				return at("needs node and as")
+			}
+		}
+	}
+	for _, w := range s.Run.Workers {
+		if w < 1 {
+			return fail("run.workers: %d is below 1", w)
+		}
+	}
+	for _, sch := range s.Run.Schedulers {
+		if sch != "dataflow" && sch != "barrier" {
+			return fail("run.schedulers: unknown scheduler %q", sch)
+		}
+	}
+	switch s.Run.Policy {
+	case "", "failfast", "continue":
+	default:
+		return fail("run.policy: unknown policy %q (want failfast or continue)", s.Run.Policy)
+	}
+	if s.Run.Retry != nil && s.Run.Retry.Attempts < 1 {
+		return fail("run.retry.attempts must be ≥ 1")
+	}
+	if s.Run.TimeoutMs < 0 || s.Run.MaxCombos < 0 {
+		return fail("run: negative timeoutMs/maxCombos")
+	}
+	if s.Faults != nil {
+		if s.Faults.Base != nil {
+			if err := s.Faults.Base.check(); err != nil {
+				return fail("faults.base: %v", err)
+			}
+		}
+		for tool, c := range s.Faults.ByTool {
+			if err := c.check(); err != nil {
+				return fail("faults.byTool[%s]: %v", tool, err)
+			}
+		}
+		for goal, c := range s.Faults.ByGoal {
+			if err := c.check(); err != nil {
+				return fail("faults.byGoal[%s]: %v", goal, err)
+			}
+		}
+	}
+	if s.Cancel != nil {
+		if s.Cancel.AfterCommits < 1 {
+			return fail("cancel.afterCommits must be ≥ 1")
+		}
+		if s.WantGolden() {
+			return fail("cancel-mid-run traces are nondeterministic; set \"expect\": {\"golden\": false}")
+		}
+		if s.Expect.Error == "" {
+			return fail("cancel scenarios must expect an error (expect.error)")
+		}
+	}
+	if s.Expect.WarmRerun != nil && s.Expect.WarmRerun.Hits < 1 {
+		return fail("expect.warmRerun.hits must be ≥ 1")
+	}
+	for i, a := range s.Expect.Artifacts {
+		if a.Node == "" {
+			return fail("expect.artifacts[%d]: missing node", i)
+		}
+	}
+	if s.Expect.KillResume && !s.WantGolden() {
+		return fail("expect.killResume needs a deterministic trace (golden must not be disabled)")
+	}
+	return nil
+}
+
+func (c FaultConfig) check() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"transientRate", c.TransientRate}, {"permanentRate", c.PermanentRate},
+		{"latencyRate", c.LatencyRate}, {"hangRate", c.HangRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("%s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if c.TransientRuns < 0 || c.LatencyMicros < 0 || c.HangLimitMs < 0 {
+		return fmt.Errorf("negative duration/count field")
+	}
+	return nil
+}
+
+func keyList(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic error text regardless of map order
+	if len(keys) == 0 {
+		return "none"
+	}
+	return strings.Join(keys, ", ")
+}
