@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race chaos memo concurrent crash fuzz cover ci bench flowbench scale conformance conformance-update
+.PHONY: build vet test race chaos memo concurrent crash fuzz cover ci bench flowbench scale provenance conformance conformance-update
 
 build:
 	$(GO) build ./...
@@ -28,11 +28,13 @@ memo:
 
 # concurrent runs the multi-run engine suite (admission control, shared
 # pool, per-run attribution, 32-flow determinism) and the flow service
-# under the race detector, then the flowd end-to-end smoke round trip —
-# the same gate as the CI concurrent job.
+# under the race detector, then the flowd end-to-end smoke round trip
+# and the scenario corpus over live HTTP — the same gate as the CI
+# concurrent job.
 concurrent:
 	$(GO) test -race -run 'Concurrent|Admission|SharedMemo|RunOptions|Close|Retrace|Setters|Service|EventLog' ./internal/exec/... ./internal/service/...
 	$(GO) run ./cmd/flowd -smoke
+	$(GO) run ./cmd/flowbench corpus
 
 # crash runs the durability gate: the WAL/recovery suites under -race
 # (storage framing, executor kill-and-resume, service boot recovery),
@@ -70,10 +72,11 @@ fuzz:
 
 # cover enforces the same ratchet as the CI trace job: the traced
 # execution paths (internal/exec + internal/trace), the result cache
-# (internal/memo) and the conformance layer (internal/scenario +
-# internal/harness) stay above 90%.
+# (internal/memo), the conformance layer (internal/scenario +
+# internal/harness) and the provenance layer (internal/provenance)
+# stay above 90%.
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/exec/ ./internal/trace/ ./internal/memo/ ./internal/scenario/ ./internal/harness/
+	$(GO) test -coverprofile=cover.out ./internal/exec/ ./internal/trace/ ./internal/memo/ ./internal/scenario/ ./internal/harness/ ./internal/provenance/
 	$(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print "combined coverage: " $$3 "%"; exit ($$3 >= 90.0) ? 0 : 1}'
 
 # ci is the gate CI runs: compile, vet, full suite under the race
@@ -94,3 +97,15 @@ flowbench:
 scale:
 	$(GO) test -run xxx -bench 'Scale|Chaining10k' -benchtime 1x ./internal/flowgen/ ./internal/history/
 	$(GO) run ./cmd/flowbench -out BENCH_scale_report.json scale
+
+# provenance runs the provenance gate: the indexed-chaining and hash-
+# chain suites under the race detector (differential against the naive
+# walkers over 20+ seeds, tamper detection naming the first bad
+# record), the service's provenance endpoint tests, then the flowbench
+# provenance section — indexed chaining over a 1.2M-instance history —
+# writing its report next to the committed record
+# (BENCH_provenance.json, acceptance floor: 10x on the deep backchain).
+provenance:
+	$(GO) test -race ./internal/provenance/
+	$(GO) test -race -run 'Provenance|Scenario|DurableChain|DurableResume' ./internal/service/
+	$(GO) run ./cmd/flowbench -out BENCH_provenance_report.json provenance

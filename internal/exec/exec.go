@@ -64,6 +64,8 @@ const DefaultMaxCombos = 100_000
 // a run's configuration is immutable for the run's whole lifetime no
 // matter what the setters do meanwhile.
 type runConfig struct {
+	schema       *schema.Schema
+	reg          *encap.Registry
 	db           *history.DB
 	store        *datastore.Store
 	archives     func(name string, rev int) (string, error)
@@ -123,7 +125,7 @@ func New(s *schema.Schema, db *history.DB, store *datastore.Store, reg *encap.Re
 	return &Engine{
 		schema:   s,
 		reg:      reg,
-		defaults: runConfig{db: db, store: store, user: "designer", maxCombos: DefaultMaxCombos},
+		defaults: runConfig{schema: s, reg: reg, db: db, store: store, user: "designer", maxCombos: DefaultMaxCombos},
 		workers:  1,
 		maxRuns:  DefaultMaxConcurrentRuns,
 		maxQueue: DefaultMaxQueuedRuns,
@@ -224,6 +226,13 @@ func (e *Engine) Store() *datastore.Store {
 // windows never contend) while sharing the engine's datastore and
 // result cache, which are content-addressed and safe to share.
 type RunOptions struct {
+	// Schema is the task schema the run plans and validates against.
+	// Overriding it (with Registry and DB) lets one long-lived engine
+	// execute flows from methodologies it was not built with — the
+	// service runs declarative scenarios this way.
+	Schema *schema.Schema
+	// Registry supplies the run's tool encapsulations.
+	Registry *encap.Registry
 	// DB is the history database the run plans against and commits to.
 	DB *history.DB
 	// Store is the artifact store of the run.
@@ -269,6 +278,12 @@ type RunOptions struct {
 func (c runConfig) apply(o *RunOptions) runConfig {
 	if o == nil {
 		return c
+	}
+	if o.Schema != nil {
+		c.schema = o.Schema
+	}
+	if o.Registry != nil {
+		c.reg = o.Registry
 	}
 	if o.DB != nil {
 		c.db = o.DB
@@ -581,7 +596,7 @@ func (r *run) executeCombo(ctx context.Context, j *plannedJob, combo map[string]
 			}
 			parts[k] = b
 		}
-		if check := r.e.reg.Check(rep.Type); check != nil {
+		if check := r.cfg.reg.Check(rep.Type); check != nil {
 			if err := check(parts); err != nil {
 				return nil, fmt.Errorf("exec: composite %s consistency check failed: %w", rep.Type, err)
 			}
@@ -597,7 +612,7 @@ func (r *run) executeCombo(ctx context.Context, j *plannedJob, combo map[string]
 	if err != nil {
 		return nil, err
 	}
-	enc, err := r.e.reg.Lookup(r.e.schema, toolType)
+	enc, err := r.cfg.reg.Lookup(r.cfg.schema, toolType)
 	if err != nil {
 		return nil, err
 	}

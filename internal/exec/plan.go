@@ -169,7 +169,7 @@ func (r *run) plan(targets []flow.NodeID) (*plan, error) {
 			p.bound[id] = n.Bound()
 			continue
 		}
-		t := r.e.schema.Type(n.Type)
+		t := r.cfg.schema.Type(n.Type)
 		if t.IsPrimitiveSource() {
 			return nil, fmt.Errorf("exec: node %d (%s) is an unbound primitive source", id, n.Type)
 		}

@@ -112,7 +112,7 @@ func (r *run) retraceStep(step history.RetraceStep, res *RetraceResult) error {
 
 	artifact := r.artifactOf
 
-	t := r.e.schema.Type(old.Type)
+	t := r.cfg.schema.Type(old.Type)
 	rec := history.Instance{Type: old.Type, User: r.cfg.user, Name: old.Name,
 		Comment: "retrace of " + string(old.ID)}
 
@@ -127,7 +127,7 @@ func (r *run) retraceStep(step history.RetraceStep, res *RetraceResult) error {
 			parts[in.Key] = b
 			rec.Inputs = append(rec.Inputs, history.Input{Key: in.Key, Inst: inst})
 		}
-		if check := r.e.reg.Check(old.Type); check != nil {
+		if check := r.cfg.reg.Check(old.Type); check != nil {
 			if err := check(parts); err != nil {
 				return fmt.Errorf("exec: retrace composite check: %w", err)
 			}
@@ -143,7 +143,7 @@ func (r *run) retraceStep(step history.RetraceStep, res *RetraceResult) error {
 		if err != nil {
 			return err
 		}
-		enc, err := r.e.reg.Lookup(r.e.schema, toolIn.Type)
+		enc, err := r.cfg.reg.Lookup(r.cfg.schema, toolIn.Type)
 		if err != nil {
 			return err
 		}

@@ -457,13 +457,18 @@ type Bench struct {
 }
 
 // newWorld builds the schema/db/store/registry and imports one GenTool
-// instance per cell, under a deterministic clock.
-func (g *Graph) newWorld() (*Bench, error) {
+// instance per cell, under a deterministic clock. A nil store means a
+// fresh one; callers embedding the world in a larger system (the
+// conformance harness, the service) pass theirs.
+func (g *Graph) newWorld(store *datastore.Store) (*Bench, error) {
+	if store == nil {
+		store = datastore.NewStore()
+	}
 	b := &Bench{
 		Spec:   g.Spec,
 		Graph:  g,
 		Schema: Schema(),
-		Store:  datastore.NewStore(),
+		Store:  store,
 		Reg:    Registry(),
 	}
 	b.DB = history.NewDB(b.Schema)
@@ -504,7 +509,14 @@ func Build(spec Spec) (*Bench, error) {
 // order so each Connect's acyclicity check is O(1): a cell's inputs
 // always have smaller indices, hence no outgoing edges yet.
 func (g *Graph) BuildFlow() (*Bench, error) {
-	b, err := g.newWorld()
+	return g.BuildFlowIn(nil)
+}
+
+// BuildFlowIn is BuildFlow over a caller-supplied datastore (nil means
+// a fresh one) — the conformance harness runs generated worlds inside
+// its own store.
+func (g *Graph) BuildFlowIn(store *datastore.Store) (*Bench, error) {
+	b, err := g.newWorld(store)
 	if err != nil {
 		return nil, err
 	}
@@ -547,7 +559,7 @@ func (g *Graph) BuildFlow() (*Bench, error) {
 // benchmarks (chaining, provenance) at sizes where executing the flow
 // first would dominate the measurement.
 func (g *Graph) Populate() (*Bench, []history.ID, error) {
-	b, err := g.newWorld()
+	b, err := g.newWorld(nil)
 	if err != nil {
 		return nil, nil, err
 	}

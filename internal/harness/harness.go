@@ -71,6 +71,12 @@ type Report struct {
 	// KillPoints is the number of WAL truncation points swept by the
 	// kill-and-resume check (0 without one).
 	KillPoints int
+	// StaleKeys is the verified stale cone of the expect.stale check
+	// (import keys, sorted; nil without one).
+	StaleKeys []string
+	// RetraceTasks is the number of constructions the expect.stale
+	// retrace rebuilt.
+	RetraceTasks int
 }
 
 // RunFile loads and runs one scenario file.
@@ -118,7 +124,7 @@ func Run(sc *scenario.Scenario, opts Options) (*Report, error) {
 	}()
 
 	base := outs[0]
-	if sc.WantGolden() {
+	if sc.Differential() {
 		for _, out := range outs[1:] {
 			if !bytes.Equal(out.masked, base.masked) {
 				return nil, fmt.Errorf("scenario %s: masked trace differs between %s and %s:\n%s",
@@ -129,10 +135,10 @@ func Run(sc *scenario.Scenario, opts Options) (*Report, error) {
 					sc.Name, base.cfg, out.cfg, unifiedDiff(base.cfg.String(), out.cfg.String(), base.hist, out.hist))
 			}
 		}
-		if opts.GoldenDir != "" {
-			if err := checkGolden(sc, base.masked, opts, rep); err != nil {
-				return nil, err
-			}
+	}
+	if sc.WantGolden() && opts.GoldenDir != "" {
+		if err := checkGolden(sc, base.masked, opts, rep); err != nil {
+			return nil, err
 		}
 	}
 
@@ -150,6 +156,12 @@ func Run(sc *scenario.Scenario, opts Options) (*Report, error) {
 	}
 	if sc.Expect.KillResume {
 		if err := checkKillResume(sc, base, opts, rep); err != nil {
+			return nil, err
+		}
+	}
+	// Last: the stale/retrace check mutates the base world's history.
+	if sc.Expect.Stale != nil {
+		if err := checkStale(sc, base, opts, rep); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// tinyEditDoc extends the tiny pipeline with an editor: Src is
+// superseded between executions by an EditedSrc (the paper's
+// EditedNetlist idiom — a subtype with an optional dd back onto its
+// own lineage), and expect.stale pins the cone and the retrace.
+const tinyEditDoc = `{
+  "name": "tiny-edit",
+  "schema": [
+    "tool T -- the only pipeline tool",
+    "tool Ed -- interactive editor",
+    "data Src -- imported source",
+    "data EditedSrc : Src -- source revised by hand",
+    "  fd Ed",
+    "  dd Src optional",
+    "data Mid -- intermediate",
+    "  fd T",
+    "  dd Src",
+    "data Out -- final output",
+    "  fd T",
+    "  dd Mid"
+  ],
+  "tools": [{"type": "T"}],
+  "imports": [
+    {"key": "src", "type": "Src", "data": "source bytes"},
+    {"key": "t", "type": "T", "data": "tool config"},
+    {"key": "ed", "type": "Ed", "data": "editor"}
+  ],
+  "flow": [
+    {"op": "add", "node": "out", "type": "Out"},
+    {"op": "expand", "node": "out"},
+    {"op": "expand", "node": "out.Mid"},
+    {"op": "bind", "node": "out.fd", "to": ["t"]},
+    {"op": "bind", "node": "out.Mid.fd", "to": ["t"]},
+    {"op": "bind", "node": "out.Mid.Src", "to": ["src"]},
+    {"op": "edit", "import": "src", "type": "EditedSrc", "to": ["ed"], "data": "source bytes v2"}
+  ],
+  "run": {"workers": [1], "schedulers": ["dataflow"]},
+  "expect": {
+    "tasksRun": 2,
+    "stale": {"node": "out", "stale": ["src"], "retraceTasks": 2}
+  }
+}`
+
+func tinyEdit(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	sc, err := scenario.Decode([]byte(tinyEditDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestStaleGreen(t *testing.T) {
+	rep, err := Run(tinyEdit(t), Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.StaleKeys) != 1 || rep.StaleKeys[0] != "src" {
+		t.Fatalf("StaleKeys = %v, want [src]", rep.StaleKeys)
+	}
+	if rep.RetraceTasks != 2 {
+		t.Fatalf("RetraceTasks = %d, want 2", rep.RetraceTasks)
+	}
+}
+
+func TestStaleUnknownNode(t *testing.T) {
+	sc := tinyEdit(t)
+	sc.Expect.Stale.Node = "nope"
+	wantIn(t, runErr(t, sc, Options{}), "expect.stale", `unknown node "nope"`)
+}
+
+func TestStaleRetraceTasksMismatch(t *testing.T) {
+	sc := tinyEdit(t)
+	five := 5
+	sc.Expect.Stale.RetraceTasks = &five
+	wantIn(t, runErr(t, sc, Options{}), "retrace rebuilt 2 constructions, want 5")
+}
+
+// TestStaleConeMismatch edits an import the target never consumes: the
+// actual cone is empty, and the error renders both sides.
+func TestStaleConeMismatch(t *testing.T) {
+	sc, err := scenario.Decode([]byte(`{
+	  "name": "tiny-edit-miss",
+	  "schema": [
+	    "tool T -- tool",
+	    "tool Ed -- editor",
+	    "data Src -- used source",
+	    "data Other -- unused import",
+	    "data EditedOther : Other -- revised unused import",
+	    "  fd Ed",
+	    "  dd Other optional",
+	    "data Out -- output",
+	    "  fd T",
+	    "  dd Src"
+	  ],
+	  "tools": [{"type": "T"}],
+	  "imports": [
+	    {"key": "src", "type": "Src", "data": "s"},
+	    {"key": "other", "type": "Other", "data": "o"},
+	    {"key": "t", "type": "T", "data": "tc"},
+	    {"key": "ed", "type": "Ed", "data": "e"}
+	  ],
+	  "flow": [
+	    {"op": "add", "node": "out", "type": "Out"},
+	    {"op": "expand", "node": "out"},
+	    {"op": "bind", "node": "out.fd", "to": ["t"]},
+	    {"op": "bind", "node": "out.Src", "to": ["src"]},
+	    {"op": "edit", "import": "other", "type": "EditedOther", "to": ["ed"], "data": "o2"}
+	  ],
+	  "run": {"workers": [1], "schedulers": ["dataflow"]},
+	  "expect": {"stale": {"node": "out", "stale": ["other"]}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIn(t, runErr(t, sc, Options{}), "stale cone is [], want [other]")
+}
+
+// TestStaleEditNoLineageDep pins the diagnosis when the edit type has
+// no data dependency the superseded instance satisfies — without the
+// dd, versionParent cannot link the versions and staleness never fires.
+func TestStaleEditNoLineageDep(t *testing.T) {
+	sc, err := scenario.Decode([]byte(`{
+	  "name": "tiny-edit-nolineage",
+	  "schema": [
+	    "tool T -- tool",
+	    "tool Ed -- editor",
+	    "data Src -- source",
+	    "data Detached -- edit type without a dd onto Src",
+	    "  fd Ed",
+	    "data Out -- output",
+	    "  fd T",
+	    "  dd Src"
+	  ],
+	  "tools": [{"type": "T"}],
+	  "imports": [
+	    {"key": "src", "type": "Src", "data": "s"},
+	    {"key": "t", "type": "T", "data": "tc"},
+	    {"key": "ed", "type": "Ed", "data": "e"}
+	  ],
+	  "flow": [
+	    {"op": "add", "node": "out", "type": "Out"},
+	    {"op": "expand", "node": "out"},
+	    {"op": "bind", "node": "out.fd", "to": ["t"]},
+	    {"op": "bind", "node": "out.Src", "to": ["src"]},
+	    {"op": "edit", "import": "src", "type": "Detached", "to": ["ed"], "data": "s2"}
+	  ],
+	  "run": {"workers": [1], "schedulers": ["dataflow"]},
+	  "expect": {"stale": {"node": "out", "stale": ["src"]}}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIn(t, runErr(t, sc, Options{}), "no data dependency satisfied by", "dd onto the edited lineage")
+}
+
+// TestMaterialize exercises the exported world construction the service
+// and flowbench's corpus section embed.
+func TestMaterialize(t *testing.T) {
+	m, err := Materialize(tiny(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Schema() == nil || m.DB() == nil || m.Registry() == nil || m.Store() == nil || m.Flow() == nil {
+		t.Fatal("Materialize returned a world with nil components")
+	}
+	if m.Target() != 0 {
+		t.Fatalf("tiny has no run.target, got node %d", m.Target())
+	}
+	if m.DB().Len() == 0 {
+		t.Fatal("imports were not recorded")
+	}
+
+	bad := tiny(t)
+	bad.Flow = nil
+	if _, err := Materialize(bad, nil); err == nil {
+		t.Fatal("Materialize accepted an invalid scenario")
+	}
+}
+
+// TestMaterializeGenerated covers the generated-world branch through
+// the exported constructor.
+func TestMaterializeGenerated(t *testing.T) {
+	sc, err := scenario.Decode([]byte(`{
+	  "name": "gen-mat",
+	  "generate": {"cells": 6, "shape": "layered", "seed": 2},
+	  "run": {"target": "cell5"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Materialize(sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Target() == 0 {
+		t.Fatal("run.target cell5 did not resolve")
+	}
+	if got := m.DB().Len(); got != 6 {
+		t.Fatalf("generated world has %d imports, want 6 tools", got)
+	}
+	if !strings.HasPrefix(m.Schema().Type("Cell").Doc, "synthetic") {
+		t.Fatal("generated world is not on the flowgen schema")
+	}
+}

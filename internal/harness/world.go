@@ -13,6 +13,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/faults"
 	"repro/internal/flow"
+	"repro/internal/flowgen"
 	"repro/internal/history"
 	"repro/internal/scenario"
 	"repro/internal/schema"
@@ -42,6 +43,9 @@ type world struct {
 	nodes   map[string]flow.NodeID
 	names   map[flow.NodeID]string
 	imports map[string]history.ID
+	// edits are the scenario's "edit" ops, collected during flow
+	// construction and applied after the base run (checkStale).
+	edits []scenario.Op
 	// target is the sub-flow root when run.target is set, 0 otherwise.
 	target flow.NodeID
 }
@@ -63,6 +67,42 @@ func buildWorld(sc *scenario.Scenario, store *datastore.Store) (*world, error) {
 	}
 	if w.store == nil {
 		w.store = datastore.NewStore()
+	}
+
+	// Generated worlds: flowgen owns schema, tools, imports and flow;
+	// validation guarantees the declarative sections are absent.
+	if g := sc.Generate; g != nil {
+		graph, err := flowgen.Generate(flowgen.Spec{
+			Cells: g.Cells, Shape: flowgen.Shape(g.Shape), Seed: g.Seed,
+			FanIn: g.FanIn, Payload: g.Payload, Levels: g.Levels,
+		})
+		if err != nil {
+			return nil, fail("generate: %v", err)
+		}
+		b, err := graph.BuildFlowIn(w.store)
+		if err != nil {
+			return nil, fail("generate: %v", err)
+		}
+		w.schema, w.db, w.reg, w.flow = b.Schema, b.DB, b.Reg, b.Flow
+		// The tool imports were recorded serially under flowgen's
+		// ticking clock (deterministic); run-time commits switch to the
+		// frozen clock so the history dump stays byte-comparable across
+		// every sweep cell regardless of commit interleaving.
+		w.db.SetClock(func() time.Time { return frozenTime })
+		w.flow.Name = sc.Name
+		for i, id := range b.CellNodes {
+			w.name(id, fmt.Sprintf("cell%d", i))
+		}
+		w.engine = exec.New(w.schema, w.db, w.store, w.reg)
+		w.engine.SetUser("harness")
+		if sc.Run.Target != "" {
+			id, err := w.node(sc.Run.Target)
+			if err != nil {
+				return nil, fail("run.target: %v", err)
+			}
+			w.target = id
+		}
+		return w, nil
 	}
 
 	// Schema + registry.
@@ -262,6 +302,11 @@ func (w *world) applyOp(op scenario.Op) error {
 			insts[i] = inst
 		}
 		return w.flow.Bind(id, insts...)
+	case "edit":
+		// Edits run between executions (checkStale applies them after
+		// the base run), not during flow construction; collect in order.
+		w.edits = append(w.edits, op)
+		return nil
 	case "alias":
 		id, err := w.node(op.Node)
 		if err != nil {

@@ -143,6 +143,33 @@ type DB struct {
 	byType map[string][]ID // concrete type -> IDs in creation order
 	usedBy map[ID][]ID     // forward index: instance -> direct dependents
 	order  []ID            // all IDs in creation order
+
+	// observers are notified of every commit, in commit order, under
+	// db.mu (see CommitObserver).
+	observers []CommitObserver
+}
+
+// CommitObserver receives every committed instance, in commit order.
+// OnCommit is invoked under the database's write lock with the stored
+// (immutable) instance, so implementations must be fast, must not
+// retain the Inputs slice for mutation, and must not call back into
+// the DB. The provenance index (internal/provenance) is the canonical
+// observer.
+type CommitObserver interface {
+	OnCommit(inst *Instance)
+}
+
+// Observe registers an observer. Instances already recorded are
+// replayed into it first — in creation order, under the same lock that
+// blocks new commits — so the observer's view is complete and gap-free
+// no matter when it attaches.
+func (db *DB) Observe(o CommitObserver) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, id := range db.order {
+		o.OnCommit(db.look(id))
+	}
+	db.observers = append(db.observers, o)
 }
 
 // NewDB creates an empty history database over the given schema.
@@ -303,6 +330,9 @@ func (db *DB) recordLocked(rec Instance) (ID, error) {
 	}
 	for _, in := range inst.Inputs {
 		db.usedBy[in.Inst] = append(db.usedBy[in.Inst], inst.ID)
+	}
+	for _, o := range db.observers {
+		o.OnCommit(&inst)
 	}
 	return inst.ID, nil
 }

@@ -1,0 +1,89 @@
+package provenance
+
+import (
+	"testing"
+
+	"repro/internal/flowgen"
+	"repro/internal/history"
+)
+
+// benchWorld caches one populated chain world + index across the
+// chaining benchmarks (Populate dominates setup otherwise).
+var benchWorld struct {
+	b    *flowgen.Bench
+	deep history.ID
+	idx  *Index
+}
+
+func benchChainWorld(b *testing.B) (*flowgen.Bench, history.ID, *Index) {
+	b.Helper()
+	if benchWorld.b == nil {
+		g, err := flowgen.Generate(flowgen.Spec{Cells: 100000, Shape: flowgen.Chain, Seed: 1993})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, ids, err := g.Populate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx := NewIndex()
+		w.DB.Observe(idx)
+		benchWorld.b, benchWorld.deep, benchWorld.idx = w, ids[len(ids)-1], idx
+	}
+	return benchWorld.b, benchWorld.deep, benchWorld.idx
+}
+
+// BenchmarkBackchainIndexed / BenchmarkBackchainNaive: the deep
+// unbounded backchain (25k nodes at 100k cells) — the pair behind the
+// flowbench provenance section's acceptance ratio, runnable under
+// -cpuprofile in isolation.
+func BenchmarkBackchainIndexed(b *testing.B) {
+	_, deep, idx := benchChainWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Backchain(deep, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBackchainNaive(b *testing.B) {
+	w, deep, _ := benchChainWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.DB.Backchain(deep, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardchainIndexed(b *testing.B) {
+	w, _, idx := benchChainWorld(b)
+	root := benchRoot(b, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := idx.Forwardchain(root, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardchainNaive(b *testing.B) {
+	w, _, _ := benchChainWorld(b)
+	root := benchRoot(b, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.DB.Forwardchain(root, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRoot(b *testing.B, w *flowgen.Bench) history.ID {
+	b.Helper()
+	root := history.MakeID("GenTool", 1)
+	if w.DB.Get(root) == nil {
+		b.Fatalf("no %s in bench world", root)
+	}
+	return root
+}

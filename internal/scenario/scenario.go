@@ -49,6 +49,15 @@ type Scenario struct {
 	// the standard encapsulations (encap.StandardRegistry) — the base
 	// the hand-coded examples/ ran against.
 	Base string `json:"base,omitempty"`
+	// Generate, when set, replaces the declarative world entirely: the
+	// harness builds a seeded synthetic DAG through internal/flowgen
+	// (schema, tools, imports and flow all generated) and runs it
+	// through the same differential sweep. Mutually exclusive with
+	// Base/Schema/Tools/Imports/Flow — the generator owns the world.
+	// Generated scenarios default to golden-free differential mode:
+	// no golden file, but masked traces and history dumps must still be
+	// byte-identical across every (scheduler, workers) sweep cell.
+	Generate *GenerateSpec `json:"generate,omitempty"`
 	// Schema is the task schema in the line-oriented schema DSL
 	// (internal/schema), one declaration per element. Ignored (and
 	// rejected) when Base is "standard".
@@ -73,6 +82,25 @@ type Scenario struct {
 	Cancel *CancelSpec `json:"cancel,omitempty"`
 	// Expect describes the required outcome.
 	Expect Expect `json:"expect,omitempty"`
+}
+
+// GenerateSpec mirrors flowgen.Spec: a seeded synthetic DAG in one of
+// the generator's topology families.
+type GenerateSpec struct {
+	// Cells is the number of task nodes (the flow has about twice as
+	// many: one bound tool node per cell).
+	Cells int `json:"cells"`
+	// Shape is "layered" (default), "diamond", "fanout" or "chain".
+	Shape string `json:"shape,omitempty"`
+	// Seed drives every random choice; equal specs generate equal
+	// worlds, byte for byte.
+	Seed int64 `json:"seed,omitempty"`
+	// FanIn caps data inputs per cell (1..4, default 3).
+	FanIn int `json:"fanIn,omitempty"`
+	// Payload is the artifact size each cell produces (default 256).
+	Payload int `json:"payload,omitempty"`
+	// Levels is the layer count for the layered shape.
+	Levels int `json:"levels,omitempty"`
 }
 
 // ToolSpec declares one generic tool encapsulation. The harness
@@ -123,10 +151,19 @@ type ImportSpec struct {
 //	{"op": "expand-up",  "node": "net", "consumer": "Verification", "key": "Netlist/subject", "as": "ver"}
 //	{"op": "bind",       "node": "perf.fd", "to": ["sim"]}
 //	{"op": "alias",      "node": "perf.Circuit.Netlist", "as": "net"}
+//	{"op": "edit",       "import": "net", "type": "EditedNetlist", "to": ["netEd"], "data": "# rev2"}
 //
 // Node naming: "add" and "expand-up" introduce names explicitly;
 // "expand" names each created child "<parent>.<depKey>" (the functional
 // dependency is "<parent>.fd"); "alias" adds a shorthand.
+//
+// "edit" is special: it does not construct the flow. After the run
+// completes, the harness records a new version of the named import —
+// an instance of the edit type (the paper's EditedNetlist idiom: a
+// subtype of the import's base type with a data dependency back onto
+// it), produced by the editor tool named in To, with Data as its new
+// artifact — superseding the import for staleness and retrace checks
+// (expect.stale).
 type Op struct {
 	Op string `json:"op"`
 	// Node is the operation's subject (all ops except connect).
@@ -146,8 +183,13 @@ type Op struct {
 	// As names the node created by expand-up, or the alias target.
 	As string `json:"as,omitempty"`
 	// To lists import keys bound to the node (bind). Binding several
-	// fans the dependent task out once per instance (§4.1).
+	// fans the dependent task out once per instance (§4.1). For edit,
+	// To names exactly one import: the editor tool instance.
 	To []string `json:"to,omitempty"`
+	// Import names the import an edit op supersedes.
+	Import string `json:"import,omitempty"`
+	// Data is the edited artifact text (edit).
+	Data string `json:"data,omitempty"`
 }
 
 // RunSpec sets execution options and the differential sweep. The
@@ -254,6 +296,30 @@ type Expect struct {
 	// resumed run must complete with the full golden stream in the WAL
 	// and a history byte-identical to an uninterrupted run's.
 	KillResume bool `json:"killResume,omitempty"`
+	// Stale, when set, asserts the staleness/retrace contract after the
+	// scenario's edit ops are applied: the exact stale cone via
+	// history.StaleInputs, then a retrace that rebuilds it.
+	Stale *StaleExpect `json:"stale,omitempty"`
+	// Differential overrides the cross-configuration byte-equality
+	// check (masked traces + history dumps identical across every
+	// sweep cell). Default: on whenever a golden is pinned, and on for
+	// generated scenarios even without a golden.
+	Differential *bool `json:"differential,omitempty"`
+}
+
+// StaleExpect is the staleness/retrace contract checked after the edit
+// ops run.
+type StaleExpect struct {
+	// Node is the flow node whose (single) instance anchors the
+	// staleness query and the retrace.
+	Node string `json:"node"`
+	// Stale lists the import keys whose original instances must form
+	// the exact stale set of Node's instance (history.StaleInputs),
+	// each superseded by its edit op's new version.
+	Stale []string `json:"stale"`
+	// RetraceTasks, when set, pins how many constructions the retrace
+	// rebuilds.
+	RetraceTasks *int `json:"retraceTasks,omitempty"`
 }
 
 // ArtifactExpect asserts on the artifact produced for a node.
@@ -272,12 +338,27 @@ type WarmExpect struct {
 }
 
 // WantGolden reports whether the scenario pins a golden trace
-// (default true; disabled explicitly or, necessarily, by Cancel).
+// (default true; disabled explicitly or, necessarily, by Cancel, and
+// off by default for generated scenarios — their traces are
+// deterministic but golden files for arbitrary seeds would bloat the
+// corpus).
 func (s *Scenario) WantGolden() bool {
 	if s.Expect.Golden != nil {
 		return *s.Expect.Golden
 	}
-	return s.Cancel == nil
+	return s.Cancel == nil && s.Generate == nil
+}
+
+// Differential reports whether the harness must enforce byte-identical
+// masked traces and history dumps across every sweep cell. It defaults
+// to on whenever a golden is pinned (the golden already implies it)
+// and on for generated scenarios (the golden-free differential mode);
+// Expect.Differential overrides.
+func (s *Scenario) Differential() bool {
+	if s.Expect.Differential != nil {
+		return *s.Expect.Differential
+	}
+	return s.WantGolden() || (s.Generate != nil && s.Cancel == nil)
 }
 
 // SchemaText joins the schema DSL lines into the text schema.Parse
@@ -342,7 +423,13 @@ func LoadDir(dir string) ([]*Scenario, error) {
 // knownOps is the op vocabulary; Validate rejects anything else.
 var knownOps = map[string]bool{
 	"add": true, "expand": true, "specialize": true, "connect": true,
-	"expand-up": true, "bind": true, "alias": true,
+	"expand-up": true, "bind": true, "alias": true, "edit": true,
+}
+
+// genShapes is the generator topology vocabulary (flowgen's shapes;
+// kept local so this package stays pure data with no flowgen import).
+var genShapes = map[string]bool{
+	"": true, "layered": true, "diamond": true, "fanout": true, "chain": true,
 }
 
 // Validate checks everything checkable without a schema or an engine:
@@ -369,15 +456,40 @@ func (s *Scenario) Validate() error {
 	default:
 		return fail("unknown base %q (want \"\" or \"standard\")", s.Base)
 	}
-	if s.Base == "standard" {
-		if len(s.Schema) > 0 {
-			return fail("base \"standard\" supplies the schema; remove the schema field")
+	if g := s.Generate; g != nil {
+		if s.Base != "" || len(s.Schema) > 0 || len(s.Tools) > 0 || len(s.Imports) > 0 || len(s.Flow) > 0 {
+			return fail("generate owns the world; remove base/schema/tools/imports/flow")
 		}
-		if len(s.Tools) > 0 {
-			return fail("base \"standard\" supplies the encapsulations; remove the tools field")
+		if g.Cells < 1 {
+			return fail("generate.cells must be ≥ 1")
 		}
-	} else if len(s.Schema) == 0 {
-		return fail("missing schema (or set base to \"standard\")")
+		if !genShapes[g.Shape] {
+			return fail("generate.shape: unknown shape %q (want layered, diamond, fanout or chain)", g.Shape)
+		}
+		if g.FanIn < 0 || g.FanIn > 4 {
+			return fail("generate.fanIn %d outside 0..4", g.FanIn)
+		}
+		if g.Payload < 0 || g.Levels < 0 {
+			return fail("generate: negative payload/levels")
+		}
+		if s.Faults != nil || s.Cancel != nil {
+			return fail("generate does not compose with faults/cancel")
+		}
+		if s.Expect.Stale != nil || len(s.Expect.Artifacts) > 0 || len(s.Expect.Skipped) > 0 {
+			return fail("generated worlds have no named nodes; remove expect.stale/artifacts/skipped")
+		}
+	}
+	if s.Generate == nil {
+		if s.Base == "standard" {
+			if len(s.Schema) > 0 {
+				return fail("base \"standard\" supplies the schema; remove the schema field")
+			}
+			if len(s.Tools) > 0 {
+				return fail("base \"standard\" supplies the encapsulations; remove the tools field")
+			}
+		} else if len(s.Schema) == 0 {
+			return fail("missing schema (or set base to \"standard\")")
+		}
 	}
 	for i, t := range s.Tools {
 		if t.Type == "" {
@@ -405,9 +517,10 @@ func (s *Scenario) Validate() error {
 		}
 		importKeys[im.Key] = true
 	}
-	if len(s.Flow) == 0 {
+	if len(s.Flow) == 0 && s.Generate == nil {
 		return fail("missing flow ops")
 	}
+	editedImports := make(map[string]bool)
 	for i, op := range s.Flow {
 		at := func(format string, args ...any) error {
 			return fail("flow[%d] (%s): %s", i, op.Op, fmt.Sprintf(format, args...))
@@ -452,6 +565,20 @@ func (s *Scenario) Validate() error {
 			if op.Node == "" || op.As == "" {
 				return at("needs node and as")
 			}
+		case "edit":
+			if op.Import == "" || op.Type == "" || op.Data == "" {
+				return at("needs import, type and data")
+			}
+			if !importKeys[op.Import] {
+				return at("unknown import key %q (have: %s)", op.Import, keyList(importKeys))
+			}
+			if len(op.To) != 1 {
+				return at("needs exactly one editor tool import in to")
+			}
+			if !importKeys[op.To[0]] {
+				return at("unknown import key %q (have: %s)", op.To[0], keyList(importKeys))
+			}
+			editedImports[op.Import] = true
 		}
 	}
 	for _, w := range s.Run.Workers {
@@ -513,6 +640,22 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Expect.KillResume && !s.WantGolden() {
 		return fail("expect.killResume needs a deterministic trace (golden must not be disabled)")
+	}
+	if st := s.Expect.Stale; st != nil {
+		if st.Node == "" {
+			return fail("expect.stale: missing node")
+		}
+		if len(st.Stale) == 0 {
+			return fail("expect.stale: empty stale set (list the edited import keys)")
+		}
+		for _, k := range st.Stale {
+			if !editedImports[k] {
+				return fail("expect.stale: import %q has no edit op (have: %s)", k, keyList(editedImports))
+			}
+		}
+		if st.RetraceTasks != nil && *st.RetraceTasks < 1 {
+			return fail("expect.stale.retraceTasks must be ≥ 1")
+		}
 	}
 	return nil
 }

@@ -12,6 +12,8 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/hercules"
+	"repro/internal/history"
+	"repro/internal/provenance"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -21,6 +23,9 @@ import (
 //
 //	runs/<id>.wal   one write-ahead log per submission (the run's
 //	                trace plus each committed unit's artifacts)
+//	runs/<id>.chain hash-chained derivation records of the run's
+//	                session database (provenance.Chain; verified by
+//	                flowd -verify-provenance)
 //	store.json      datastore checkpoint, written by Shutdown
 //
 // Boot recovery (initDurable, from New) reads every WAL back:
@@ -63,14 +68,79 @@ func (s *Server) openRunWAL(rec *runRecord) error {
 	return nil
 }
 
-// discardRunWAL abandons a WAL opened for a run that was never
-// launched (admission lost a race with Shutdown).
+// discardRunWAL abandons a WAL (and provenance chain, if one was
+// attached) opened for a run that was never launched (admission lost a
+// race with Shutdown).
 func (s *Server) discardRunWAL(rec *runRecord) {
+	if rec.chain != nil {
+		_ = rec.chain.Close()
+		rec.chain = nil
+	}
 	if rec.wal == nil {
 		return
 	}
 	_ = rec.wal.Close()
 	_ = rec.walLog.Close()
+}
+
+// chainPath is the run's provenance-chain log under the data dir.
+func (s *Server) chainPath(id string) string {
+	return filepath.Join(s.dataDir, "runs", id+".chain")
+}
+
+// attachProvenance wires the run's provenance surface to its session
+// database: a fresh adjacency index plus a hash chain — file-backed in
+// durable mode, in-memory otherwise. Observe backfills both with every
+// record already committed (imports, bootstrap), then feeds them each
+// live commit in order.
+func (s *Server) attachProvenance(rec *runRecord, db *history.DB) error {
+	rec.db = db
+	rec.prov = provenance.NewIndex()
+	db.Observe(rec.prov)
+	var l storage.Log
+	if s.dataDir != "" {
+		fl, err := storage.OpenFile(s.chainPath(rec.id))
+		if err != nil {
+			return err
+		}
+		l = fl
+	} else {
+		l = storage.NewMemLog()
+	}
+	rec.chain = provenance.NewChain(l)
+	db.Observe(rec.chain)
+	return nil
+}
+
+// resetRunChain prepares an interrupted run's chain for resume. The
+// resumed run is the single commit path — the executor re-records every
+// restored unit through the session database — so the chain is rebuilt
+// alongside it rather than appended to (appending would duplicate every
+// re-committed record). The pre-crash chain is verified first: resuming
+// on top of tampered provenance is refused at boot.
+func (s *Server) resetRunChain(rec *runRecord) error {
+	path := s.chainPath(rec.id)
+	l, err := storage.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	_, verr := provenance.VerifyLog(l)
+	cerr := l.Close()
+	if verr != nil {
+		return fmt.Errorf("pre-crash chain %s: %w", filepath.Base(path), verr)
+	}
+	if cerr != nil {
+		return cerr
+	}
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	fl, err := storage.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	rec.chain = provenance.NewChain(fl)
+	return nil
 }
 
 // initDurable restores the server's durable state: the datastore
@@ -174,8 +244,11 @@ func (s *Server) registerFinished(id string, rc *storage.Recovered, l storage.Lo
 func (s *Server) resumeRun(id string, rc *storage.Recovered, l storage.Log) error {
 	spec := s.spec(rc.Meta.Flow)
 	if spec == nil {
-		_ = l.Close()
-		return fmt.Errorf("log names unknown flow %q", rc.Meta.Flow)
+		// Nothing to rebuild the run from: scenario submissions and flows
+		// from an older menu exist only in the identity record. Don't fail
+		// the whole boot — replay what was committed and surface the run
+		// as failed, trace intact, so the operator can see it and resubmit.
+		return s.registerUnresumable(id, rc, l)
 	}
 	if err := rc.Rewind(l); err != nil {
 		_ = l.Close()
@@ -198,6 +271,18 @@ func (s *Server) resumeRun(id string, rc *storage.Recovered, l storage.Log) erro
 	rec.started = time.Now()
 	rec.walLog = l
 	rec.wal = storage.NewRunWAL(l)
+	// Provenance: the resumed run re-records its whole history through
+	// the fresh session database, so the index attaches empty and the
+	// chain is rebuilt (after verifying the pre-crash one) — both then
+	// observe the replayed units and the fresh suffix as one stream.
+	rec.db = sess.DB
+	rec.prov = provenance.NewIndex()
+	sess.DB.Observe(rec.prov)
+	if err := s.resetRunChain(rec); err != nil {
+		_ = l.Close()
+		return fmt.Errorf("provenance: %w", err)
+	}
+	sess.DB.Observe(rec.chain)
 	for _, ev := range rc.Events {
 		rec.log.Emit(ev)
 		s.metrics.Emit(ev)
@@ -217,7 +302,36 @@ func (s *Server) resumeRun(id string, rc *storage.Recovered, l storage.Log) erro
 		d := spec.Delay
 		opts.TaskDelay = &d
 	}
-	s.launch(ctx, rec, f, opts)
+	s.launch(ctx, rec, f, 0, opts)
+	return nil
+}
+
+// registerUnresumable surfaces an interrupted run whose flow cannot be
+// rebuilt from its identity record (a scenario submission, or a flow
+// gone from the menu): committed payloads are still replayed into the
+// datastore and result cache, and the run reappears terminal-failed
+// with its recovered trace prefix.
+func (s *Server) registerUnresumable(id string, rc *storage.Recovered, l storage.Log) error {
+	if err := rc.Replay(s.store, s.cache); err != nil {
+		_ = l.Close()
+		return err
+	}
+	if err := l.Close(); err != nil {
+		return err
+	}
+	rec := &runRecord{id: id, flowName: rc.Meta.Flow, user: rc.Meta.User,
+		cancel: func() {}, done: make(chan struct{}), log: newEventLog(),
+		state: stateFailed,
+		err:   fmt.Errorf("cannot resume: log names unknown flow %q", rc.Meta.Flow)}
+	for _, ev := range rc.Events {
+		rec.log.Emit(ev)
+		s.metrics.Emit(ev)
+	}
+	rec.log.close()
+	close(rec.done)
+	s.mu.Lock()
+	s.runs[id] = rec
+	s.mu.Unlock()
 	return nil
 }
 
@@ -267,8 +381,21 @@ func (s *Server) Shutdown(timeout time.Duration) (forced bool, err error) {
 		}
 		<-idle // cancelled runs exit promptly
 	}
+	// All runs are settled: close the provenance chains their goroutines
+	// left open for post-run verification.
+	var chainErr error
+	for _, rec := range recs {
+		if rec.chain != nil {
+			if cerr := rec.chain.Close(); cerr != nil && chainErr == nil {
+				chainErr = cerr
+			}
+		}
+	}
 	if s.dataDir != "" {
 		err = s.checkpoint()
+	}
+	if err == nil {
+		err = chainErr
 	}
 	return forced, err
 }

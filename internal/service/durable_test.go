@@ -221,7 +221,11 @@ func TestDurableForcedShutdown(t *testing.T) {
 
 // newTestServer-based boot over a directory holding a WAL for a flow
 // the menu no longer offers must fail loudly, not resume garbage.
-func TestDurableUnknownFlowRejected(t *testing.T) {
+// An interrupted run whose flow is not on the menu (a scenario
+// submission, or a flow from an older build) cannot be rebuilt from its
+// identity record — but it must not fail the whole boot. It recovers
+// terminal-failed, queryable, with the reason in its status.
+func TestDurableUnknownFlowUnresumable(t *testing.T) {
 	dir := t.TempDir()
 	runs := filepath.Join(dir, "runs")
 	if err := os.MkdirAll(runs, 0o755); err != nil {
@@ -241,9 +245,17 @@ func TestDurableUnknownFlowRejected(t *testing.T) {
 	if err := l.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(Config{DataDir: dir}); err == nil ||
-		!strings.Contains(err.Error(), "unknown flow") {
-		t.Fatalf("New over unknown-flow WAL: err %v, want unknown flow", err)
+	s, err := New(Config{DataDir: dir})
+	if err != nil {
+		t.Fatalf("New over unknown-flow WAL must not fail boot: %v", err)
+	}
+	rec := s.record("r-0001")
+	if rec == nil {
+		t.Fatal("unresumable run not registered")
+	}
+	v := rec.view()
+	if v.State != string(stateFailed) || !strings.Contains(v.Error, `unknown flow "nope"`) {
+		t.Fatalf("unresumable run is %s (error %q), want failed/unknown flow", v.State, v.Error)
 	}
 }
 

@@ -9,11 +9,16 @@
 //
 //	GET  /healthz              liveness
 //	GET  /v1/flows             the flow menu (FlowSpec list)
-//	POST /v1/runs              submit {"flow": name, "user": name}
+//	POST /v1/runs              submit {"flow": name, "user": name} — or
+//	                           {"scenario": {...}, "user": name} to run a
+//	                           declarative scenario (internal/scenario)
 //	GET  /v1/runs              list runs
 //	GET  /v1/runs/{id}         one run's status
 //	GET  /v1/runs/{id}/trace   masked JSONL event stream (follows until
 //	                           the run finishes)
+//	GET  /v1/runs/{id}/provenance?inst=ID&dir=back|fwd&depth=N
+//	                           derivation/use-dependency chaining over the
+//	                           run's provenance index (provenance.go)
 //	POST /v1/runs/{id}/cancel  cancel (DELETE /v1/runs/{id} also works)
 //	GET  /metrics              plain-text exposition of the shared fold
 package service
@@ -31,8 +36,12 @@ import (
 	"repro/internal/datastore"
 	"repro/internal/exec"
 	"repro/internal/flow"
+	"repro/internal/harness"
 	"repro/internal/hercules"
+	"repro/internal/history"
 	"repro/internal/memo"
+	"repro/internal/provenance"
+	"repro/internal/scenario"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -81,6 +90,19 @@ type runRecord struct {
 	// the file beneath it, both closed by the run goroutine at the end.
 	wal    *storage.RunWAL
 	walLog storage.Log
+	// db/prov/chain are the run's provenance surface: the session's
+	// history database, the commit-time adjacency index the provenance
+	// endpoint queries, and the hash chain of committed derivation
+	// records (runs/<id>.chain in durable mode, an in-memory log
+	// otherwise). All nil on runs recovered from a finished log, which
+	// have no live session. The chain stays open past the run's end so
+	// /provenance?verify=1 works; Shutdown closes it.
+	db    *history.DB
+	prov  *provenance.Index
+	chain *provenance.Chain
+	// world is the materialized scenario of a scenario submission,
+	// closed by the run goroutine at the end. Nil for menu flows.
+	world *harness.World
 
 	mu      sync.Mutex
 	state   runState
@@ -146,6 +168,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/runs/{id}/provenance", s.handleProvenance)
 	s.mux.HandleFunc("POST /v1/runs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -192,10 +215,14 @@ func (s *Server) handleFlows(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.flows)
 }
 
-// submitRequest is the POST /v1/runs body.
+// submitRequest is the POST /v1/runs body: either a menu flow by name
+// or an inline declarative scenario (internal/scenario), whose schema,
+// tools, imports and flow are materialized server-side and run on the
+// shared engine via per-run overrides (exec.RunOptions).
 type submitRequest struct {
-	Flow string `json:"flow"`
-	User string `json:"user"`
+	Flow     string          `json:"flow,omitempty"`
+	Scenario json.RawMessage `json:"scenario,omitempty"`
+	User     string          `json:"user"`
 }
 
 // runView is the JSON shape of one run.
@@ -235,9 +262,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	spec := s.spec(req.Flow)
-	if spec == nil {
-		writeErr(w, http.StatusNotFound, "no flow %q (see /v1/flows)", req.Flow)
+	if req.Flow != "" && len(req.Scenario) > 0 {
+		writeErr(w, http.StatusBadRequest, "submit either a flow name or a scenario, not both")
 		return
 	}
 	if req.User == "" {
@@ -252,22 +278,73 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Each submission gets its own session: own history database (no
-	// commit-window contention), shared datastore and result cache.
-	sess := hercules.NewSessionStore(req.User, s.store)
-	if err := sess.Bootstrap(); err != nil {
-		writeErr(w, http.StatusInternalServerError, "bootstrap: %v", err)
-		return
-	}
-	f, err := buildFlow(spec, sess)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
+	var (
+		f        *flow.Flow
+		target   flow.NodeID
+		db       *history.DB
+		flowName string
+		world    *harness.World
+		opts     = &exec.RunOptions{}
+	)
+	if len(req.Scenario) > 0 {
+		// Scenario submission: materialize the declared world (schema,
+		// tools, imports, flow) against the shared datastore and run it on
+		// the shared engine through per-run overrides.
+		sc, err := scenario.Decode(req.Scenario)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "scenario: %v", err)
+			return
+		}
+		m, err := harness.Materialize(sc, s.store)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "scenario: %v", err)
+			return
+		}
+		world, f, target, db = m, m.Flow(), m.Target(), m.DB()
+		flowName = "scenario:" + sc.Name
+		opts.Schema, opts.Registry = m.Schema(), m.Registry()
+		applyRunSpec(sc, opts)
+		// The server's shared result cache is keyed by content-addressed
+		// derivation alone, which is sound only when every run shares one
+		// tool semantics (the menu's standard registry). A scenario brings
+		// its own: the same tool type and bytes may be declared failing or
+		// fault-instrumented here and clean elsewhere, so sharing would
+		// serve another world's result for a unit this world must run.
+		// Each scenario run gets a private cache instead.
+		opts.Memo = memo.New(0)
+	} else {
+		spec := s.spec(req.Flow)
+		if spec == nil {
+			writeErr(w, http.StatusNotFound, "no flow %q (see /v1/flows)", req.Flow)
+			return
+		}
+		// Each submission gets its own session: own history database (no
+		// commit-window contention), shared datastore and result cache.
+		sess := hercules.NewSessionStore(req.User, s.store)
+		if err := sess.Bootstrap(); err != nil {
+			writeErr(w, http.StatusInternalServerError, "bootstrap: %v", err)
+			return
+		}
+		var err error
+		f, err = buildFlow(spec, sess)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		db = sess.DB
+		flowName = spec.Name
+		if spec.Delay > 0 {
+			d := spec.Delay
+			opts.TaskDelay = &d
+		}
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		if world != nil {
+			world.Close()
+		}
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -276,9 +353,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	ctx, cancel := context.WithCancel(context.Background())
-	rec := &runRecord{id: id, flowName: spec.Name, user: req.User,
+	rec := &runRecord{id: id, flowName: flowName, user: req.User,
 		log: newEventLog(), cancel: cancel, done: make(chan struct{}),
-		state: stateRunning}
+		state: stateRunning, world: world}
 	rec.started = time.Now()
 
 	// Durable mode: open the run's WAL and make the identity record
@@ -286,6 +363,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.dataDir != "" {
 		if err := s.openRunWAL(rec); err != nil {
 			cancel()
+			if world != nil {
+				world.Close()
+			}
 			writeErr(w, http.StatusInternalServerError, "run log: %v", err)
 			return
 		}
@@ -296,39 +376,97 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		cancel()
 		s.discardRunWAL(rec)
+		if world != nil {
+			world.Close()
+		}
 		writeErr(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	s.runs[id] = rec
 	s.mu.Unlock()
 
-	opts := &exec.RunOptions{
-		DB:     sess.DB,
-		User:   req.User,
-		Label:  id,
-		Tracer: trace.Multi(rec.log, s.metrics),
-		WAL:    rec.wal,
+	// Attach the provenance surface: index and hash chain observe every
+	// commit of the run's session database (existing records — imports,
+	// bootstrap — are backfilled first, in commit order).
+	if err := s.attachProvenance(rec, db); err != nil {
+		cancel()
+		s.discardRunWAL(rec)
+		s.dropRun(id)
+		if world != nil {
+			world.Close()
+		}
+		writeErr(w, http.StatusInternalServerError, "provenance chain: %v", err)
+		return
 	}
-	if spec.Delay > 0 {
-		d := spec.Delay
-		opts.TaskDelay = &d
-	}
-	s.launch(ctx, rec, f, opts)
+
+	opts.DB = db
+	opts.User = req.User
+	opts.Label = id
+	opts.Tracer = trace.Multi(rec.log, s.metrics)
+	opts.WAL = rec.wal
+	s.launch(ctx, rec, f, target, opts)
 
 	writeJSON(w, http.StatusCreated, rec.view())
 }
 
-// launch starts the run goroutine: execute the flow, settle the
-// record's terminal state, then release the event log, the WAL and the
-// done channel — the same exit path for fresh and resumed runs.
-func (s *Server) launch(ctx context.Context, rec *runRecord, f *flow.Flow, opts *exec.RunOptions) {
+// applyRunSpec carries a submitted scenario's run stanza — failure
+// policy, retry budget, per-task timeout, fan-out cap — onto the run's
+// options, with the same semantics as the conformance harness. Worker
+// and scheduler sweeps stay harness-side: the service runs everything
+// on its one shared pool.
+func applyRunSpec(sc *scenario.Scenario, o *exec.RunOptions) {
+	o.MaxCombos = sc.Run.MaxCombos
+	if sc.Run.Policy == "continue" {
+		p := exec.ContinueOnError
+		o.Policy = &p
+	}
+	if r := sc.Run.Retry; r != nil {
+		o.Retry = &exec.RetryPolicy{
+			MaxAttempts: r.Attempts,
+			BaseDelay:   time.Duration(r.BaseMicros) * time.Microsecond,
+			Seed:        r.Seed,
+		}
+	}
+	if sc.Run.TimeoutMs > 0 {
+		d := time.Duration(sc.Run.TimeoutMs) * time.Millisecond
+		o.TaskTimeout = &d
+	}
+}
+
+// dropRun removes a registered run that failed before launch.
+func (s *Server) dropRun(id string) {
+	s.mu.Lock()
+	delete(s.runs, id)
+	s.mu.Unlock()
+}
+
+// launch starts the run goroutine: execute the flow (or the sub-flow
+// rooted at target when non-zero), settle the record's terminal state,
+// then release the event log, the WAL and the done channel — the same
+// exit path for fresh and resumed runs. The provenance chain is synced
+// (durability barrier) but stays open for post-run verification.
+func (s *Server) launch(ctx context.Context, rec *runRecord, f *flow.Flow, target flow.NodeID, opts *exec.RunOptions) {
 	go func() {
-		res, err := s.engine.RunFlowOptions(ctx, f, opts)
+		var res *exec.Result
+		var err error
+		if target != 0 {
+			res, err = s.engine.RunNodeOptions(ctx, f, target, opts)
+		} else {
+			res, err = s.engine.RunFlowOptions(ctx, f, opts)
+		}
+		if rec.chain != nil {
+			if cerr := rec.chain.Sync(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if rec.wal != nil {
 			if werr := rec.wal.Close(); werr != nil && err == nil {
 				err = werr
 			}
 			_ = rec.walLog.Close()
+		}
+		if rec.world != nil {
+			rec.world.Close()
 		}
 		rec.mu.Lock()
 		rec.res, rec.err = res, err
